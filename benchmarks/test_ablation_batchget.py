@@ -1,0 +1,73 @@
+"""Ablation — batched index reads (§6's batchGet).
+
+"A batchGet variant permits to execute 100 get operations through a
+single API request."  The LU look-up reads one entry per query key; with
+batchGet it pays the fixed DynamoDB request latency once per 100 keys
+instead of once per key.  This ablation compares the batched store read
+path against per-key gets on the workload's LU look-ups: identical
+results, more wall time and the same billable operation count (billing
+is per get *operation*, §7.1, not per API request).
+"""
+
+from conftest import report
+
+from repro.bench.reporting import ExperimentResult
+from repro.indexing.lookup_plans import pattern_lookup_keys
+from repro.query.workload import WORKLOAD_ORDER, workload_query
+
+
+def test_ablation_batchget(ctx, benchmark):
+    index = ctx.index("LU")
+    store = index.store
+    table = index.table_names["lu"]
+    env = ctx.warehouse.cloud.env
+
+    rows = []
+    for name in WORKLOAD_ORDER[:7]:
+        pattern = workload_query(name).patterns[0]
+        keys = pattern_lookup_keys(pattern, include_words=True)
+
+        def batched():
+            start = env.now
+            data, gets = yield from store.read_keys(table, keys, "presence")
+            return data, gets, env.now - start
+
+        def per_key():
+            start = env.now
+            data = {}
+            gets = 0
+            for key in keys:
+                payloads, requests = yield from store.read_key(
+                    table, key, "presence")
+                data[key] = payloads
+                gets += requests
+            return data, gets, env.now - start
+
+        batched_data, batched_gets, batched_s = env.run_process(batched())
+        single_data, single_gets, single_s = env.run_process(per_key())
+        assert {k: set(v) for k, v in batched_data.items()} == \
+            {k: set(v) for k, v in single_data.items()}, name
+        assert batched_gets == single_gets == len(keys), \
+            "billable gets are per operation either way"
+        rows.append([name, len(keys), round(batched_s, 4),
+                     round(single_s, 4),
+                     round(single_s / batched_s, 2)])
+
+    result = ExperimentResult(
+        experiment_id="Ablation A6",
+        title="LU index reads: batchGet vs one get per key",
+        headers=["query", "keys", "batched s", "per-key s", "slowdown x"],
+        rows=rows)
+    report(result)
+
+    for name, keys_count, batched_s, single_s, _ in rows:
+        if keys_count > 1:
+            assert single_s > batched_s, \
+                "{}: per-key gets should pay more request latency".format(
+                    name)
+
+    pattern = workload_query("q6").patterns[0]
+    keys = pattern_lookup_keys(pattern, include_words=True)
+    outcome = benchmark(lambda: env.run_process(
+        store.read_keys(table, keys, "presence")))
+    assert outcome[1] == len(keys)

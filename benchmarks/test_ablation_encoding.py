@@ -1,0 +1,46 @@
+"""Ablation — §8.2's compressed binary ID encoding.
+
+"We exploit the fact that DynamoDB allows storing arbitrary binary
+objects, to store compressed (encoded) sets of IDs in a single DynamoDB
+value."  SimpleDB can only hold the textual form; the size ratio on
+real corpus entries is a large part of the Tables 7-8 gap.
+"""
+
+from conftest import report
+
+from repro.bench.reporting import ExperimentResult
+from repro.indexing.registry import strategy
+from repro.xmldb.encoding import (decode_ids, encode_ids, encode_ids_text)
+
+
+def test_ablation_encoding(ctx, benchmark):
+    lui = strategy("LUI")
+    binary_bytes = 0
+    text_bytes = 0
+    id_lists = []
+    for document in ctx.corpus.documents[:150]:
+        for entry in lui.extract(document)["lui"]:
+            binary_bytes += len(encode_ids(list(entry.ids)))
+            text_bytes += len(encode_ids_text(entry.ids).encode("utf-8"))
+            id_lists.append(list(entry.ids))
+
+    result = ExperimentResult(
+        experiment_id="Ablation A5",
+        title="ID list encoding: binary varint-delta vs textual",
+        headers=["codec", "bytes", "ratio vs text"],
+        rows=[["binary", binary_bytes,
+               round(binary_bytes / text_bytes, 3)],
+              ["text", text_bytes, 1.0]])
+    report(result)
+
+    assert binary_bytes < 0.6 * text_bytes, \
+        "the binary codec should be markedly more compact " \
+        "({} vs {} bytes)".format(binary_bytes, text_bytes)
+
+    largest = max(id_lists, key=len)
+
+    def round_trip():
+        return decode_ids(encode_ids(largest))
+
+    decoded = benchmark(round_trip)
+    assert decoded == largest

@@ -1,0 +1,24 @@
+"""Regenerates Figure 11 (per-query monetary cost, no index vs the four
+strategies, on L and XL).
+
+Benchmark kernel: evaluating the §7.3 indexed-query cost formula over a
+workload's executions.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure11_query_costs as experiment
+from repro.costs.estimator import workload_cost
+
+
+def test_figure11_query_costs(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    executions = ctx.workload_report("LUP", "xl").executions
+    dataset = ctx.dataset_metrics
+    book = ctx.warehouse.cloud.price_book
+
+    total = benchmark(workload_cost, executions, dataset, book)
+    assert total > 0

@@ -1,0 +1,21 @@
+"""Regenerates Figure 12 (workload cost decomposition per service, XL).
+
+Benchmark kernel: building the per-service cost breakdown.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure12_cost_details as experiment
+from repro.costs.estimator import workload_cost_breakdown
+
+
+def test_figure12_cost_details(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    executions = ctx.workload_report("LUI", "xl").executions
+    breakdown = benchmark(workload_cost_breakdown, executions,
+                          ctx.dataset_metrics,
+                          ctx.warehouse.cloud.price_book)
+    assert breakdown.ec2 > 0

@@ -1,0 +1,23 @@
+"""Regenerates Figure 13 (index cost amortization on one L instance).
+
+Benchmark kernel: computing an amortization series.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure13_amortization as experiment
+from repro.costs.amortization import AmortizationStudy, amortization_series
+
+
+def test_figure13_amortization(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    study = AmortizationStudy(
+        strategy_name="LU",
+        build_cost=float(result.row_map()["LU"][1]),
+        workload_cost_no_index=float(result.row_map()["LU"][2]),
+        workload_cost_indexed=float(result.row_map()["LU"][3]))
+    series = benchmark(amortization_series, study, 100)
+    assert series[0][1] < 0 < series[-1][1]

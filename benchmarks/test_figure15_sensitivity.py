@@ -1,0 +1,22 @@
+"""Regenerates the extension sensitivity/projection figure.
+
+Benchmark kernel: one full price-sensitivity sweep over the measured
+workload.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure15_sensitivity as experiment
+from repro.costs.whatif import price_sensitivity
+
+
+def test_figure15_sensitivity(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    executions = ctx.workload_report("LUP", "xl").executions
+    points = benchmark(price_sensitivity, executions,
+                       ctx.dataset_metrics,
+                       ctx.warehouse.cloud.price_book)
+    assert points

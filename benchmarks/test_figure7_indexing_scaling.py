@@ -1,0 +1,26 @@
+"""Regenerates Figure 7 (indexing time vs data size, 4 prefixes x 4
+strategies, each an independent build in a fresh warehouse).
+
+Benchmark kernel: LUI extraction over a corpus slice — the
+size-proportional work underlying the figure's linearity.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure7_indexing_scaling as experiment
+from repro.indexing.registry import strategy
+
+
+def test_figure7_indexing_scaling(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    lui = strategy("LUI")
+    documents = ctx.corpus.documents[:40]
+
+    def extract_slice():
+        return sum(len(lui.extract(d)["lui"]) for d in documents)
+
+    entries = benchmark(extract_slice)
+    assert entries > 0

@@ -1,0 +1,27 @@
+"""Regenerates Figure 8 (index sizes + monthly storage cost, with and
+without full-text keywords).
+
+Benchmark kernel: DynamoDB item packing of one document's LUP entries —
+the mapping whose output bytes the figure measures.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure8_index_sizes as experiment
+from repro.cloud import CloudProvider
+from repro.indexing.mapper import DynamoIndexStore
+from repro.indexing.registry import strategy
+
+
+def test_figure8_index_sizes(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    lup = strategy("LUP")
+    document = max(ctx.corpus.documents, key=lambda d: d.size_bytes)
+    entries = lup.extract(document)["lup"]
+    store = DynamoIndexStore(CloudProvider().dynamodb, seed=1)
+
+    items = benchmark(store._pack_items, entries)
+    assert sum(i.size_bytes for i in items) > 0

@@ -1,0 +1,27 @@
+"""Regenerates Figures 9a/9b/9c (response times and their
+decomposition, L and XL instances).
+
+Benchmark kernel: single-document tree-pattern evaluation — the
+dominant "S3 documents transfer and results extraction" component.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import figure9_response_times as experiment
+from repro.engine.evaluator import evaluate_pattern
+from repro.query.workload import workload_query
+
+
+def test_figure9_response_times(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    pattern = workload_query("q2").patterns[0]
+    documents = [d for d in ctx.corpus.documents
+                 if d.uri.startswith("items")][:20]
+
+    def evaluate_all():
+        return sum(len(evaluate_pattern(pattern, d)) for d in documents)
+
+    benchmark(evaluate_all)

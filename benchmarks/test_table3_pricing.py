@@ -1,0 +1,18 @@
+"""Regenerates Table 3 (AWS Singapore prices) and checks the constants.
+
+Benchmark kernel: rendering the price table (the experiment itself is
+static data, so the kernel is the renderer).
+"""
+
+from conftest import report
+
+from repro.bench.experiments import table3_pricing as experiment
+from repro.costs.pricing import AWS_SINGAPORE, render_table3
+
+
+def test_table3_pricing(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+    rendered = benchmark(render_table3, AWS_SINGAPORE)
+    assert "ST$m,GB" in rendered and "$0.125" in rendered

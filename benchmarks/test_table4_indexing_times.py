@@ -1,0 +1,22 @@
+"""Regenerates Table 4 (indexing times on 8 L instances).
+
+Benchmark kernel: a full 2LUPI extraction of one corpus document — the
+per-document work whose aggregate the table reports.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import table4_indexing_times as experiment
+from repro.indexing.registry import strategy
+
+
+def test_table4_indexing_times(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    two_lupi = strategy("2LUPI")
+    document = max(ctx.corpus.documents, key=lambda d: d.size_bytes)
+    entries = benchmark(two_lupi.extract, document)
+    assert set(entries) == {"lup", "lui"}
+    assert entries["lup"] and entries["lui"]

@@ -1,0 +1,20 @@
+"""Regenerates Table 6 (indexing cost breakdown per AWS service).
+
+Benchmark kernel: pricing a build phase's meter records — the
+measured-bill fold the table is made of.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import table6_indexing_costs as experiment
+from repro.costs.estimator import build_phase_cost
+
+
+def test_table6_indexing_costs(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    built = ctx.index("2LUPI")
+    breakdown = benchmark(build_phase_cost, ctx.warehouse, built)
+    assert breakdown.total > 0

@@ -1,0 +1,21 @@
+"""Regenerates Table 7 (indexing: SimpleDB baseline [8] vs DynamoDB).
+
+Benchmark kernel: SimpleDB textual ID chunking vs the single binary
+encode — the mapping difference §8.4 credits for much of the gap.
+"""
+
+from conftest import report
+
+from repro.bench.experiments import table7_simpledb_indexing as experiment
+from repro.indexing.mapper import _chunk_ids_text
+from repro.xmldb.ids import NodeID
+
+
+def test_table7_simpledb_indexing(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    ids = [NodeID(i * 3 + 1, i * 3 + 2, (i % 7) + 1) for i in range(500)]
+    chunks = benchmark(_chunk_ids_text, ids)
+    assert len(chunks) >= 2

@@ -1,0 +1,10 @@
+"""One module per paper artefact (see DESIGN.md's experiment index).
+
+Each module exposes:
+
+- ``run(ctx) -> ExperimentResult`` — regenerate the table/figure from a
+  shared :class:`~repro.bench.datasets.ExperimentContext`;
+- ``check(result, ctx)`` — assert the paper's qualitative claims on the
+  regenerated data (orderings, ratios, crossovers), raising
+  ``AssertionError`` with a readable message when a claim fails.
+"""

@@ -1,0 +1,202 @@
+"""Command-line front end (the AMADA demo [4] analogue).
+
+The paper's companion demo let visitors load Web data into the cloud
+warehouse, pick an indexing strategy and watch queries run with their
+monetary cost.  This CLI does the same over the simulated substrate::
+
+    repro-warehouse generate --documents 200 --out /tmp/corpus
+    repro-warehouse demo --documents 200 --strategy LUP --queries q1,q5
+    repro-warehouse advise --documents 200 --runs 25
+    repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
+    repro-warehouse prices --provider google
+
+Every subcommand is a plain function taking parsed args and returning
+an exit code, so the test suite drives them directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.advisor import IndexAdvisor
+from repro.bench.reporting import format_money, format_table
+from repro.config import ScaleProfile
+from repro.costs.estimator import build_phase_cost, query_cost
+from repro.costs.metrics import DatasetMetrics
+from repro.costs.pricing import price_book, render_table3
+from repro.indexing.registry import ALL_STRATEGY_NAMES
+from repro.query.parser import parse_query
+from repro.query.workload import WORKLOAD_ORDER, workload, workload_query
+from repro.query.xquery import to_xquery
+from repro.warehouse import Warehouse
+from repro.warehouse.monitoring import resource_report
+from repro.xmark import generate_corpus
+
+
+def _corpus(args) -> "Corpus":  # noqa: F821
+    return generate_corpus(ScaleProfile(documents=args.documents,
+                                        document_bytes=args.document_kb
+                                        * 1024,
+                                        seed=args.seed))
+
+
+def cmd_generate(args) -> int:
+    """Generate a corpus; optionally write the XML files to a directory."""
+    corpus = _corpus(args)
+    print("generated {} documents, {:.2f} MB (seed {})".format(
+        len(corpus), corpus.total_mb, args.seed))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for uri, data in sorted(corpus.data.items()):
+            with open(os.path.join(args.out, uri), "wb") as handle:
+                handle.write(data)
+        print("wrote XML files to {}".format(args.out))
+    stats = corpus.stats()
+    print("labels: {}   distinct paths: {}   max depth: {}".format(
+        len(stats.label_counts), len(stats.distinct_paths),
+        stats.max_depth))
+    return 0
+
+
+def _parse_query_names(spec: str) -> List[str]:
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    for name in names:
+        if name not in WORKLOAD_ORDER:
+            raise SystemExit(
+                "unknown workload query {!r}; choose from {}".format(
+                    name, ", ".join(WORKLOAD_ORDER)))
+    return names
+
+
+def cmd_demo(args) -> int:
+    """Full pipeline: upload, build one index, run queries, show costs."""
+    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
+        raise SystemExit("unknown strategy {!r}; choose from {}".format(
+            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    corpus = _corpus(args)
+    warehouse = Warehouse()
+    warehouse.upload_corpus(corpus)
+    print("uploaded {} documents ({:.2f} MB)".format(
+        len(corpus), corpus.total_mb))
+
+    index = warehouse.build_index(args.strategy.upper(),
+                                  instances=args.instances)
+    report = index.report
+    book = warehouse.cloud.price_book
+    print("built {} in {:.1f}s simulated on {} {} instances; "
+          "{} puts, {:.2f} MB stored, cost {}".format(
+              report.strategy_name, report.total_s, report.instances,
+              report.instance_type, report.puts,
+              report.stored_bytes / 2 ** 20,
+              format_money(build_phase_cost(warehouse, index, book).total)))
+
+    names = _parse_query_names(args.queries) if args.queries \
+        else list(WORKLOAD_ORDER)
+    dataset = DatasetMetrics.of_corpus(corpus)
+    rows = []
+    for name in names:
+        query = workload_query(name)
+        execution = warehouse.run_query(query, index,
+                                        instance_type=args.instance_type)
+        rows.append([name, "{:.3f}s".format(execution.response_s),
+                     execution.docs_from_index,
+                     execution.docs_with_results,
+                     execution.result_rows,
+                     format_money(query_cost(execution, dataset, book))])
+    print(format_table(["query", "response", "docs idx", "docs res",
+                        "rows", "cost"], rows))
+    if args.monitor:
+        print()
+        print(resource_report(warehouse).render())
+    return 0
+
+
+def cmd_advise(args) -> int:
+    """Run the index advisor on the expected corpus and workload."""
+    corpus = _corpus(args)
+    advisor = IndexAdvisor(corpus.stats())
+    estimates = advisor.estimate_all(workload())
+    rows = [[name,
+             format_money(estimate.build_cost),
+             format_money(estimate.monthly_storage),
+             format_money(estimate.workload_cost),
+             format_money(estimate.total_cost(args.runs))]
+            for name, estimate in estimates.items()]
+    print(format_table(["strategy", "build", "storage/mo", "per run",
+                        "total @{} runs".format(args.runs)], rows))
+    choice = advisor.recommend(workload(), runs=args.runs)
+    print("recommendation: {}".format(choice.strategy_name))
+    return 0
+
+
+def cmd_xquery(args) -> int:
+    """Translate a tree-pattern query into XQuery (§4)."""
+    query = parse_query(args.query)
+    print(to_xquery(query))
+    return 0
+
+
+def cmd_prices(args) -> int:
+    """Print a provider's price book (Table 3 layout)."""
+    print(render_table3(price_book(args.provider)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro-warehouse",
+        description="Cloud XML warehouse demo (EDBT 2013 reproduction).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_corpus_args(p):
+        p.add_argument("--documents", type=int, default=150)
+        p.add_argument("--document-kb", type=int, default=8)
+        p.add_argument("--seed", type=int, default=20130318)
+
+    p_generate = sub.add_parser("generate", help=cmd_generate.__doc__)
+    add_corpus_args(p_generate)
+    p_generate.add_argument("--out", help="directory for the XML files")
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_demo = sub.add_parser("demo", help=cmd_demo.__doc__)
+    add_corpus_args(p_demo)
+    p_demo.add_argument("--strategy", default="LUP")
+    p_demo.add_argument("--instances", type=int, default=4,
+                        help="loader instances")
+    p_demo.add_argument("--instance-type", default="xl",
+                        choices=("l", "xl"), help="query processor type")
+    p_demo.add_argument("--queries",
+                        help="comma-separated q1..q10 (default: all)")
+    p_demo.add_argument("--monitor", action="store_true",
+                        help="print the resource report afterwards")
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_advise = sub.add_parser("advise", help=cmd_advise.__doc__)
+    add_corpus_args(p_advise)
+    p_advise.add_argument("--runs", type=int, default=10,
+                          help="expected workload runs")
+    p_advise.set_defaults(func=cmd_advise)
+
+    p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
+    p_xquery.add_argument("query", help="tree-pattern query text")
+    p_xquery.set_defaults(func=cmd_xquery)
+
+    p_prices = sub.add_parser("prices", help=cmd_prices.__doc__)
+    p_prices.add_argument("--provider", default="aws",
+                          choices=("aws", "google", "azure"))
+    p_prices.set_defaults(func=cmd_prices)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``repro-warehouse`` console script)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Simulated commercial-cloud services (the paper's AWS substrate).
+
+This subpackage models the four AWS services the paper's architecture is
+built from (§3, Figure 1), plus SimpleDB (the baseline key-value store of
+the paper's earlier version [8], needed for the Tables 7-8 comparison):
+
+- :class:`~repro.cloud.s3.S3` — file store for XML documents and results;
+- :class:`~repro.cloud.dynamodb.DynamoDB` — key-value store for indexes,
+  with 64 KB items, hash+range keys, batch APIs and provisioned
+  throughput;
+- :class:`~repro.cloud.simpledb.SimpleDB` — older, slower key-value store
+  with 1 KB attribute values;
+- :class:`~repro.cloud.ec2.EC2` — virtual machine instances whose cores
+  execute ECU-denominated work;
+- :class:`~repro.cloud.sqs.SQS` — at-least-once message queues with
+  visibility timeouts and lease renewal.
+
+:class:`~repro.cloud.provider.CloudProvider` bundles one of each over a
+shared simulation environment and meter.  All service APIs are
+*generator methods*: call them from a simulated process with
+``result = yield from service.op(...)`` so latency and throughput accrue
+simulated time.
+"""
+
+from repro.cloud.dynamodb import DynamoDB, DynamoItem, DynamoTable
+from repro.cloud.ec2 import EC2, Instance
+from repro.cloud.provider import CloudProvider
+from repro.cloud.s3 import S3, S3Object
+from repro.cloud.simpledb import SimpleDB
+from repro.cloud.sqs import SQS, Message
+
+__all__ = [
+    "CloudProvider",
+    "DynamoDB",
+    "DynamoItem",
+    "DynamoTable",
+    "EC2",
+    "Instance",
+    "Message",
+    "S3",
+    "S3Object",
+    "SQS",
+    "SimpleDB",
+]

@@ -1,0 +1,282 @@
+"""Simulated Amazon DynamoDB (paper §6).
+
+The paper stores every index in DynamoDB tables whose items have a
+composite primary key: the *hash key* is the index entry key (``key(n)``)
+and the *range key* is a UUID generated at indexing time, so concurrent
+loader instances never overwrite each other's items.  This model
+reproduces the API surface the paper relies on:
+
+- tables with hash or hash+range primary keys;
+- items of at most 64 KB holding multi-valued attributes;
+- ``get(T, k)`` retrieving *all* items with hash key ``k`` (plus an
+  optional range-key condition), ``put``, and ``batchGet`` / ``batchPut``
+  variants (100 / 25 operations per API request, §6);
+- binary attribute values ("DynamoDB allows storing arbitrary binary
+  objects as values, a feature we exploited to efficiently encode our
+  index data", §8.4);
+- provisioned read/write throughput modelled as shared fluid servers, so
+  concurrent writers saturate the table exactly as in Table 4/Figure 10;
+- a per-item storage overhead, the "DynamoDB overhead data" of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Generator, Iterable, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
+
+from repro.config import PerformanceProfile
+from repro.errors import (ItemTooLarge, NoSuchTable, TableAlreadyExists,
+                          ValidationError)
+from repro.sim import Environment, Meter, ThroughputLimiter
+
+SERVICE = "dynamodb"
+
+#: Maximum size of one item, keys plus attributes (§6: "items whose size
+#: can be at most 64KB").
+MAX_ITEM_BYTES = 64 * 1024
+#: Maximum hash key size (§6: "2KB hash key").
+MAX_HASH_KEY_BYTES = 2 * 1024
+#: Maximum range key size (§6: "1KB range key").
+MAX_RANGE_KEY_BYTES = 1 * 1024
+#: batchGet limit (§6: "execute 100 get operations through a single API
+#: request").
+BATCH_GET_LIMIT = 100
+#: batchPut limit (§6: "inserts 25 items at a time").
+BATCH_PUT_LIMIT = 25
+
+AttrValue = Union[str, bytes]
+
+
+def value_size(value: AttrValue) -> int:
+    """Size in bytes of one attribute value."""
+    if isinstance(value, bytes):
+        return len(value)
+    return len(value.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class DynamoItem:
+    """One stored item: primary key plus named, multi-valued attributes."""
+
+    hash_key: str
+    range_key: Optional[str]
+    attributes: Mapping[str, Tuple[AttrValue, ...]]
+
+    @property
+    def size_bytes(self) -> int:
+        """Billable item size: key bytes plus attribute name/value bytes."""
+        size = len(self.hash_key.encode("utf-8"))
+        if self.range_key is not None:
+            size += len(self.range_key.encode("utf-8"))
+        for name, values in self.attributes.items():
+            size += len(name.encode("utf-8"))
+            size += sum(value_size(v) for v in values)
+        return size
+
+
+@dataclass
+class DynamoTable:
+    """A table: name, key schema, and the item map."""
+
+    name: str
+    has_range_key: bool = True
+    #: hash key -> range key (or "" when no range key) -> item
+    _items: Dict[str, Dict[str, DynamoItem]] = field(default_factory=dict)
+
+    def item_count(self) -> int:
+        """Number of stored items."""
+        return sum(len(group) for group in self._items.values())
+
+    def raw_bytes(self) -> int:
+        """User-data bytes stored (the 'index content' series of Fig. 8)."""
+        return sum(item.size_bytes
+                   for group in self._items.values()
+                   for item in group.values())
+
+    def hash_keys(self) -> List[str]:
+        """All hash keys present in the table, sorted."""
+        return sorted(self._items)
+
+
+class DynamoDB:
+    """The simulated key-value store holding the warehouse indexes."""
+
+    def __init__(self, env: Environment, meter: Meter,
+                 profile: PerformanceProfile) -> None:
+        self._env = env
+        self._meter = meter
+        self._profile = profile
+        self._tables: Dict[str, DynamoTable] = {}
+        self._write_limiter = ThroughputLimiter(
+            env, profile.dynamodb_write_rate_bps, name="dynamodb-write")
+        self._read_limiter = ThroughputLimiter(
+            env, profile.dynamodb_read_rate_bps, name="dynamodb-read")
+
+    # -- administration -------------------------------------------------------
+
+    def create_table(self, name: str, has_range_key: bool = True) -> DynamoTable:
+        """Create a table; raises if the name is taken."""
+        if name in self._tables:
+            raise TableAlreadyExists(name)
+        table = DynamoTable(name=name, has_range_key=has_range_key)
+        self._tables[name] = table
+        return table
+
+    def delete_table(self, name: str) -> None:
+        """Drop a table and everything in it."""
+        if name not in self._tables:
+            raise NoSuchTable(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> DynamoTable:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTable(name) from None
+
+    def table_names(self) -> List[str]:
+        """Names of all tables, sorted."""
+        return sorted(self._tables)
+
+    # -- validation -------------------------------------------------------------
+
+    def _validate_item(self, table: DynamoTable, item: DynamoItem) -> None:
+        if len(item.hash_key.encode("utf-8")) > MAX_HASH_KEY_BYTES:
+            raise ValidationError(
+                "hash key exceeds {} bytes".format(MAX_HASH_KEY_BYTES))
+        if table.has_range_key:
+            if item.range_key is None:
+                raise ValidationError(
+                    "table {!r} requires a range key".format(table.name))
+            if len(item.range_key.encode("utf-8")) > MAX_RANGE_KEY_BYTES:
+                raise ValidationError(
+                    "range key exceeds {} bytes".format(MAX_RANGE_KEY_BYTES))
+        elif item.range_key is not None:
+            raise ValidationError(
+                "table {!r} has no range key".format(table.name))
+        if item.size_bytes > MAX_ITEM_BYTES:
+            raise ItemTooLarge(
+                "item of {} bytes exceeds the {} byte limit".format(
+                    item.size_bytes, MAX_ITEM_BYTES))
+
+    # -- writes -------------------------------------------------------------------
+
+    def _store(self, table: DynamoTable, item: DynamoItem) -> None:
+        group = table._items.setdefault(item.hash_key, {})
+        # Same primary key -> the new item completely replaces the old
+        # one (§6), which is exactly what the UUID range keys prevent.
+        group[item.range_key or ""] = item
+
+    def put(self, table_name: str, item: DynamoItem,
+            ) -> Generator[Any, Any, None]:
+        """Insert ``item``, replacing any item with the same primary key."""
+        table = self.table(table_name)
+        self._validate_item(table, item)
+        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        yield self._write_limiter.consume(item.size_bytes)
+        self._store(table, item)
+        self._meter.record(self._env.now, SERVICE, "put",
+                           bytes_in=item.size_bytes)
+
+    def batch_put(self, table_name: str, items: Sequence[DynamoItem],
+                  ) -> Generator[Any, Any, None]:
+        """Insert up to 25 items through a single API request.
+
+        Billing note: each inserted row is a billable put operation
+        (|op(D, I)| in §7.1 counts rows), but the fixed request latency
+        is paid once — which is why the loader batches (§8.1).
+        """
+        if not items:
+            raise ValidationError("batch_put requires at least one item")
+        if len(items) > BATCH_PUT_LIMIT:
+            raise ValidationError(
+                "batch_put accepts at most {} items, got {}".format(
+                    BATCH_PUT_LIMIT, len(items)))
+        table = self.table(table_name)
+        total = 0
+        for item in items:
+            self._validate_item(table, item)
+            total += item.size_bytes
+        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        yield self._write_limiter.consume(total)
+        for item in items:
+            self._store(table, item)
+        self._meter.record(self._env.now, SERVICE, "put",
+                           count=len(items), bytes_in=total)
+
+    # -- reads ---------------------------------------------------------------------
+
+    def _collect(self, table: DynamoTable, hash_key: str,
+                 condition: Optional[Callable[[str], bool]],
+                 ) -> List[DynamoItem]:
+        group = table._items.get(hash_key, {})
+        if condition is None:
+            return [group[rk] for rk in sorted(group)]
+        return [group[rk] for rk in sorted(group) if condition(rk)]
+
+    def get(self, table_name: str, hash_key: str,
+            condition: Optional[Callable[[str], bool]] = None,
+            ) -> Generator[Any, Any, List[DynamoItem]]:
+        """Retrieve all items with ``hash_key`` (§6 ``get(T, k)``).
+
+        ``condition``, if given, filters on the range key (``get(T,k,c)``).
+        Returns an empty list for unknown keys, like a real query.
+        """
+        table = self.table(table_name)
+        items = self._collect(table, hash_key, condition)
+        nbytes = sum(item.size_bytes for item in items)
+        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        yield self._read_limiter.consume(nbytes)
+        self._meter.record(self._env.now, SERVICE, "get", bytes_out=nbytes)
+        return items
+
+    def batch_get(self, table_name: str, hash_keys: Sequence[str],
+                  ) -> Generator[Any, Any, Dict[str, List[DynamoItem]]]:
+        """Run up to 100 ``get`` operations in a single API request."""
+        if not hash_keys:
+            raise ValidationError("batch_get requires at least one key")
+        if len(hash_keys) > BATCH_GET_LIMIT:
+            raise ValidationError(
+                "batch_get accepts at most {} keys, got {}".format(
+                    BATCH_GET_LIMIT, len(hash_keys)))
+        table = self.table(table_name)
+        result: Dict[str, List[DynamoItem]] = {}
+        nbytes = 0
+        for key in hash_keys:
+            items = self._collect(table, key, None)
+            result[key] = items
+            nbytes += sum(item.size_bytes for item in items)
+        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        yield self._read_limiter.consume(nbytes)
+        self._meter.record(self._env.now, SERVICE, "get",
+                           count=len(hash_keys), bytes_out=nbytes)
+        return result
+
+    # -- storage accounting (Figure 8) -------------------------------------------
+
+    def raw_bytes(self, table_names: Optional[Iterable[str]] = None) -> int:
+        """User-data bytes across the given tables (default: all)."""
+        names = list(table_names) if table_names is not None else self.table_names()
+        return sum(self.table(n).raw_bytes() for n in names)
+
+    def overhead_bytes(self, table_names: Optional[Iterable[str]] = None) -> int:
+        """DynamoDB's own per-item storage overhead (``ovh(D, I)``, §7.1)."""
+        names = list(table_names) if table_names is not None else self.table_names()
+        per_item = self._profile.dynamodb_overhead_bytes_per_item
+        return sum(self.table(n).item_count() * per_item for n in names)
+
+    def stored_bytes(self, table_names: Optional[Iterable[str]] = None) -> int:
+        """Total billable storage: raw data plus overhead (``s(D, I)``)."""
+        return self.raw_bytes(table_names) + self.overhead_bytes(table_names)
+
+    @property
+    def write_limiter(self) -> ThroughputLimiter:
+        """The shared write-capacity server (exposed for saturation tests)."""
+        return self._write_limiter
+
+    @property
+    def read_limiter(self) -> ThroughputLimiter:
+        """The shared read-capacity server."""
+        return self._read_limiter

@@ -1,0 +1,141 @@
+"""Price books for commercial cloud providers.
+
+Table 3 of the paper lists the AWS Asia Pacific (Singapore) prices as of
+September-October 2012; those constants are reproduced verbatim in
+:data:`AWS_SINGAPORE`.  Table 1 observes that Google and Microsoft offer
+service-for-service equivalents, so the cost model is parametric in a
+:class:`PriceBook`; we ship plausible 2012-era books for both so the
+"applicability to other cloud platforms" claim (§3) can be exercised.
+
+The SimpleDB fields support the Tables 7-8 comparison with the paper's
+earlier SimpleDB-backed system [8] (its index storage price, $0.275 per
+GB-month, appears in Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Unit prices for one provider/region (the §7.2 cost components).
+
+    Attribute names follow the paper's notation: ``st_*`` is the file
+    store, ``idx_*`` the index (key-value) store, ``vm_hour`` the virtual
+    machines, ``qs_request`` the queue service and ``egress_gb`` outbound
+    transfer.
+    """
+
+    provider: str
+    region: str
+    #: ``ST$m,GB`` — file storage, $ per GB-month.
+    st_month_gb: float
+    #: ``STput$`` — $ per file store PUT request.
+    st_put: float
+    #: ``STget$`` — $ per file store GET request.
+    st_get: float
+    #: ``IDX$m,GB`` — index storage, $ per GB-month.
+    idx_month_gb: float
+    #: ``IDXput$`` — $ per index store put.
+    idx_put: float
+    #: ``IDXget$`` — $ per index store get.
+    idx_get: float
+    #: ``VM$h`` — $ per instance-hour, keyed by instance type name.
+    vm_hour: Mapping[str, float] = field(default_factory=dict)
+    #: ``QS$`` — $ per queue service API request.
+    qs_request: float = 0.0
+    #: ``egress$GB`` — $ per GB transferred out of the cloud.
+    egress_gb: float = 0.0
+    #: Legacy key-value store (SimpleDB) prices, for the [8] comparison.
+    simpledb_month_gb: float = 0.0
+    simpledb_put: float = 0.0
+    simpledb_get: float = 0.0
+
+    def vm_hourly(self, type_name: str) -> float:
+        """Hourly price of an instance type; raises on unknown types."""
+        try:
+            return self.vm_hour[type_name]
+        except KeyError:
+            raise ConfigError(
+                "price book {}/{} has no price for instance type {!r}".format(
+                    self.provider, self.region, type_name)) from None
+
+
+#: Table 3 — "AWS Singapore costs as of October 2012", verbatim.
+AWS_SINGAPORE = PriceBook(
+    provider="aws",
+    region="ap-southeast-1",
+    st_month_gb=0.125,
+    st_put=0.000011,
+    st_get=0.0000011,
+    idx_month_gb=1.14,
+    idx_put=0.00000032,
+    idx_get=0.000000032,
+    vm_hour={"l": 0.34, "xl": 0.68},
+    qs_request=0.000001,
+    egress_gb=0.19,
+    # SimpleDB storage price from Table 7 ("Index, [8]": $0.275/GB-month);
+    # request prices model SimpleDB's machine-hour billing folded per
+    # request, roughly 4x DynamoDB's.
+    simpledb_month_gb=0.275,
+    simpledb_put=0.0000014,
+    simpledb_get=0.00000014,
+)
+
+#: A Google-cloud-like book (Cloud Storage / High Replication Datastore /
+#: Compute Engine / Task Queues, per Table 1), 2012-era ballpark prices.
+GOOGLE_CLOUD = PriceBook(
+    provider="google",
+    region="us-central",
+    st_month_gb=0.13,
+    st_put=0.00001,
+    st_get=0.000001,
+    idx_month_gb=0.24,
+    idx_put=0.0000001,
+    idx_get=0.00000007,
+    vm_hour={"l": 0.29, "xl": 0.58},
+    qs_request=0.000001,
+    egress_gb=0.12,
+    simpledb_month_gb=0.24,
+    simpledb_put=0.0000004,
+    simpledb_get=0.00000028,
+)
+
+#: A Windows-Azure-like book (BLOB Storage / Tables / Virtual Machines /
+#: Queues, per Table 1), 2012-era ballpark prices.
+WINDOWS_AZURE = PriceBook(
+    provider="azure",
+    region="east-asia",
+    st_month_gb=0.14,
+    st_put=0.0000001,
+    st_get=0.0000001,
+    idx_month_gb=0.14,
+    idx_put=0.0000001,
+    idx_get=0.0000001,
+    vm_hour={"l": 0.32, "xl": 0.64},
+    qs_request=0.0000001,
+    egress_gb=0.19,
+    simpledb_month_gb=0.14,
+    simpledb_put=0.0000004,
+    simpledb_get=0.0000004,
+)
+
+PRICE_BOOKS: Dict[str, PriceBook] = {
+    "aws": AWS_SINGAPORE,
+    "google": GOOGLE_CLOUD,
+    "azure": WINDOWS_AZURE,
+}
+
+
+def price_book(name: str) -> PriceBook:
+    """Look up a shipped price book by provider name."""
+    try:
+        return PRICE_BOOKS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown price book {!r}; known: {}".format(
+                name, sorted(PRICE_BOOKS))) from None

@@ -1,0 +1,59 @@
+"""The cloud provider bundle: one of each service over a shared simulator.
+
+A :class:`CloudProvider` is what the warehouse is deployed on: a fresh
+simulation environment, a meter, and instances of S3, DynamoDB, SimpleDB,
+EC2 and SQS all wired to them.  It corresponds to "an AWS account in one
+region" in the paper's deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.dynamodb import DynamoDB
+from repro.cloud.ec2 import EC2
+from repro.cloud.pricing_catalog import AWS_SINGAPORE, PriceBook
+from repro.cloud.s3 import S3
+from repro.cloud.simpledb import SimpleDB
+from repro.cloud.sqs import SQS
+from repro.config import DEFAULT_PROFILE, PerformanceProfile
+from repro.sim import Environment, Meter
+
+
+class CloudProvider:
+    """A full simulated cloud: environment + meter + the five services.
+
+    Parameters
+    ----------
+    profile:
+        Performance calibration (latencies, throughputs, CPU costs).
+    price_book:
+        Unit prices used by the cost model for this provider.
+    env, meter:
+        Optional pre-built environment/meter (e.g. to share a simulation
+        across several providers); fresh ones are created by default.
+    """
+
+    def __init__(self,
+                 profile: Optional[PerformanceProfile] = None,
+                 price_book: Optional[PriceBook] = None,
+                 env: Optional[Environment] = None,
+                 meter: Optional[Meter] = None) -> None:
+        self.profile = profile or DEFAULT_PROFILE
+        self.price_book = price_book or AWS_SINGAPORE
+        self.env = env or Environment()
+        self.meter = meter or Meter()
+        self.s3 = S3(self.env, self.meter, self.profile)
+        self.dynamodb = DynamoDB(self.env, self.meter, self.profile)
+        self.simpledb = SimpleDB(self.env, self.meter, self.profile)
+        self.ec2 = EC2(self.env, self.meter)
+        self.sqs = SQS(self.env, self.meter, self.profile)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.env.now
+
+    def __repr__(self) -> str:
+        return "<CloudProvider {}/{} t={:.3f}s>".format(
+            self.price_book.provider, self.price_book.region, self.env.now)

@@ -1,0 +1,222 @@
+"""Simulated Amazon Simple Queue Service (SQS).
+
+The paper's modules communicate exclusively through SQS queues (§3): the
+front end posts document-load requests and queries; loader and
+query-processor instances receive them; results are announced on a
+response queue.  Fault tolerance comes from SQS semantics: "if an
+instance fails to renew its lease on the message which had caused a task
+to start, the message becomes available again and another virtual
+instance will take over the job."
+
+This model implements:
+
+- named queues with at-least-once delivery;
+- visibility timeouts: a received message is invisible until deleted,
+  and reappears (with an incremented receive count) if its lease
+  expires;
+- lease renewal (``change_visibility``);
+- blocking receive (long polling);
+- per-request metering (``QS$`` prices every API request, §7.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.config import PerformanceProfile
+from repro.errors import NoSuchQueue, QueueError, ReceiptHandleInvalid
+from repro.sim import Environment, Meter, Store
+
+SERVICE = "sqs"
+
+
+@dataclass
+class Message:
+    """A queued message: opaque body plus delivery bookkeeping."""
+
+    message_id: str
+    body: Any
+    sent_at: float
+    receive_count: int = 0
+
+
+@dataclass
+class _InFlight:
+    """A received-but-not-deleted message and its lease deadline."""
+
+    message: Message
+    deadline: float
+
+
+@dataclass
+class _Queue:
+    name: str
+    visibility_timeout: float
+    store: Store
+    in_flight: Dict[str, _InFlight] = field(default_factory=dict)
+    sent_total: int = 0
+    redelivered_total: int = 0
+
+
+class SQS:
+    """The simulated queue service."""
+
+    def __init__(self, env: Environment, meter: Meter,
+                 profile: PerformanceProfile) -> None:
+        self._env = env
+        self._meter = meter
+        self._profile = profile
+        self._queues: Dict[str, _Queue] = {}
+        self._handle_ids = itertools.count(1)
+        self._message_ids = itertools.count(1)
+
+    # -- administration ---------------------------------------------------
+
+    def create_queue(self, name: str, visibility_timeout: float = 30.0,
+                     ) -> None:
+        """Create a queue with the given default visibility timeout."""
+        if name in self._queues:
+            raise QueueError("queue {!r} already exists".format(name))
+        if visibility_timeout <= 0:
+            raise QueueError("visibility timeout must be positive")
+        self._queues[name] = _Queue(
+            name=name, visibility_timeout=visibility_timeout,
+            store=Store(self._env))
+
+    def queue_names(self) -> List[str]:
+        """Names of all queues, sorted."""
+        return sorted(self._queues)
+
+    def _queue(self, name: str) -> _Queue:
+        try:
+            return self._queues[name]
+        except KeyError:
+            raise NoSuchQueue(name) from None
+
+    # -- data path ----------------------------------------------------------
+
+    def send(self, queue_name: str, body: Any) -> Generator[Any, Any, str]:
+        """Enqueue a message; returns its message id."""
+        queue = self._queue(queue_name)
+        yield self._env.timeout(self._profile.sqs_request_latency_s)
+        message = Message(
+            message_id="m-{:08d}".format(next(self._message_ids)),
+            body=body, sent_at=self._env.now)
+        queue.store.put(message)
+        queue.sent_total += 1
+        self._meter.record(self._env.now, SERVICE, "send_message")
+        return message.message_id
+
+    def receive(self, queue_name: str,
+                visibility_timeout: Optional[float] = None,
+                ) -> Generator[Any, Any, Tuple[Any, str]]:
+        """Receive the next message (blocking long poll).
+
+        Returns ``(body, receipt_handle)``.  The message stays invisible
+        for the visibility timeout; delete it before the lease expires or
+        it will be redelivered to another receiver.
+        """
+        queue = self._queue(queue_name)
+        yield self._env.timeout(self._profile.sqs_request_latency_s)
+        message: Message = yield queue.store.get()
+        message.receive_count += 1
+        handle = "rh-{:08d}".format(next(self._handle_ids))
+        timeout = (visibility_timeout if visibility_timeout is not None
+                   else queue.visibility_timeout)
+        record = _InFlight(message=message,
+                           deadline=self._env.now + timeout)
+        queue.in_flight[handle] = record
+        self._env.process(self._watchdog(queue, handle),
+                          name="sqs-watchdog-{}".format(handle))
+        self._meter.record(self._env.now, SERVICE, "receive_message")
+        return message.body, handle
+
+    def receive_if_available(self, queue_name: str,
+                             visibility_timeout: Optional[float] = None,
+                             ) -> Generator[Any, Any,
+                                            Optional[Tuple[Any, str]]]:
+        """Short-polling receive: returns None when the queue is empty.
+
+        The request is billed either way (real SQS charges for empty
+        receives too).  Workers use this to opportunistically batch
+        several pending messages without blocking on an empty queue.
+        """
+        queue = self._queue(queue_name)
+        yield self._env.timeout(self._profile.sqs_request_latency_s)
+        available, message = queue.store.try_get()
+        self._meter.record(self._env.now, SERVICE, "receive_message")
+        if not available:
+            return None
+        message.receive_count += 1
+        handle = "rh-{:08d}".format(next(self._handle_ids))
+        timeout = (visibility_timeout if visibility_timeout is not None
+                   else queue.visibility_timeout)
+        queue.in_flight[handle] = _InFlight(
+            message=message, deadline=self._env.now + timeout)
+        self._env.process(self._watchdog(queue, handle),
+                          name="sqs-watchdog-{}".format(handle))
+        return message.body, handle
+
+    def delete(self, queue_name: str, handle: str) -> Generator[Any, Any, None]:
+        """Acknowledge a message, removing it permanently."""
+        queue = self._queue(queue_name)
+        yield self._env.timeout(self._profile.sqs_request_latency_s)
+        if handle not in queue.in_flight:
+            raise ReceiptHandleInvalid(handle)
+        del queue.in_flight[handle]
+        self._meter.record(self._env.now, SERVICE, "delete_message")
+
+    def renew(self, queue_name: str, handle: str, extension: float,
+              ) -> Generator[Any, Any, None]:
+        """Extend a message lease by ``extension`` seconds from now."""
+        queue = self._queue(queue_name)
+        yield self._env.timeout(self._profile.sqs_request_latency_s)
+        record = queue.in_flight.get(handle)
+        if record is None:
+            raise ReceiptHandleInvalid(handle)
+        shortened = self._env.now + extension < record.deadline
+        record.deadline = self._env.now + extension
+        if shortened:
+            # The running watchdog sleeps until the *old* deadline; a
+            # shortened lease needs a fresh watchdog at the new one
+            # (whichever fires first requeues; the other finds the
+            # handle gone and exits).
+            self._env.process(self._watchdog(queue, handle),
+                              name="sqs-watchdog-renew-{}".format(handle))
+        self._meter.record(self._env.now, SERVICE, "change_visibility")
+
+    # -- lease expiry -----------------------------------------------------------
+
+    def _watchdog(self, queue: _Queue, handle: str,
+                  ) -> Generator[Any, Any, None]:
+        """Requeue the message if its lease expires before deletion."""
+        while True:
+            record = queue.in_flight.get(handle)
+            if record is None:
+                return  # deleted in time
+            remaining = record.deadline - self._env.now
+            if remaining > 1e-9:
+                yield self._env.timeout(remaining)
+                continue
+            # Lease expired: the message becomes visible again and
+            # another instance will take over the job (§3).
+            del queue.in_flight[handle]
+            queue.store.put(record.message)
+            queue.redelivered_total += 1
+            return
+
+    # -- inspection ----------------------------------------------------------------
+
+    def approximate_depth(self, queue_name: str) -> int:
+        """Visible messages currently waiting (excludes in-flight)."""
+        return len(self._queue(queue_name).store)
+
+    def in_flight_count(self, queue_name: str) -> int:
+        """Messages received but neither deleted nor redelivered yet."""
+        return len(self._queue(queue_name).in_flight)
+
+    def redelivered_count(self, queue_name: str) -> int:
+        """How many lease expiries caused redelivery (fault-tolerance)."""
+        return self._queue(queue_name).redelivered_total

@@ -1,0 +1,49 @@
+"""The monetary cost model of §7.
+
+Two complementary views, both present in the paper:
+
+- the **analytical model** (§7.3, :mod:`~repro.costs.model`): closed
+  formulas over data-, index- and query-determined metrics
+  (:mod:`~repro.costs.metrics`) and a provider price book
+  (:mod:`~repro.costs.pricing`, Table 3);
+- the **measured bill** (§8.3, :mod:`~repro.costs.estimator`): the fold
+  of the run's meter records over the same price book, broken down per
+  service (DynamoDB / S3 / EC2 / SQS / AWSDown) exactly as Table 6 and
+  Figure 12 present it.
+
+:mod:`~repro.costs.amortization` implements the Figure 13 study: after
+how many workload runs do the index's query-cost savings repay its
+build cost.
+"""
+
+from repro.costs.amortization import AmortizationStudy, amortization_series
+from repro.costs.estimator import CostBreakdown, phase_cost, query_cost
+from repro.costs.metrics import (DatasetMetrics, IndexMetrics, QueryMetrics)
+from repro.costs.model import (index_build_cost, monthly_storage_cost,
+                               query_cost_indexed, query_cost_no_index,
+                               result_retrieval_cost, upload_cost)
+from repro.costs.pricing import (AWS_SINGAPORE, GOOGLE_CLOUD, PriceBook,
+                                 WINDOWS_AZURE, price_book, render_table3)
+
+__all__ = [
+    "AWS_SINGAPORE",
+    "AmortizationStudy",
+    "CostBreakdown",
+    "DatasetMetrics",
+    "GOOGLE_CLOUD",
+    "IndexMetrics",
+    "PriceBook",
+    "QueryMetrics",
+    "WINDOWS_AZURE",
+    "amortization_series",
+    "index_build_cost",
+    "monthly_storage_cost",
+    "phase_cost",
+    "price_book",
+    "query_cost",
+    "query_cost_indexed",
+    "query_cost_no_index",
+    "render_table3",
+    "result_retrieval_cost",
+    "upload_cost",
+]

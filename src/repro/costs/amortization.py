@@ -1,0 +1,57 @@
+"""Index cost amortization (§8.3, Figure 13).
+
+"For an indexing strategy I and workload W, we term *benefit* of I for W
+the difference between the monetary cost to answer W using no index,
+and the cost to answer W based on the index built according to I.  At
+each run of W, we 'save' this benefit, whereas we had to pay a certain
+cost to build I."  Figure 13 plots ``runs x benefit(I, W) -
+buildingCost(I)`` against the number of runs; the index has amortised
+once the curve crosses zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class AmortizationStudy:
+    """One strategy's amortisation inputs and derived quantities."""
+
+    strategy_name: str
+    #: ``ci$(D, I)`` — the cost paid to build the index.
+    build_cost: float
+    #: Cost of one workload run without any index.
+    workload_cost_no_index: float
+    #: Cost of one workload run using the index.
+    workload_cost_indexed: float
+
+    @property
+    def benefit_per_run(self) -> float:
+        """``benefit(I, W)`` — saved per workload run."""
+        return self.workload_cost_no_index - self.workload_cost_indexed
+
+    def net_value(self, runs: int) -> float:
+        """``runs x benefit(I, W) - buildingCost(I)`` (Figure 13's y)."""
+        return runs * self.benefit_per_run - self.build_cost
+
+    @property
+    def break_even_runs(self) -> int:
+        """Smallest run count at which the net value is >= 0.
+
+        Raises :class:`ValueError` when the benefit per run is not
+        positive (the index never pays for itself).
+        """
+        if self.benefit_per_run <= 0:
+            raise ValueError(
+                "strategy {} never amortises (benefit {:.6f} <= 0)".format(
+                    self.strategy_name, self.benefit_per_run))
+        return max(0, math.ceil(self.build_cost / self.benefit_per_run))
+
+
+def amortization_series(study: AmortizationStudy, max_runs: int = 20,
+                        ) -> List[Tuple[int, float]]:
+    """The Figure 13 series: ``[(runs, net value)]`` for 0..max_runs."""
+    return [(runs, study.net_value(runs)) for runs in range(max_runs + 1)]

@@ -1,0 +1,121 @@
+"""The §7.1 metrics: data-, index- and query-determined quantities.
+
+Every symbol in the paper's formulas appears here under a readable name:
+
+=====================  ==========================================
+``|D|``                :attr:`DatasetMetrics.documents`
+``s(D)``               :attr:`DatasetMetrics.size_gb`
+``|op(D, I)|``         :attr:`IndexMetrics.put_operations`
+``tidx(D, I)``         :attr:`IndexMetrics.build_hours`
+``sr(D, I)``           :attr:`IndexMetrics.raw_gb`
+``ovh(D, I)``          :attr:`IndexMetrics.overhead_gb`
+``s(D, I)``            :attr:`IndexMetrics.stored_gb`
+``|r(q)|``             :attr:`QueryMetrics.result_gb`
+``|op(q, D, I)|``      :attr:`QueryMetrics.get_operations`
+``|Dq_I|``             :attr:`QueryMetrics.documents_fetched`
+``pt`` / ``ptq``       :attr:`QueryMetrics.processing_hours`
+=====================  ==========================================
+
+Constructors lift the warehouse's measured reports into metric records,
+so the analytical formulas (§7.3) can be evaluated on real runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024.0 ** 3
+
+
+@dataclass(frozen=True)
+class DatasetMetrics:
+    """Data-dependent metrics: ``|D|`` and ``s(D)``."""
+
+    documents: int
+    size_bytes: int
+
+    @property
+    def size_gb(self) -> float:
+        """``s(D)`` in GB."""
+        return self.size_bytes / GB
+
+    @staticmethod
+    def of_corpus(corpus) -> "DatasetMetrics":
+        return DatasetMetrics(documents=len(corpus),
+                              size_bytes=corpus.total_bytes)
+
+
+@dataclass(frozen=True)
+class IndexMetrics:
+    """Data- and index-determined metrics (§7.1)."""
+
+    strategy_name: str
+    #: ``|op(D, I)|`` — put requests needed to store the index.
+    put_operations: int
+    #: ``tidx(D, I)`` in hours (first message retrieved → last deleted).
+    build_hours: float
+    #: Number of loader instances that ran (the §7.3 VM term is
+    #: ``VM$h x tidx x instances`` — Table 6 uses 8 L instances).
+    instances: int
+    instance_type: str
+    raw_bytes: int
+    overhead_bytes: int
+
+    @property
+    def raw_gb(self) -> float:
+        """``sr(D, I)``."""
+        return self.raw_bytes / GB
+
+    @property
+    def overhead_gb(self) -> float:
+        """``ovh(D, I)``."""
+        return self.overhead_bytes / GB
+
+    @property
+    def stored_gb(self) -> float:
+        """``s(D, I) = sr(D, I) + ovh(D, I)``."""
+        return (self.raw_bytes + self.overhead_bytes) / GB
+
+    @staticmethod
+    def of_report(report) -> "IndexMetrics":
+        """Lift an :class:`~repro.warehouse.warehouse.IndexBuildReport`."""
+        return IndexMetrics(
+            strategy_name=report.strategy_name,
+            put_operations=report.puts,
+            build_hours=report.total_s / 3600.0,
+            instances=report.instances,
+            instance_type=report.instance_type,
+            raw_bytes=report.raw_bytes,
+            overhead_bytes=report.overhead_bytes)
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Data-, index- and query-determined metrics (§7.1)."""
+
+    query_name: str
+    #: ``|r(q)|`` in bytes.
+    result_bytes: int
+    #: ``|op(q, D, I)|`` — index get operations (0 without an index).
+    get_operations: int
+    #: ``|Dq_I|`` — documents retrieved from the file store.
+    documents_fetched: int
+    #: ``pt`` / ``ptq`` in hours (message retrieved → deleted).
+    processing_hours: float
+    instance_type: str
+
+    @property
+    def result_gb(self) -> float:
+        """``|r(q)|`` in GB."""
+        return self.result_bytes / GB
+
+    @staticmethod
+    def of_execution(execution) -> "QueryMetrics":
+        """Lift a :class:`~repro.warehouse.warehouse.QueryExecution`."""
+        return QueryMetrics(
+            query_name=execution.name,
+            result_bytes=execution.result_bytes,
+            get_operations=execution.index_gets,
+            documents_fetched=execution.documents_fetched,
+            processing_hours=execution.processing_s / 3600.0,
+            instance_type=execution.instance_type)

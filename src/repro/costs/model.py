@@ -1,0 +1,96 @@
+"""The §7.3 cost formulas, implemented verbatim.
+
+Each function mirrors one boxed formula of the paper; symbol-for-symbol
+correspondences are given in the docstrings.  All results are dollars.
+"""
+
+from __future__ import annotations
+
+from repro.costs.metrics import DatasetMetrics, IndexMetrics, QueryMetrics
+from repro.costs.pricing import PriceBook
+
+
+def upload_cost(book: PriceBook, dataset: DatasetMetrics) -> float:
+    """``ud$(D) = STput$ x |D| + QS$ x |D|``
+
+    One file store PUT and one queue message per document.
+    """
+    return (book.st_put * dataset.documents
+            + book.qs_request * dataset.documents)
+
+
+def index_build_cost(book: PriceBook, dataset: DatasetMetrics,
+                     index: IndexMetrics) -> float:
+    """``ci$(D, I) = ud$(D) + IDXput$ x |op(D, I)| + STget$ x |D|
+    + VM$h x tidx(D, I) + QS$ x 2 x |D|``
+
+    "We need two queue service requests for each document: the first
+    obtains the URI of the document that needs to be processed, while
+    the second deletes the message from the queue."  The VM term is per
+    running instance (Table 6 is measured on 8 L instances).
+    """
+    vm_hourly = book.vm_hourly(index.instance_type)
+    return (upload_cost(book, dataset)
+            + book.idx_put * index.put_operations
+            + book.st_get * dataset.documents
+            + vm_hourly * index.build_hours * index.instances
+            + book.qs_request * 2 * dataset.documents)
+
+
+def monthly_storage_cost(book: PriceBook, dataset: DatasetMetrics,
+                         index: IndexMetrics) -> float:
+    """``st$m(D, I) = ST$m,GB x s(D) + IDX$m,GB x s(D, I)``"""
+    return (book.st_month_gb * dataset.size_gb
+            + book.idx_month_gb * index.stored_gb)
+
+
+def data_only_storage_cost(book: PriceBook, dataset: DatasetMetrics) -> float:
+    """File-store rent alone (the Figure 8 'XML data size' reference)."""
+    return book.st_month_gb * dataset.size_gb
+
+
+def index_only_storage_cost(book: PriceBook, index: IndexMetrics) -> float:
+    """Index-store rent alone (the Figure 8 cost axis)."""
+    return book.idx_month_gb * index.stored_gb
+
+
+def result_retrieval_cost(book: PriceBook, query: QueryMetrics) -> float:
+    """``rq$(q) = STget$ + egress$GB x |r(q)| + QS$ x 3``
+
+    "Three queue service requests are issued: the first one sends the
+    query, the second one retrieves the reference to the query results,
+    and the third one deletes the message retrieved by the second
+    request."
+    """
+    return (book.st_get
+            + book.egress_gb * query.result_gb
+            + book.qs_request * 3)
+
+
+def query_cost_no_index(book: PriceBook, query: QueryMetrics,
+                        dataset: DatasetMetrics) -> float:
+    """``cq$(q, D) = rq$(q) + STget$ x |D| + STput$
+    + VM$h x pt(q, D) + QS$ x 3``
+
+    Without an index every document is read from the file store; the
+    processor side issues three more queue requests (receive query,
+    send response, delete query).
+    """
+    vm_hourly = book.vm_hourly(query.instance_type)
+    return (result_retrieval_cost(book, query)
+            + book.st_get * dataset.documents
+            + book.st_put
+            + vm_hourly * query.processing_hours
+            + book.qs_request * 3)
+
+
+def query_cost_indexed(book: PriceBook, query: QueryMetrics) -> float:
+    """``cq$(q, D, I, Dq_I) = rq$(q) + IDXget$ x |op(q, D, I)|
+    + STget$ x |Dq_I| + STput$ + VM$h x ptq(q, D, I, Dq_I) + QS$ x 3``"""
+    vm_hourly = book.vm_hourly(query.instance_type)
+    return (result_retrieval_cost(book, query)
+            + book.idx_get * query.get_operations
+            + book.st_get * query.documents_fetched
+            + book.st_put
+            + vm_hourly * query.processing_hours
+            + book.qs_request * 3)

@@ -1,0 +1,40 @@
+"""Price books (Table 3) and their rendering.
+
+The books themselves live in :mod:`repro.cloud.pricing_catalog` (they
+describe providers); this module re-exports them for the cost model and
+renders Table 3 in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.pricing_catalog import (AWS_SINGAPORE, GOOGLE_CLOUD,
+                                         PRICE_BOOKS, PriceBook,
+                                         WINDOWS_AZURE, price_book)
+
+__all__ = [
+    "AWS_SINGAPORE",
+    "GOOGLE_CLOUD",
+    "PRICE_BOOKS",
+    "PriceBook",
+    "WINDOWS_AZURE",
+    "price_book",
+    "render_table3",
+]
+
+
+def render_table3(book: PriceBook = AWS_SINGAPORE) -> str:
+    """Render a price book in the layout of the paper's Table 3."""
+    rows = [
+        ("ST$m,GB", book.st_month_gb, "IDXst$m,GB", book.idx_month_gb),
+        ("STput$", book.st_put, "IDXput$", book.idx_put),
+        ("STget$", book.st_get, "IDXget$", book.idx_get),
+        ("VM$h,l", book.vm_hour.get("l", float("nan")), "QS$",
+         book.qs_request),
+        ("VM$h,xl", book.vm_hour.get("xl", float("nan")), "egress$GB",
+         book.egress_gb),
+    ]
+    lines = ["Table 3: {} {} costs".format(book.provider, book.region)]
+    for left_name, left_value, right_name, right_value in rows:
+        lines.append("{:<10} = ${:<12.10g} {:<12} = ${:.10g}".format(
+            left_name, left_value, right_name, right_value))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Single-site XML query engine.
+
+§3: "Our framework includes 'standard' XML query evaluation [...] done
+by means of a single-site XML processor, which one can choose freely"
+(the paper uses ViP2P's Java engine).  This subpackage is our processor:
+
+- :mod:`~repro.engine.evaluator` — tree-pattern evaluation over a
+  :class:`~repro.xmldb.model.Document` (selections, projections,
+  structural navigation), producing result rows;
+- :mod:`~repro.engine.structural_join` — the stack-based binary
+  structural join of Al-Khalifa et al. [3];
+- :mod:`~repro.engine.twigstack` — the holistic twig join of Bruno et
+  al. [7], specialised to the existence test the look-ups need
+  ("identify the relevant documents", §5.3/§5.4);
+- :mod:`~repro.engine.value_join` — hash-based value joins across tree
+  pattern results (§5.5);
+- :mod:`~repro.engine.operators` — small physical-plan operators with
+  row accounting, used by the look-up plans (Figure 5) to charge plan
+  execution CPU.
+"""
+
+from repro.engine.evaluator import (EvalRow, evaluate_pattern, evaluate_query,
+                                    pattern_matches)
+from repro.engine.structural_join import stack_tree_join
+from repro.engine.twigstack import HolisticTwigJoin
+from repro.engine.twigstack_full import TwigStack
+from repro.engine.value_join import hash_value_join, join_query_rows
+
+__all__ = [
+    "EvalRow",
+    "HolisticTwigJoin",
+    "TwigStack",
+    "evaluate_pattern",
+    "evaluate_query",
+    "hash_value_join",
+    "join_query_rows",
+    "pattern_matches",
+    "stack_tree_join",
+]

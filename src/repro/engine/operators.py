@@ -1,0 +1,133 @@
+"""Minimal physical-plan operators with row accounting.
+
+The look-up plans (Figure 5: projections, intersections, semi-joins
+feeding a holistic twig join) are assembled from these operators.  They
+run in ordinary Python, but every row that flows through an operator is
+counted in a shared :class:`PlanStats`; the query processor converts the
+count into simulated CPU time ("Lookup - Plan execution" in Figures
+9b/9c) via ``PerformanceProfile.plan_ecu_s_per_row``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set, TypeVar
+
+Row = TypeVar("Row")
+Key = TypeVar("Key")
+
+
+class PlanStats:
+    """Shared accounting for one plan execution."""
+
+    def __init__(self) -> None:
+        self.rows_processed = 0
+        self.operator_rows: Dict[str, int] = {}
+
+    def charge(self, operator: str, rows: int) -> None:
+        """Record ``rows`` flowing through ``operator``."""
+        self.rows_processed += rows
+        self.operator_rows[operator] = \
+            self.operator_rows.get(operator, 0) + rows
+
+
+class Operator:
+    """Base class: a materialising plan node."""
+
+    name = "operator"
+
+    def __init__(self, stats: PlanStats) -> None:
+        self.stats = stats
+
+    def _account(self, rows: Sequence) -> Sequence:
+        self.stats.charge(self.name, len(rows))
+        return rows
+
+
+class Scan(Operator):
+    """Leaf node: materialise an input collection."""
+
+    name = "scan"
+
+    def execute(self, rows: Iterable[Row]) -> List[Row]:
+        """Run the operator, counting consumed rows."""
+        return list(self._account(list(rows)))
+
+
+class Project(Operator):
+    """Apply a per-row function (e.g. extract the URI column)."""
+
+    name = "project"
+
+    def execute(self, rows: Iterable[Row],
+                fn: Callable[[Row], Key]) -> List[Key]:
+        """Run the operator, counting consumed rows."""
+        materialised = list(rows)
+        self._account(materialised)
+        return [fn(row) for row in materialised]
+
+
+class Filter(Operator):
+    """Keep rows satisfying a predicate (e.g. path regex matching)."""
+
+    name = "filter"
+
+    def execute(self, rows: Iterable[Row],
+                predicate: Callable[[Row], bool]) -> List[Row]:
+        """Run the operator, counting consumed rows."""
+        materialised = list(rows)
+        self._account(materialised)
+        return [row for row in materialised if predicate(row)]
+
+
+class Distinct(Operator):
+    """Remove duplicates, preserving first-seen order."""
+
+    name = "distinct"
+
+    def execute(self, rows: Iterable[Row]) -> List[Row]:
+        """Run the operator, counting consumed rows."""
+        materialised = list(rows)
+        self._account(materialised)
+        seen: Set[Row] = set()
+        out: List[Row] = []
+        for row in materialised:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+
+class HashIntersect(Operator):
+    """Intersect several row sets (the LU look-up's URI intersection)."""
+
+    name = "intersect"
+
+    def execute(self, inputs: Sequence[Iterable[Row]]) -> List[Row]:
+        """Run the operator, counting consumed rows."""
+        if not inputs:
+            return []
+        materialised = [list(rows) for rows in inputs]
+        for rows in materialised:
+            self._account(rows)
+        common: Set[Row] = set(materialised[0])
+        for rows in materialised[1:]:
+            common &= set(rows)
+        # Preserve first input's order for determinism.
+        return [row for row in dict.fromkeys(materialised[0]) if row in common]
+
+
+class SemiJoin(Operator):
+    """Keep left rows whose key appears on the right (the 2LUPI
+    reduction ``R2 ⋉ R1(URI)``, §5.4)."""
+
+    name = "semijoin"
+
+    def execute(self, left: Iterable[Row], right: Iterable[Key],
+                key: Callable[[Row], Key]) -> List[Row]:
+        """Run the operator, counting consumed rows."""
+        left_rows = list(left)
+        right_keys = list(right)
+        self._account(left_rows)
+        self._account(right_keys)
+        allowed = set(right_keys)
+        return [row for row in left_rows if key(row) in allowed]

@@ -1,0 +1,85 @@
+"""Stack-based binary structural join (Al-Khalifa et al., ICDE 2002 [3]).
+
+``stack_tree_join`` takes two lists of structural identifiers, both
+sorted by ``pre`` (document order), and returns every
+(ancestor, descendant) — or (parent, child) — pair between them in a
+single merge pass using a stack of open ancestors.  The paper's
+identifiers were chosen precisely to enable this family of joins, and
+the LUI strategy stores ID lists pre-sorted so the join can run
+"without expensive sort operators after the look-up" (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.xmldb.ids import NodeID
+
+
+def _check_sorted(ids: Sequence[NodeID], side: str) -> None:
+    for previous, current in zip(ids, ids[1:]):
+        if current.pre <= previous.pre:
+            raise EvaluationError(
+                "{} list is not sorted by pre ({} after {})".format(
+                    side, current, previous))
+
+
+def stack_tree_join(ancestors: Sequence[NodeID],
+                    descendants: Sequence[NodeID],
+                    parent_child: bool = False,
+                    ) -> List[Tuple[NodeID, NodeID]]:
+    """All (ancestor, descendant) pairs between two sorted ID lists.
+
+    With ``parent_child=True`` only direct parent/child pairs are
+    returned.  Output is sorted by (descendant.pre, ancestor.pre).
+    Both inputs must be sorted by ``pre``; a single pass with a stack of
+    currently-open ancestor candidates yields O(input + output) time.
+    """
+    _check_sorted(ancestors, "ancestor")
+    _check_sorted(descendants, "descendant")
+    result: List[Tuple[NodeID, NodeID]] = []
+    stack: List[NodeID] = []
+    a_index = 0
+    for descendant in descendants:
+        # Open every ancestor candidate that starts before this node.
+        while a_index < len(ancestors) and ancestors[a_index].pre < descendant.pre:
+            candidate = ancestors[a_index]
+            # Close candidates whose subtree ended before this one starts.
+            while stack and not stack[-1].is_ancestor_of(candidate):
+                stack.pop()
+            stack.append(candidate)
+            a_index += 1
+        # Close candidates that do not contain the current descendant.
+        while stack and not stack[-1].is_ancestor_of(descendant):
+            stack.pop()
+        for ancestor in stack:
+            if not parent_child or ancestor.depth + 1 == descendant.depth:
+                result.append((ancestor, descendant))
+    return result
+
+
+def semi_join_descendants(ancestors: Sequence[NodeID],
+                          descendants: Sequence[NodeID],
+                          parent_child: bool = False) -> List[NodeID]:
+    """Descendants having at least one ancestor in ``ancestors``
+    (duplicate-free, document order) — the existence-projected join."""
+    seen = set()
+    out: List[NodeID] = []
+    for _, descendant in stack_tree_join(ancestors, descendants, parent_child):
+        if descendant not in seen:
+            seen.add(descendant)
+            out.append(descendant)
+    out.sort(key=lambda node_id: node_id.pre)
+    return out
+
+
+def semi_join_ancestors(ancestors: Sequence[NodeID],
+                        descendants: Sequence[NodeID],
+                        parent_child: bool = False) -> List[NodeID]:
+    """Ancestors having at least one descendant in ``descendants``
+    (duplicate-free, document order)."""
+    seen = set()
+    for ancestor, _ in stack_tree_join(ancestors, descendants, parent_child):
+        seen.add(ancestor)
+    return sorted(seen, key=lambda node_id: node_id.pre)

@@ -1,0 +1,124 @@
+"""Holistic twig join over sorted structural-ID streams (Bruno et al.,
+SIGMOD 2002 [7]), specialised to the existence test the look-ups need.
+
+In the paper, the holistic twig join consumes, for each query node, the
+stream of structural IDs retrieved from the LUI index (already sorted by
+``pre``, §5.3) and decides *per document* whether the twig pattern has a
+match — the matching documents' URIs are what the look-up returns
+(§5.3, §5.4).  Output tuples are never materialised at this stage; the
+actual result extraction happens later on the retrieved documents.
+
+We therefore implement the join as a bottom-up holistic pass: for each
+pattern node ``q`` (processed leaves-first), compute the set ``OK(q)``
+of stream IDs that root a full match of the subtree of ``q``; the
+document matches iff ``OK(root)`` is non-empty.  Each ``OK`` computation
+is a single merge over the two sorted lists involved (descendants of a
+node form a contiguous ``pre`` run), so the whole join is
+O(Σ|stream| · fan-out) with no per-pair enumeration — the holistic
+property that distinguishes [7] from cascades of binary joins.
+Sortedness of the inputs is *required*, which is exactly why LUI keeps
+IDs sorted in the index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.xmldb.ids import NodeID
+
+
+class _Stream:
+    """A sorted ID stream with contiguous-run descendant search."""
+
+    def __init__(self, ids: Sequence[NodeID], label: str) -> None:
+        self.ids = list(ids)
+        self._pres = [node_id.pre for node_id in self.ids]
+        for previous, current in zip(self.ids, self.ids[1:]):
+            if current.pre <= previous.pre:
+                raise EvaluationError(
+                    "stream for {!r} is not sorted by pre".format(label))
+
+    def has_structural_child(self, parent: NodeID, axis: Axis) -> bool:
+        """Whether some stream ID is a descendant (or child) of ``parent``.
+
+        Descendants of ``parent`` occupy a contiguous run of the
+        pre-sorted stream starting right after ``parent.pre``.
+        """
+        index = bisect.bisect_right(self._pres, parent.pre)
+        while index < len(self.ids):
+            candidate = self.ids[index]
+            if candidate.post > parent.post:
+                return False  # subtree run ended
+            if axis is Axis.DESCENDANT or candidate.depth == parent.depth + 1:
+                return True
+            index += 1
+        return False
+
+
+class HolisticTwigJoin:
+    """Existence-checking holistic twig join for one tree pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The tree pattern whose structure is being tested.
+    streams:
+        For every pattern node, the document's sorted ID list for that
+        node's key.  Missing or empty streams mean no match.
+        Keys are the *identities* of the pattern nodes.
+    """
+
+    def __init__(self, pattern: TreePattern,
+                 streams: Mapping[int, Sequence[NodeID]]) -> None:
+        self.pattern = pattern
+        self._streams: Dict[int, _Stream] = {}
+        for node in pattern.iter_nodes():
+            ids = streams.get(id(node))
+            self._streams[id(node)] = _Stream(ids or [], node.label)
+        self._ok: Optional[Dict[int, List[NodeID]]] = None
+
+    # -- core ---------------------------------------------------------------
+
+    def _compute(self) -> Dict[int, List[NodeID]]:
+        """Bottom-up OK sets: IDs rooting a full subtree match."""
+        if self._ok is not None:
+            return self._ok
+        ok: Dict[int, List[NodeID]] = {}
+        for node in self._postorder(self.pattern.root):
+            stream = self._streams[id(node)]
+            if node.is_leaf:
+                ok[id(node)] = list(stream.ids)
+                continue
+            child_streams = [(_Stream(ok[id(child)], child.label), child.axis)
+                             for child in node.children]
+            survivors: List[NodeID] = []
+            for candidate in stream.ids:
+                if all(child_stream.has_structural_child(candidate, axis)
+                       for child_stream, axis in child_streams):
+                    survivors.append(candidate)
+            ok[id(node)] = survivors
+        self._ok = ok
+        return ok
+
+    def _postorder(self, node: PatternNode):
+        for child in node.children:
+            yield from self._postorder(child)
+        yield node
+
+    # -- results -------------------------------------------------------------
+
+    def matches(self) -> bool:
+        """Whether the document contains at least one full twig match."""
+        return bool(self._compute()[id(self.pattern.root)])
+
+    def matching_roots(self) -> List[NodeID]:
+        """IDs of pattern-root occurrences with a full match, in
+        document order."""
+        return list(self._compute()[id(self.pattern.root)])
+
+    def rows_processed(self) -> int:
+        """Total stream entries consumed — drives the plan-CPU charge."""
+        return sum(len(stream.ids) for stream in self._streams.values())

@@ -1,0 +1,283 @@
+"""Full TwigStack: path-solution enumeration and twig-match merging
+(Bruno, Koudas, Srivastava — "Holistic twig joins: optimal XML pattern
+matching", SIGMOD 2002 [7]).
+
+:class:`~repro.engine.twigstack.HolisticTwigJoin` implements the
+*existence* specialisation the look-ups need.  This module implements
+the original algorithm in full:
+
+- **Phase 1 (TwigStack proper)**: each pattern node owns a stream of
+  structural IDs sorted by ``pre`` and a stack of currently-open
+  elements chained to their parent stacks; ``getNext`` returns the next
+  stream head guaranteed to be *extensible* (it has a descendant match
+  for every branch below it), heads are pushed with pointers into the
+  parent stack, and every time a **leaf** is pushed the chain of stack
+  pointers is unwound into *root-to-leaf path solutions*.
+
+- **Phase 2 (merge)**: path solutions are merged into full twig
+  matches.  TwigStack is optimal for ancestor-descendant edges only;
+  as in the original paper, parent-child edges are enforced during the
+  merge (here: a depth check on every edge), which keeps the output
+  exactly the set of twig embeddings.
+
+The merge enumerates *all* embeddings (pattern node → stream ID maps),
+which the test suite validates against a brute-force oracle; the
+look-up paths keep using the cheaper existence join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.xmldb.ids import NodeID
+
+_INFINITY = float("inf")
+
+
+class _Stream:
+    """A cursor over a pre-sorted ID list."""
+
+    def __init__(self, ids: Sequence[NodeID], label: str) -> None:
+        self.ids = list(ids)
+        for previous, current in zip(self.ids, self.ids[1:]):
+            if current.pre <= previous.pre:
+                raise EvaluationError(
+                    "stream for {!r} is not sorted by pre".format(label))
+        self.position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.ids)
+
+    @property
+    def head(self) -> NodeID:
+        return self.ids[self.position]
+
+    @property
+    def next_l(self) -> float:
+        """nextL: the head's pre, or infinity when exhausted."""
+        return self.head.pre if not self.exhausted else _INFINITY
+
+    def advance(self) -> NodeID:
+        value = self.head
+        self.position += 1
+        return value
+
+
+def _strictly_precedes(x: NodeID, y: NodeID) -> bool:
+    """x's subtree ends before y starts (disjoint, document order).
+
+    The original TwigStack compares region-encoded positions
+    (``RightPos(x) < LeftPos(y)``) which live on one scale; with
+    (pre, post) *ranks* the two components are separate scales, so the
+    disjoint-precedes test is ``x.pre < y.pre ∧ x.post < y.post``
+    (an ancestor would have the larger post, a descendant the larger
+    pre)."""
+    return x.pre < y.pre and x.post < y.post
+
+
+@dataclass
+class _StackEntry:
+    """One open element plus its pointer into the parent node's stack."""
+
+    node_id: NodeID
+    parent_index: int  # index of the covering entry in the parent stack
+
+
+class TwigStack:
+    """The full two-phase holistic twig join for one tree pattern.
+
+    Parameters mirror :class:`~repro.engine.twigstack.HolisticTwigJoin`:
+    ``streams`` maps ``id(pattern_node)`` to that node's pre-sorted ID
+    list for one document.
+    """
+
+    def __init__(self, pattern: TreePattern,
+                 streams: Mapping[int, Sequence[NodeID]]) -> None:
+        self.pattern = pattern
+        self._nodes: List[PatternNode] = list(pattern.iter_nodes())
+        self._parent: Dict[int, Optional[PatternNode]] = {
+            id(pattern.root): None}
+        for node in self._nodes:
+            for child in node.children:
+                self._parent[id(child)] = node
+        self._streams: Dict[int, _Stream] = {
+            id(node): _Stream(streams.get(id(node)) or [], node.label)
+            for node in self._nodes}
+        self._stacks: Dict[int, List[_StackEntry]] = {
+            id(node): [] for node in self._nodes}
+        #: leaf node -> list of path solutions (tuples aligned with the
+        #: root-to-leaf node list).
+        self._solutions: Dict[int, List[Tuple[NodeID, ...]]] = {
+            id(node): [] for node in self._nodes if node.is_leaf}
+        self._root_to_node: Dict[int, List[PatternNode]] = {}
+        self._index_path(pattern.root, [])
+        self._ran = False
+
+    def _index_path(self, node: PatternNode,
+                    prefix: List[PatternNode]) -> None:
+        chain = prefix + [node]
+        self._root_to_node[id(node)] = chain
+        for child in node.children:
+            self._index_path(child, chain)
+
+    # -- phase 1: TwigStack --------------------------------------------------
+
+    def _leaves(self) -> List[PatternNode]:
+        return [node for node in self._nodes if node.is_leaf]
+
+    def _end(self) -> bool:
+        """end(q0): no leaf stream can produce further solutions."""
+        return all(self._streams[id(leaf)].exhausted
+                   for leaf in self._leaves())
+
+    def _branch_dead(self, node: PatternNode) -> bool:
+        """A branch is dead when every leaf stream below it is
+        exhausted: no further path solutions can come out of it, so
+        ``getNext`` must stop visiting it and let sibling branches
+        drain (the classical formulation livelocks here)."""
+        return all(self._streams[id(leaf)].exhausted
+                   for leaf in node.iter_nodes() if leaf.is_leaf)
+
+    def _get_next(self, node: PatternNode) -> PatternNode:
+        """getNext(q): the next node whose head is extensible."""
+        if node.is_leaf:
+            return node
+        children = [child for child in node.children
+                    if not self._branch_dead(child)]
+        for child in children:
+            deeper = self._get_next(child)
+            if deeper is not child:
+                return deeper
+        if not children:
+            return node  # caller's end()/exhaustion checks take over
+        n_min = min(children, key=lambda c: self._streams[id(c)].next_l)
+        n_max = max(children, key=lambda c: self._streams[id(c)].next_l)
+        own = self._streams[id(node)]
+        n_max_stream = self._streams[id(n_max)]
+        # Skip own heads whose subtree ends before n_max's head begins:
+        # they can never be an ancestor of it or of anything later.
+        while not own.exhausted and not n_max_stream.exhausted and \
+                _strictly_precedes(own.head, n_max_stream.head):
+            own.advance()
+        if own.next_l < self._streams[id(n_min)].next_l:
+            return node
+        return n_min
+
+    def _clean_stack(self, node: PatternNode, incoming: NodeID) -> None:
+        """Pop entries whose subtree ended before ``incoming`` starts."""
+        stack = self._stacks[id(node)]
+        while stack and _strictly_precedes(stack[-1].node_id, incoming):
+            stack.pop()
+
+    def _emit_path_solutions(self, leaf: PatternNode) -> None:
+        """Unwind stack pointers into path solutions for ``leaf``."""
+        chain = self._root_to_node[id(leaf)]
+        stacks = [self._stacks[id(n)] for n in chain]
+        leaf_entry = stacks[-1][-1]
+
+        def expand(level: int, max_index: int,
+                   ) -> Iterator[Tuple[NodeID, ...]]:
+            if level < 0:
+                yield ()
+                return
+            stack = stacks[level]
+            for index in range(max_index + 1):
+                entry = stack[index]
+                for prefix in expand(level - 1, entry.parent_index):
+                    yield prefix + (entry.node_id,)
+
+        for prefix in expand(len(chain) - 2, leaf_entry.parent_index):
+            self._solutions[id(leaf)].append(
+                prefix + (leaf_entry.node_id,))
+
+    def _run(self) -> None:
+        if self._ran:
+            return
+        self._ran = True
+        root = self.pattern.root
+        while not self._end():
+            node = self._get_next(root)
+            stream = self._streams[id(node)]
+            if stream.exhausted:
+                break  # every remaining head is inextensible
+            parent = self._parent[id(node)]
+            if parent is not None:
+                self._clean_stack(parent, stream.head)
+            if parent is None or self._stacks[id(parent)]:
+                self._clean_stack(node, stream.head)
+                parent_index = (len(self._stacks[id(parent)]) - 1
+                                if parent is not None else -1)
+                self._stacks[id(node)].append(
+                    _StackEntry(stream.advance(), parent_index))
+                if node.is_leaf:
+                    self._emit_path_solutions(node)
+                    self._stacks[id(node)].pop()
+            else:
+                stream.advance()
+
+    # -- phase 2: merge --------------------------------------------------------
+
+    def path_solutions(self) -> Dict[int, List[Tuple[NodeID, ...]]]:
+        """Per leaf (keyed by ``id(leaf_node)``), all root-to-leaf path
+        solutions, in emission order."""
+        self._run()
+        return self._solutions
+
+    def _candidates(self) -> Dict[int, List[NodeID]]:
+        """Per pattern node, the IDs appearing in any path solution
+        through it (sorted, deduplicated)."""
+        per_node: Dict[int, set] = {id(n): set() for n in self._nodes}
+        for leaf in self._leaves():
+            chain = self._root_to_node[id(leaf)]
+            for solution in self._solutions[id(leaf)]:
+                for node, node_id in zip(chain, solution):
+                    per_node[id(node)].add(node_id)
+        return {key: sorted(values, key=lambda n: n.pre)
+                for key, values in per_node.items()}
+
+    def _embeddings(self, node: PatternNode, node_id: NodeID,
+                    candidates: Dict[int, List[NodeID]],
+                    ) -> List[Dict[int, NodeID]]:
+        """All embeddings of ``node``'s subtree rooting at ``node_id``,
+        drawn from the path-solution candidate sets, axes verified
+        (parent-child via the depth check — the merge-phase filtering
+        the original paper prescribes for PC edges)."""
+        partial: List[Dict[int, NodeID]] = [{id(node): node_id}]
+        for child in node.children:
+            child_embeddings: List[Dict[int, NodeID]] = []
+            for child_id in candidates[id(child)]:
+                if child.axis is Axis.CHILD:
+                    if not node_id.is_parent_of(child_id):
+                        continue
+                elif not node_id.is_ancestor_of(child_id):
+                    continue
+                child_embeddings.extend(
+                    self._embeddings(child, child_id, candidates))
+            if not child_embeddings:
+                return []
+            combined: List[Dict[int, NodeID]] = []
+            for done in partial:
+                for extra in child_embeddings:
+                    merged = dict(done)
+                    merged.update(extra)
+                    combined.append(merged)
+            partial = combined
+        return partial
+
+    def twig_matches(self) -> List[Dict[int, NodeID]]:
+        """All full twig embeddings (``id(pattern_node)`` → ID maps)."""
+        self._run()
+        candidates = self._candidates()
+        matches: List[Dict[int, NodeID]] = []
+        for root_id in candidates[id(self.pattern.root)]:
+            matches.extend(
+                self._embeddings(self.pattern.root, root_id, candidates))
+        return matches
+
+    def matches(self) -> bool:
+        """Existence: at least one full twig embedding."""
+        return bool(self.twig_matches())

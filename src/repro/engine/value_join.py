@@ -1,0 +1,122 @@
+"""Value joins across tree-pattern results (§5.5).
+
+"A query consisting of several tree patterns connected by a value join
+needs to be answered by combining tree pattern query results from
+different documents [...]: evaluate first each tree pattern
+individually, exploiting the index; then, apply the value joins on the
+tree pattern results thus obtained."
+
+The combination is a classic hash join on the joined variables' string
+values.  Patterns are folded left to right; each new pattern must be
+connected to the already-joined ones through at least one
+:class:`~repro.query.pattern.ValueJoin` (otherwise a warning-level
+cartesian product would be required — the workload never needs one, and
+we treat it as an error to surface mistakes early).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.errors import EvaluationError
+from repro.engine.evaluator import EvalRow
+from repro.query.pattern import Query, ValueJoin
+
+
+def hash_value_join(left_rows: Sequence[EvalRow],
+                    right_rows: Sequence[EvalRow],
+                    left_variable: str, right_variable: str,
+                    ) -> List[EvalRow]:
+    """Join two row sets on equality of two variables' values.
+
+    The smaller side is hashed; output rows concatenate projections and
+    merge variable bindings (provenance keeps the left row's URI when
+    the two differ — joined rows span documents).
+    """
+    build, probe = left_rows, right_rows
+    build_var, probe_var = left_variable, right_variable
+    swapped = False
+    if len(probe) < len(build):
+        build, probe = probe, build
+        build_var, probe_var = probe_var, build_var
+        swapped = True
+
+    table: Dict[str, List[EvalRow]] = defaultdict(list)
+    for row in build:
+        table[row.variable(build_var)].append(row)
+
+    joined: List[EvalRow] = []
+    for probe_row in probe:
+        for build_row in table.get(probe_row.variable(probe_var), ()):
+            # Restore original left/right order for stable projections.
+            if swapped:
+                left, right = probe_row, build_row
+            else:
+                left, right = build_row, probe_row
+            merged_vars = dict(left.variables)
+            merged_vars.update(dict(right.variables))
+            joined.append(EvalRow(
+                projections=left.projections + right.projections,
+                variables=tuple(sorted(merged_vars.items())),
+                uri=left.uri if left.uri == right.uri
+                else "{}+{}".format(left.uri, right.uri)))
+    return joined
+
+
+def join_query_rows(query: Query,
+                    per_pattern_rows: Sequence[Sequence[EvalRow]],
+                    ) -> List[EvalRow]:
+    """Fold all of a query's value joins over its per-pattern rows."""
+    if len(per_pattern_rows) != len(query.patterns):
+        raise EvaluationError(
+            "expected rows for {} patterns, got {}".format(
+                len(query.patterns), len(per_pattern_rows)))
+    if not query.joins:
+        if len(query.patterns) > 1:
+            raise EvaluationError(
+                "multi-pattern query without value joins")
+        return list(per_pattern_rows[0])
+
+    # Which pattern owns which variable.
+    owner: Dict[str, int] = {}
+    for index, pattern in enumerate(query.patterns):
+        for node in pattern.iter_nodes():
+            if node.variable is not None:
+                owner[node.variable] = index
+
+    joined_patterns = {0}
+    current = list(per_pattern_rows[0])
+    remaining: List[ValueJoin] = list(query.joins)
+    while remaining:
+        progressed = False
+        for join in list(remaining):
+            left_owner = owner[join.left_variable]
+            right_owner = owner[join.right_variable]
+            if left_owner in joined_patterns and right_owner in joined_patterns:
+                # Both sides already combined: apply as a filter.
+                current = [row for row in current
+                           if row.variable(join.left_variable)
+                           == row.variable(join.right_variable)]
+                remaining.remove(join)
+                progressed = True
+            elif left_owner in joined_patterns:
+                current = hash_value_join(
+                    current, list(per_pattern_rows[right_owner]),
+                    join.left_variable, join.right_variable)
+                joined_patterns.add(right_owner)
+                remaining.remove(join)
+                progressed = True
+            elif right_owner in joined_patterns:
+                current = hash_value_join(
+                    current, list(per_pattern_rows[left_owner]),
+                    join.right_variable, join.left_variable)
+                joined_patterns.add(left_owner)
+                remaining.remove(join)
+                progressed = True
+        if not progressed:
+            raise EvaluationError(
+                "value joins do not connect all patterns")
+    if len(joined_patterns) != len(query.patterns):
+        raise EvaluationError("value joins do not connect all patterns")
+    return current

@@ -1,0 +1,185 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Cloud-service errors mirror the
+error taxonomy of the real AWS services they simulate (e.g. conditional
+write failures, item-size limits, missing keys) because the warehouse
+code paths react to those errors exactly as a real deployment would.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel errors
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class SimulationDeadlock(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class ProcessInterrupted(SimulationError):
+    """A simulated process was interrupted while waiting on an event."""
+
+
+# --------------------------------------------------------------------------
+# Cloud service errors (mirroring AWS error semantics)
+# --------------------------------------------------------------------------
+
+
+class CloudServiceError(ReproError):
+    """Base class for simulated cloud-service errors."""
+
+
+class NoSuchBucket(CloudServiceError):
+    """An S3 operation referenced a bucket that does not exist."""
+
+
+class NoSuchKey(CloudServiceError):
+    """An S3 GET referenced an object key that does not exist."""
+
+
+class BucketAlreadyExists(CloudServiceError):
+    """An S3 CreateBucket used a name that is already taken."""
+
+
+class BucketNotEmpty(CloudServiceError):
+    """An S3 DeleteBucket targeted a bucket that still holds objects."""
+
+
+class TableError(CloudServiceError):
+    """Base class for key-value store (DynamoDB/SimpleDB) errors."""
+
+
+class NoSuchTable(TableError):
+    """An operation referenced a table/domain that does not exist."""
+
+
+class TableAlreadyExists(TableError):
+    """CreateTable used a name that is already taken."""
+
+
+class ItemTooLarge(TableError):
+    """An item exceeded the store's maximum item size (64 KB in DynamoDB)."""
+
+
+class AttributeTooLarge(TableError):
+    """An attribute value exceeded the store's per-attribute limit."""
+
+
+class TooManyAttributes(TableError):
+    """An item exceeded the store's maximum attribute count (SimpleDB: 256)."""
+
+
+class ValidationError(TableError):
+    """A request was malformed (missing key attribute, bad batch size...)."""
+
+
+class ThroughputExceeded(TableError):
+    """Provisioned throughput was exceeded and the request was throttled.
+
+    The simulated DynamoDB raises this only when a client disables
+    automatic retry/backoff; by default requests queue on the capacity
+    token bucket instead, accruing simulated latency.
+    """
+
+
+class QueueError(CloudServiceError):
+    """Base class for SQS errors."""
+
+
+class NoSuchQueue(QueueError):
+    """An operation referenced a queue that does not exist."""
+
+
+class ReceiptHandleInvalid(QueueError):
+    """A delete/renew used a stale receipt handle (lease already lost)."""
+
+
+class InstanceError(CloudServiceError):
+    """Base class for EC2 errors."""
+
+
+class NoSuchInstance(InstanceError):
+    """An operation referenced an instance id that does not exist."""
+
+
+class InstanceStateError(InstanceError):
+    """An operation was invalid for the instance's current state."""
+
+
+# --------------------------------------------------------------------------
+# XML substrate errors
+# --------------------------------------------------------------------------
+
+
+class XMLError(ReproError):
+    """Base class for XML model/parsing errors."""
+
+
+class XMLParseError(XMLError):
+    """The input was not well-formed XML."""
+
+
+class EncodingError(XMLError):
+    """A compact ID encoding could not be decoded."""
+
+
+# --------------------------------------------------------------------------
+# Query language and engine errors
+# --------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query language errors."""
+
+
+class PatternSyntaxError(QueryError):
+    """The textual tree-pattern syntax could not be parsed."""
+
+
+class PatternSemanticsError(QueryError):
+    """The pattern is syntactically valid but semantically ill-formed."""
+
+
+class EvaluationError(QueryError):
+    """The engine failed while evaluating a query."""
+
+
+# --------------------------------------------------------------------------
+# Indexing and warehouse errors
+# --------------------------------------------------------------------------
+
+
+class IndexingError(ReproError):
+    """Base class for indexing-strategy errors."""
+
+
+class UnknownStrategy(IndexingError):
+    """A strategy name was not found in the registry."""
+
+
+class LookupError_(IndexingError):
+    """An index look-up failed (named with a trailing underscore to avoid
+    shadowing the builtin :class:`LookupError`)."""
+
+
+class WarehouseError(ReproError):
+    """Base class for warehouse orchestration errors."""
+
+
+class DocumentNotLoaded(WarehouseError):
+    """A query referenced a document that was never loaded."""

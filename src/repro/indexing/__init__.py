@@ -1,0 +1,47 @@
+"""The paper's contribution: cloud-hosted XML indexing strategies (§5).
+
+Four strategies share one extraction framework:
+
+========  ==========================================================
+LU        key(n) → URI                       (:mod:`~repro.indexing.lu`)
+LUP       key(n) → URI + label paths         (:mod:`~repro.indexing.lup`)
+LUI       key(n) → URI + sorted (pre, post, depth) IDs
+                                             (:mod:`~repro.indexing.lui`)
+2LUPI     both LUP and LUI tables            (:mod:`~repro.indexing.two_lupi`)
+========  ==========================================================
+
+Each strategy is an :class:`~repro.indexing.base.IndexingStrategy`
+pairing an extraction function (document → index entries, Table 2) with
+a look-up planner (query pattern → matching URIs, §5.1-§5.4).  Entries
+are physically stored through an :class:`~repro.indexing.mapper.IndexStore`
+(DynamoDB or SimpleDB item mapping, §6), so the same strategies run on
+either backend — which is how the Tables 7-8 comparison is produced.
+
+Use :func:`~repro.indexing.registry.strategy` to obtain strategies by
+name, and ``ALL_STRATEGY_NAMES`` for the canonical experiment order.
+"""
+
+from repro.indexing.base import ExtractionStats, IndexingStrategy
+from repro.indexing.entries import IndexEntry
+from repro.indexing.keys import (attribute_key, attribute_value_key,
+                                 element_key, word_key)
+from repro.indexing.lookup_plans import LookupOutcome
+from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
+                                   SimpleDBIndexStore)
+from repro.indexing.registry import ALL_STRATEGY_NAMES, strategy
+
+__all__ = [
+    "ALL_STRATEGY_NAMES",
+    "DynamoIndexStore",
+    "ExtractionStats",
+    "IndexEntry",
+    "IndexStore",
+    "IndexingStrategy",
+    "LookupOutcome",
+    "SimpleDBIndexStore",
+    "attribute_key",
+    "attribute_value_key",
+    "element_key",
+    "strategy",
+    "word_key",
+]

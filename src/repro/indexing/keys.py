@@ -1,0 +1,55 @@
+"""The ``key(n)`` function (§5, Notations).
+
+Every indexed node contributes one or two string keys, built from three
+constant prefixes (``e``, ``a``, ``w``) and string concatenation:
+
+- an XML element labelled ``l`` → ``e‖l`` (e.g. ``ename``);
+- an XML attribute named ``a`` with value ``v`` → *two* keys: ``a‖a``
+  (``aid``) and ``a‖a v`` (``aid 1863-1``) — "these help speed up
+  specific kinds of queries";
+- a word ``w`` of a text node → ``w‖w`` (``wOlympia``).
+
+Words are the tokens of :func:`repro.query.predicates.tokenize`, so the
+index and the ``contains`` predicate always agree on what a word is.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.predicates import tokenize
+
+ELEMENT_PREFIX = "e"
+ATTRIBUTE_PREFIX = "a"
+WORD_PREFIX = "w"
+
+#: Separates an attribute name from its value in the value key.
+VALUE_SEPARATOR = " "
+
+
+def element_key(label: str) -> str:
+    """Key of an element node: ``e‖label``."""
+    return ELEMENT_PREFIX + label
+
+
+def attribute_key(name: str) -> str:
+    """Name-only key of an attribute node: ``a‖name``."""
+    return ATTRIBUTE_PREFIX + name
+
+
+def attribute_value_key(name: str, value: str) -> str:
+    """Name+value key of an attribute node: ``a‖name value``."""
+    return ATTRIBUTE_PREFIX + name + VALUE_SEPARATOR + value
+
+
+def word_key(word: str) -> str:
+    """Key of one text word: ``w‖word`` (words are lower-cased tokens)."""
+    tokens = tokenize(word)
+    if len(tokens) != 1:
+        raise ValueError("word_key() takes exactly one word, got {!r}".format(word))
+    return WORD_PREFIX + tokens[0]
+
+
+def text_word_keys(text: str) -> List[str]:
+    """Keys of all *distinct* words of a text value, first-seen order."""
+    return [WORD_PREFIX + token for token in dict.fromkeys(tokenize(text))]

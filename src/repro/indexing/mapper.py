@@ -1,0 +1,446 @@
+"""Physical index storage: mapping entries to key-value store items (§6).
+
+DynamoDB mapping (the paper's, §6): every entry becomes one or more
+items with a composite primary key — hash key = the index entry key,
+range key = a UUID generated at indexing time.  "Using UUIDs as range
+keys ensures that we can insert items in the index concurrently, from
+multiple virtual machines, as items with the same hash key always
+contain different range keys and thus cannot be overwritten.  Also,
+using UUID instead of mapping each attribute name to a range key allows
+the system to reduce the number of items in the store for an index
+entry" — the alternative (one item per URI attribute, range key = URI)
+is kept as ``range_key_mode="attribute"`` for the ablation bench.
+Attribute names hold document URIs; attribute values hold the payload:
+nothing (LU), label paths (LUP), or a compact *binary* blob of encoded
+structural IDs (LUI) — the DynamoDB feature §8.4 credits for much of
+the improvement over [8].  Items are split when they would exceed the
+64 KB item limit.
+
+SimpleDB mapping (the [8] baseline): domains have no range keys, so an
+entry shards over items named ``key#<uuid>``; attribute values are
+limited to 1 KB of *text*, so ID lists are stored in their textual form,
+chunked at whole-ID boundaries with an explicit sequence prefix (no
+binary blobs in SimpleDB).  Reads use a name-prefix select.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, List, Sequence, Tuple
+
+from repro.cloud.dynamodb import (BATCH_GET_LIMIT, BATCH_PUT_LIMIT, DynamoDB,
+                                  DynamoItem, MAX_ITEM_BYTES)
+from repro.cloud.simpledb import (MAX_ATTRIBUTES_PER_ITEM, MAX_VALUE_BYTES,
+                                  SimpleDB, SimpleDBItem)
+from repro.cloud.simpledb import BATCH_PUT_LIMIT as SDB_BATCH_PUT_LIMIT
+from repro.errors import IndexingError
+from repro.indexing.entries import IndexEntry
+from repro.xmldb.encoding import decode_ids, decode_ids_text, encode_ids
+from repro.xmldb.ids import NodeID
+
+#: Payload returned per URI by reads: None (presence), tuple of paths,
+#: or list of NodeIDs.
+Payload = Any
+
+#: Safety margin under the DynamoDB item limit for key bytes.
+_ITEM_BUDGET = MAX_ITEM_BYTES - 4096
+#: Chunk budget for SimpleDB textual values (sequence prefix included).
+_SDB_CHUNK_BUDGET = MAX_VALUE_BYTES - 24
+
+
+@dataclass
+class WriteStats:
+    """Accounting for one write call."""
+
+    puts: int = 0        # billable put operations (|op(D, I)| contribution)
+    items: int = 0       # physical items written
+    batches: int = 0     # batchPut API requests issued
+    payload_bytes: int = 0
+
+    def merge(self, other: "WriteStats") -> None:
+        """Accumulate another call's stats into this one."""
+        self.puts += other.puts
+        self.items += other.items
+        self.batches += other.batches
+        self.payload_bytes += other.payload_bytes
+
+
+class IndexStore(abc.ABC):
+    """Backend-independent index storage interface."""
+
+    backend_name: str = ""
+
+    @abc.abstractmethod
+    def create_table(self, physical_name: str) -> None:
+        """Create the physical table/domain (idempotence not required)."""
+
+    @abc.abstractmethod
+    def write_entries(self, physical_name: str,
+                      entries: Sequence[IndexEntry],
+                      ) -> Generator[Any, Any, WriteStats]:
+        """Persist ``entries`` (a loader batch); returns write stats."""
+
+    @abc.abstractmethod
+    def read_key(self, physical_name: str, key: str, kind: str,
+                 ) -> Generator[Any, Any, Tuple[Dict[str, Payload], int]]:
+        """All (URI → payload) for one index key; returns also the number
+        of billable get operations issued."""
+
+    @abc.abstractmethod
+    def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
+                  ) -> Generator[Any, Any,
+                                 Tuple[Dict[str, Dict[str, Payload]], int]]:
+        """Batched variant: key → (URI → payload), plus billable gets."""
+
+    @abc.abstractmethod
+    def raw_bytes(self, physical_names: Iterable[str]) -> int:
+        """User-data bytes stored (``sr(D, I)``, §7.1)."""
+
+    @abc.abstractmethod
+    def overhead_bytes(self, physical_names: Iterable[str]) -> int:
+        """Store-internal overhead bytes (``ovh(D, I)``, §7.1)."""
+
+    def stored_bytes(self, physical_names: Iterable[str]) -> int:
+        """``s(D, I) = sr + ovh`` (§7.1)."""
+        names = list(physical_names)
+        return self.raw_bytes(names) + self.overhead_bytes(names)
+
+
+# ---------------------------------------------------------------------------
+# DynamoDB
+# ---------------------------------------------------------------------------
+
+
+def _encode_payload(entry: IndexEntry) -> Tuple[Any, ...]:
+    if entry.kind == "ids":
+        return (encode_ids(list(entry.ids)),)
+    if entry.kind == "paths":
+        return tuple(entry.paths)
+    return ()
+
+
+def _split_ids(ids: Sequence[NodeID], parts: int) -> List[List[NodeID]]:
+    size = max(1, (len(ids) + parts - 1) // parts)
+    return [list(ids[i:i + size]) for i in range(0, len(ids), size)]
+
+
+class DynamoIndexStore(IndexStore):
+    """The §6 DynamoDB mapping."""
+
+    backend_name = "dynamodb"
+
+    def __init__(self, dynamodb: DynamoDB, seed: int = 0,
+                 range_key_mode: str = "uuid") -> None:
+        if range_key_mode not in ("uuid", "attribute"):
+            raise IndexingError(
+                "range_key_mode must be 'uuid' or 'attribute', got {!r}"
+                .format(range_key_mode))
+        self._db = dynamodb
+        self._rng = random.Random(seed)
+        self.range_key_mode = range_key_mode
+
+    def _uuid(self) -> str:
+        """A UUID range key ([20]); seeded for reproducible runs."""
+        return str(uuid.UUID(int=self._rng.getrandbits(128), version=4))
+
+    def create_table(self, physical_name: str) -> None:
+        """Create the physical table/domain."""
+        self._db.create_table(physical_name, has_range_key=True)
+
+    # -- writes -------------------------------------------------------------
+
+    def _entry_items(self, entry: IndexEntry) -> List[DynamoItem]:
+        """Items for one entry, splitting oversized payloads."""
+        values = _encode_payload(entry)
+        attr_bytes = sum(len(v) if isinstance(v, bytes)
+                         else len(v.encode("utf-8")) for v in values)
+        if attr_bytes <= _ITEM_BUDGET:
+            range_key = (self._uuid() if self.range_key_mode == "uuid"
+                         else entry.uri)
+            return [DynamoItem(hash_key=entry.key, range_key=range_key,
+                               attributes={entry.uri: values})]
+        # Oversized payload: split across items.
+        items: List[DynamoItem] = []
+        if entry.kind == "ids":
+            parts = attr_bytes // _ITEM_BUDGET + 1
+            for index, chunk in enumerate(_split_ids(entry.ids, parts)):
+                range_key = (self._uuid() if self.range_key_mode == "uuid"
+                             else "{}#{}".format(entry.uri, index))
+                items.append(DynamoItem(
+                    hash_key=entry.key, range_key=range_key,
+                    attributes={entry.uri: (encode_ids(chunk),)}))
+        else:  # paths
+            chunk: List[str] = []
+            size = 0
+            index = 0
+            for path in entry.paths:
+                path_bytes = len(path.encode("utf-8"))
+                if chunk and size + path_bytes > _ITEM_BUDGET:
+                    range_key = (self._uuid() if self.range_key_mode == "uuid"
+                                 else "{}#{}".format(entry.uri, index))
+                    items.append(DynamoItem(entry.key, range_key,
+                                            {entry.uri: tuple(chunk)}))
+                    chunk, size = [], 0
+                    index += 1
+                chunk.append(path)
+                size += path_bytes
+            if chunk:
+                range_key = (self._uuid() if self.range_key_mode == "uuid"
+                             else "{}#{}".format(entry.uri, index))
+                items.append(DynamoItem(entry.key, range_key,
+                                        {entry.uri: tuple(chunk)}))
+        return items
+
+    def _pack_items(self, entries: Sequence[IndexEntry]) -> List[DynamoItem]:
+        """Map a batch of entries to items.
+
+        In ``uuid`` mode entries sharing a key are *packed* into shared
+        items (up to the item budget) — the paper's point about UUIDs
+        reducing item counts; in ``attribute`` mode every entry keeps
+        its own item (range key = URI), which is the ablation baseline.
+        """
+        if self.range_key_mode == "attribute":
+            return [item for entry in entries
+                    for item in self._entry_items(entry)]
+        by_key: Dict[str, List[IndexEntry]] = {}
+        for entry in entries:
+            by_key.setdefault(entry.key, []).append(entry)
+        items: List[DynamoItem] = []
+        for key in sorted(by_key):
+            attrs: Dict[str, Tuple[Any, ...]] = {}
+            size = 0
+            for entry in by_key[key]:
+                values = _encode_payload(entry)
+                attr_bytes = (len(entry.uri.encode("utf-8"))
+                              + sum(len(v) if isinstance(v, bytes)
+                                    else len(v.encode("utf-8"))
+                                    for v in values))
+                if attr_bytes > _ITEM_BUDGET:
+                    # Oversized single entry: dedicated split items.
+                    items.extend(self._entry_items(entry))
+                    continue
+                if attrs and size + attr_bytes > _ITEM_BUDGET:
+                    items.append(DynamoItem(key, self._uuid(), dict(attrs)))
+                    attrs, size = {}, 0
+                attrs[entry.uri] = values
+                size += attr_bytes
+            if attrs:
+                items.append(DynamoItem(key, self._uuid(), dict(attrs)))
+        return items
+
+    def write_entries(self, physical_name: str,
+                      entries: Sequence[IndexEntry],
+                      ) -> Generator[Any, Any, WriteStats]:
+        """Persist a loader batch; returns write stats."""
+        stats = WriteStats()
+        items = self._pack_items(entries)
+        stats.items = len(items)
+        stats.puts = len(items)
+        for start in range(0, len(items), BATCH_PUT_LIMIT):
+            batch = items[start:start + BATCH_PUT_LIMIT]
+            yield from self._db.batch_put(physical_name, batch)
+            stats.batches += 1
+            stats.payload_bytes += sum(item.size_bytes for item in batch)
+        return stats
+
+    # -- reads ---------------------------------------------------------------
+
+    @staticmethod
+    def _merge_items(items: Sequence[DynamoItem], kind: str,
+                     ) -> Dict[str, Payload]:
+        merged: Dict[str, Payload] = {}
+        for item in items:
+            for raw_uri, values in item.attributes.items():
+                base_uri = raw_uri.split("#", 1)[0]
+                if kind == "presence":
+                    merged[base_uri] = None
+                elif kind == "paths":
+                    existing = list(merged.get(base_uri, ()))
+                    for value in values:
+                        if value not in existing:
+                            existing.append(value)
+                    merged[base_uri] = tuple(existing)
+                else:  # ids
+                    decoded = merged.get(base_uri, [])
+                    for blob in values:
+                        decoded = decoded + decode_ids(blob)
+                    merged[base_uri] = decoded
+        if kind == "ids":
+            for base_uri, ids in merged.items():
+                # Chunks from split items may arrive out of order; each
+                # chunk is internally sorted, so a final merge-sort over
+                # chunk boundaries restores the LUI invariant.
+                merged[base_uri] = sorted(ids, key=lambda nid: nid.pre)
+        return merged
+
+    def read_key(self, physical_name: str, key: str, kind: str,
+                 ) -> Generator[Any, Any, Tuple[Dict[str, Payload], int]]:
+        """(URI -> payload) map for one key, plus billable gets."""
+        items = yield from self._db.get(physical_name, key)
+        return self._merge_items(items, kind), 1
+
+    def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
+                  ) -> Generator[Any, Any,
+                                 Tuple[Dict[str, Dict[str, Payload]], int]]:
+        """Batched reads: key -> (URI -> payload), plus billable gets."""
+        result: Dict[str, Dict[str, Payload]] = {}
+        gets = 0
+        unique_keys = list(dict.fromkeys(keys))
+        for start in range(0, len(unique_keys), BATCH_GET_LIMIT):
+            chunk = unique_keys[start:start + BATCH_GET_LIMIT]
+            grouped = yield from self._db.batch_get(physical_name, chunk)
+            gets += len(chunk)
+            for chunk_key, items in grouped.items():
+                result[chunk_key] = self._merge_items(items, kind)
+        return result, gets
+
+    # -- storage accounting -----------------------------------------------------
+
+    def raw_bytes(self, physical_names: Iterable[str]) -> int:
+        """User-data bytes stored (``sr(D, I)``)."""
+        return self._db.raw_bytes(list(physical_names))
+
+    def overhead_bytes(self, physical_names: Iterable[str]) -> int:
+        """Store-internal overhead bytes (``ovh(D, I)``)."""
+        return self._db.overhead_bytes(list(physical_names))
+
+
+# ---------------------------------------------------------------------------
+# SimpleDB
+# ---------------------------------------------------------------------------
+
+
+def _chunk_ids_text(ids: Sequence[NodeID]) -> List[str]:
+    """Textual ID chunks ≤ 1 KB, split at whole-ID boundaries, each
+    prefixed with its sequence number so reassembly needs no sort."""
+    chunks: List[str] = []
+    current: List[str] = []
+    size = 0
+    for node_id in ids:
+        piece = node_id.as_text()
+        if current and size + len(piece) > _SDB_CHUNK_BUDGET:
+            chunks.append("{:04d}|{}".format(len(chunks), "".join(current)))
+            current, size = [], 0
+        current.append(piece)
+        size += len(piece)
+    if current or not chunks:
+        chunks.append("{:04d}|{}".format(len(chunks), "".join(current)))
+    return chunks
+
+
+class SimpleDBIndexStore(IndexStore):
+    """The [8] SimpleDB mapping, with its per-value and per-item limits."""
+
+    backend_name = "simpledb"
+
+    def __init__(self, simpledb: SimpleDB, seed: int = 0) -> None:
+        self._db = simpledb
+        self._rng = random.Random(seed)
+
+    def _shard_name(self, key: str) -> str:
+        return "{}#{}".format(
+            key, uuid.UUID(int=self._rng.getrandbits(128), version=4))
+
+    def create_table(self, physical_name: str) -> None:
+        """Create the physical table/domain."""
+        self._db.create_domain(physical_name)
+
+    # -- writes -------------------------------------------------------------
+
+    def _entry_pairs(self, entry: IndexEntry) -> List[Tuple[str, str]]:
+        """(attribute name, value) pairs for one entry: name = URI."""
+        if entry.kind == "presence":
+            return [(entry.uri, "")]
+        if entry.kind == "paths":
+            pairs = []
+            for path in entry.paths:
+                if len(path.encode("utf-8")) > MAX_VALUE_BYTES:
+                    raise IndexingError(
+                        "path exceeds the SimpleDB 1KB value limit: "
+                        "{!r}".format(path[:80]))
+                pairs.append((entry.uri, path))
+            return pairs
+        return [(entry.uri, chunk) for chunk in _chunk_ids_text(entry.ids)]
+
+    def write_entries(self, physical_name: str,
+                      entries: Sequence[IndexEntry],
+                      ) -> Generator[Any, Any, WriteStats]:
+        """Persist a loader batch; returns write stats."""
+        stats = WriteStats()
+        by_key: Dict[str, List[Tuple[str, str]]] = {}
+        for entry in entries:
+            by_key.setdefault(entry.key, []).extend(self._entry_pairs(entry))
+        items: List[SimpleDBItem] = []
+        for key in sorted(by_key):
+            pairs = by_key[key]
+            for start in range(0, len(pairs), MAX_ATTRIBUTES_PER_ITEM):
+                shard = tuple(pairs[start:start + MAX_ATTRIBUTES_PER_ITEM])
+                items.append(SimpleDBItem(name=self._shard_name(key),
+                                          attributes=shard))
+        stats.items = len(items)
+        stats.puts = len(items)
+        for start in range(0, len(items), SDB_BATCH_PUT_LIMIT):
+            batch = items[start:start + SDB_BATCH_PUT_LIMIT]
+            yield from self._db.batch_put(physical_name, batch)
+            stats.batches += 1
+            stats.payload_bytes += sum(item.size_bytes for item in batch)
+        return stats
+
+    # -- reads ---------------------------------------------------------------
+
+    @staticmethod
+    def _merge_items(items: Sequence[SimpleDBItem], kind: str,
+                     ) -> Dict[str, Payload]:
+        merged: Dict[str, Payload] = {}
+        chunks: Dict[str, List[str]] = {}
+        for item in items:
+            for attr_uri, value in item.attributes:
+                if kind == "presence":
+                    merged[attr_uri] = None
+                elif kind == "paths":
+                    existing = list(merged.get(attr_uri, ()))
+                    if value not in existing:
+                        existing.append(value)
+                    merged[attr_uri] = tuple(existing)
+                else:
+                    chunks.setdefault(attr_uri, []).append(value)
+        if kind == "ids":
+            for attr_uri, parts in chunks.items():
+                parts.sort(key=lambda chunk: int(chunk.split("|", 1)[0]))
+                text = "".join(part.split("|", 1)[1] for part in parts)
+                merged[attr_uri] = decode_ids_text(text)
+        return merged
+
+    def read_key(self, physical_name: str, key: str, kind: str,
+                 ) -> Generator[Any, Any, Tuple[Dict[str, Payload], int]]:
+        """(URI -> payload) map for one key, plus billable gets."""
+        items = yield from self._db.select_prefix(physical_name, key + "#")
+        return self._merge_items(items, kind), 1
+
+    def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
+                  ) -> Generator[Any, Any,
+                                 Tuple[Dict[str, Dict[str, Payload]], int]]:
+        """Batched reads: key -> (URI -> payload), plus billable gets."""
+        # SimpleDB has no batchGet: one select per key (a cost the
+        # Tables 7-8 comparison feels directly).
+        result: Dict[str, Dict[str, Payload]] = {}
+        gets = 0
+        for key in dict.fromkeys(keys):
+            payloads, requests = yield from self.read_key(
+                physical_name, key, kind)
+            result[key] = payloads
+            gets += requests
+        return result, gets
+
+    # -- storage accounting -----------------------------------------------------
+
+    def raw_bytes(self, physical_names: Iterable[str]) -> int:
+        """User-data bytes stored (``sr(D, I)``)."""
+        return self._db.raw_bytes(list(physical_names))
+
+    def overhead_bytes(self, physical_names: Iterable[str]) -> int:
+        """Store-internal overhead bytes (``ovh(D, I)``)."""
+        return self._db.overhead_bytes(list(physical_names))

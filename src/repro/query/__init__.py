@@ -1,0 +1,40 @@
+"""The query language of §4: value joins over tree patterns.
+
+A query is one or more *tree patterns* — nodes labelled with element or
+attribute names, connected by parent-child (``/``) or
+ancestor-descendant (``//``) edges, optionally annotated with ``val``
+(string value needed), ``cont`` (full subtree needed) and value
+predicates (equality, containment, range) — plus *value joins* equating
+the string values of two pattern nodes.
+
+Public entry points:
+
+- :class:`~repro.query.pattern.TreePattern` / ``PatternNode`` /
+  :class:`~repro.query.pattern.Query` — the object model;
+- :func:`~repro.query.parser.parse_query` — a compact textual syntax;
+- :mod:`~repro.query.workload` — the 10-query experimental workload
+  (the paper's q1-q10 analogue) plus the five illustration queries of
+  Figure 2;
+- :func:`~repro.query.xquery.to_xquery` — renders a query as the XQuery
+  it abbreviates (§4: "the translation to XQuery syntax is pretty
+  straightforward").
+"""
+
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.pattern import (Axis, PatternNode, Query, TreePattern,
+                                 ValueJoin)
+from repro.query.predicates import Contains, Equals, Predicate, RangePredicate
+
+__all__ = [
+    "Axis",
+    "Contains",
+    "Equals",
+    "PatternNode",
+    "Predicate",
+    "Query",
+    "RangePredicate",
+    "TreePattern",
+    "ValueJoin",
+    "parse_pattern",
+    "parse_query",
+]

@@ -1,0 +1,246 @@
+"""Textual syntax for tree-pattern queries.
+
+The paper presents queries graphically (Figure 2); this module provides
+an equivalent compact text form so examples, tests and the workload can
+be written legibly:
+
+- ``//painting[/name{val}][//painter/name{val}]``       (q1)
+- ``//painting[/description{cont}][/year="1854"]``      (q2)
+- ``//painting[/name contains("Lion")][//painter/name/last{val}]``  (q3)
+- ``//painting[/name{val}][//painter/name/last="Manet"][/year in(1854, 1865)]``  (q4)
+- value joins: ``//museum[/name{val}][//painting/@id{$i}] ;
+  //painting[/@id{$j}][//painter/name/last="Delacroix"] join $i = $j``  (q5)
+
+Grammar (whitespace insignificant outside quotes)::
+
+    query      :=  pattern (';' pattern)*  join*
+    pattern    :=  '//' step
+    step       :=  name qualifier* ( ('/' | '//') step )?
+    name       :=  '@'? ident
+    qualifier  :=  '{val}' | '{cont}' | '{$' ident '}'
+                |  '=' string | 'contains' '(' word ')'
+                |  'in' '(' word ',' word ')'
+                |  '[' ('/' | '//') step ']'
+    join       :=  'join' '$'ident '=' '$'ident
+    string     :=  '"' chars '"'
+    word       :=  '"' chars '"'  |  bareword
+
+The spine form ``a/b/c`` is sugar for nested single branches; the first
+qualifier block binds to the node it follows.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import PatternSyntaxError
+from repro.query.pattern import (Axis, PatternNode, Query, TreePattern,
+                                 ValueJoin)
+from repro.query.predicates import Contains, Equals, RangePredicate
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+_BAREWORD = re.compile(r"[A-Za-z0-9_.\-]+")
+
+
+class _Cursor:
+    """A tiny scanning cursor over the query text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def eof(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            self.error("expected {!r}".format(token))
+
+    def ident(self) -> str:
+        self.skip_ws()
+        match = _IDENT.match(self.text, self.pos)
+        if not match:
+            self.error("expected an identifier")
+        self.pos = match.end()
+        return match.group(0)
+
+    def word(self) -> str:
+        """A quoted string or a bare word (for predicate operands)."""
+        self.skip_ws()
+        if self.take('"'):
+            end = self.text.find('"', self.pos)
+            if end < 0:
+                self.error("unterminated string")
+            value = self.text[self.pos:end]
+            self.pos = end + 1
+            return value
+        match = _BAREWORD.match(self.text, self.pos)
+        if not match:
+            self.error("expected a word or quoted string")
+        self.pos = match.end()
+        return match.group(0)
+
+    def error(self, message: str) -> None:
+        context = self.text[max(0, self.pos - 20):self.pos + 20]
+        raise PatternSyntaxError(
+            "{} at offset {} (near {!r})".format(message, self.pos, context))
+
+
+def _parse_axis(cursor: _Cursor) -> Optional[Axis]:
+    if cursor.take("//"):
+        return Axis.DESCENDANT
+    if cursor.take("/"):
+        return Axis.CHILD
+    return None
+
+
+def _parse_step(cursor: _Cursor, axis: Axis) -> PatternNode:
+    is_attribute = cursor.take("@")
+    label = cursor.ident()
+    node = PatternNode(label=label, is_attribute=is_attribute, axis=axis)
+    # Qualifiers: annotations, predicates and branches, any order.
+    while True:
+        if cursor.peek("{"):
+            _parse_annotation(cursor, node)
+        elif cursor.peek("["):
+            cursor.expect("[")
+            child_axis = _parse_axis(cursor)
+            if child_axis is None:
+                cursor.error("branch must start with / or //")
+            node.add_child(_parse_step(cursor, child_axis))
+            cursor.expect("]")
+        elif cursor.peek("="):
+            cursor.expect("=")
+            _set_predicate(cursor, node, Equals(cursor.word()))
+        elif cursor.peek("contains"):
+            cursor.expect("contains")
+            cursor.expect("(")
+            _set_predicate(cursor, node, Contains(cursor.word()))
+            cursor.expect(")")
+        elif cursor.peek("in("):
+            cursor.expect("in(")
+            low = cursor.word()
+            cursor.expect(",")
+            high = cursor.word()
+            cursor.expect(")")
+            _set_predicate(cursor, node, RangePredicate(low, high))
+        else:
+            break
+    # Spine continuation: /child or //descendant chains.
+    spine_axis = _parse_axis(cursor)
+    if spine_axis is not None:
+        node.add_child(_parse_step(cursor, spine_axis))
+    return node
+
+
+def _parse_annotation(cursor: _Cursor, node: PatternNode) -> None:
+    cursor.expect("{")
+    if cursor.take("$"):
+        node.variable = cursor.ident()
+    else:
+        kind = cursor.ident()
+        if kind == "val":
+            node.want_val = True
+        elif kind == "cont":
+            node.want_cont = True
+        else:
+            cursor.error("unknown annotation {!r}".format(kind))
+    cursor.expect("}")
+
+
+def _set_predicate(cursor: _Cursor, node: PatternNode, predicate) -> None:
+    if node.predicate is not None:
+        cursor.error("node {!r} already has a predicate".format(node.label))
+    node.predicate = predicate
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse a single tree pattern, e.g. ``//painting[/name{val}]``."""
+    cursor = _Cursor(text)
+    pattern = _pattern(cursor)
+    if not cursor.eof():
+        cursor.error("trailing input after pattern")
+    return pattern
+
+
+def _pattern(cursor: _Cursor) -> TreePattern:
+    cursor.skip_ws()
+    if not cursor.take("//"):
+        cursor.error("a pattern starts with //")
+    root = _parse_step(cursor, Axis.DESCENDANT)
+    return TreePattern(root=root)
+
+
+def node_to_source(node: PatternNode) -> str:
+    """Render a pattern node (and subtree) back into parseable syntax."""
+    parts: List[str] = []
+    if node.is_attribute:
+        parts.append("@")
+    parts.append(node.label)
+    predicate = node.predicate
+    if isinstance(predicate, Equals):
+        parts.append('="{}"'.format(predicate.constant))
+    elif isinstance(predicate, Contains):
+        parts.append(' contains("{}")'.format(predicate.word))
+    elif isinstance(predicate, RangePredicate):
+        parts.append(' in("{}", "{}")'.format(predicate.low, predicate.high))
+    if node.want_val:
+        parts.append("{val}")
+    if node.want_cont:
+        parts.append("{cont}")
+    if node.variable is not None:
+        parts.append("{$%s}" % node.variable)
+    for child in node.children:
+        parts.append("[{}{}]".format(child.axis.value, node_to_source(child)))
+    return "".join(parts)
+
+
+def query_to_source(query: Query) -> str:
+    """Render a query into text that :func:`parse_query` accepts.
+
+    ``parse_query(query_to_source(q))`` is semantically identical to
+    ``q`` — the round-trip property the test suite checks with
+    hypothesis.  Used to ship :class:`Query` objects through SQS
+    messages, which carry text rather than Python objects.
+    """
+    body = " ; ".join("//" + node_to_source(p.root) for p in query.patterns)
+    for join in query.joins:
+        body += " join ${} = ${}".format(join.left_variable,
+                                         join.right_variable)
+    return body
+
+
+def parse_query(text: str, name: str = "") -> Query:
+    """Parse a full query: patterns separated by ``;`` plus ``join`` s."""
+    cursor = _Cursor(text)
+    patterns: List[TreePattern] = [_pattern(cursor)]
+    while cursor.take(";"):
+        patterns.append(_pattern(cursor))
+    joins: List[ValueJoin] = []
+    while cursor.peek("join"):
+        cursor.expect("join")
+        cursor.expect("$")
+        left = cursor.ident()
+        cursor.expect("=")
+        cursor.expect("$")
+        right = cursor.ident()
+        joins.append(ValueJoin(left, right))
+    if not cursor.eof():
+        cursor.error("trailing input after query")
+    return Query(patterns=patterns, joins=joins, name=name)

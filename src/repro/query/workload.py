@@ -1,0 +1,95 @@
+"""The experimental query workload.
+
+§8.2 evaluates "10 queries from the XMark benchmark [...].  The queries
+have an average of ten nodes each; the last three queries feature value
+joins" (their exact text lives in the paper's unavailable tech report
+[25]).  We define ten queries over our XMark-style corpus with the same
+*shape profile* as Table 5:
+
+- q1 is a point query (very selective attribute equality);
+- q2-q7 are single tree patterns mixing ``val``/``cont`` projections,
+  ``contains`` and equality predicates, one range predicate (q4), linear
+  paths (q6) and multi-branch twigs (q3, q5, q7) designed so the four
+  strategies separate: restructured documents create the LU-vs-LUP gap,
+  split multi-entity documents the LUP-vs-LUI gap, and the range
+  predicate makes all look-ups equally imprecise on q4;
+- q8-q10 are value joins over the corpus's cross-reference attributes.
+
+This module also ships the five illustration queries of Figure 2
+(paintings/painters/museums) used in documentation and unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.query.parser import parse_query
+from repro.query.pattern import Query
+
+#: name -> textual form of the experimental workload.
+WORKLOAD_TEXT: Dict[str, str] = {
+    # Point query: one document holds person3 (Table 5's q1 profile).
+    "q1": '//person[/@id="person3"][/name{val}]',
+    # Large results: full description subtrees (q2: 94 MB in the paper).
+    "q2": '//item[/description{cont}][/payment contains("Creditcard")]'
+          '[/location{val}]',
+    # Marker word + child-axis path: restructured items make LU > LUP.
+    "q3": '//item[/name contains("gold")][//incategory/@category{val}]',
+    # Range predicate: ignored by every look-up (§5.5), so LU = LUP.
+    "q4": '//open_auction[/initial in(100, 200)][/itemref/@item{val}]',
+    # Two-branch twig over restructurable paths: LU > LUP > LUI.
+    "q5": '//person[/address/city="Tokyo"]'
+          '[/profile/interest/@category{val}]',
+    # Linear path: all strategies nearly equivalent (q6 profile).
+    "q6": '//item/mailbox/mail/from{val}',
+    # Branch combination across sibling entities: LUP > LUI (q7 profile).
+    "q7": '//item[/name contains("lot"){val}]'
+          '[/mailbox/mail/date contains("1999")]',
+    # Value joins (q8-q10 profile).
+    "q8": '//person[/@id{$p}][/name{val}] ; '
+          '//closed_auction[/buyer/@person{$b}][/price{val}] '
+          'join $p = $b',
+    "q9": '//item[/@id{$i}][/name{val}] ; '
+          '//open_auction[/itemref/@item{$j}][/current{val}] '
+          'join $i = $j',
+    "q10": '//person[/@id{$p}][/address/country="Japan"] ; '
+           '//closed_auction[/seller/@person{$s}][/price{val}]'
+           '[/type="Featured"] join $p = $s',
+}
+
+#: Figure 2's illustration queries over the painting documents.
+FIGURE2_TEXT: Dict[str, str] = {
+    # q1: (painting name, painter name) pairs.
+    "fig2-q1": "//painting[/name{val}][//painter/name{val}]",
+    # q2: descriptions of paintings from 1854.
+    "fig2-q2": '//painting[/description{cont}][/year="1854"]',
+    # q3: last names of painters of paintings named *Lion*.
+    "fig2-q3": '//painting[/name contains("Lion")]'
+               "[//painter/name/last{val}]",
+    # q4: names of paintings by Manet created in [1854, 1865].
+    "fig2-q4": '//painting[/name{val}][//painter/name/last="Manet"]'
+               "[/year in(1854, 1865)]",
+    # q5: names of museums exposing paintings by Delacroix (value join).
+    "fig2-q5": "//museum[/name{val}][//painting/@id{$i}] ; "
+               '//painting[/@id{$j}][//painter/name/last="Delacroix"] '
+               "join $i = $j",
+}
+
+WORKLOAD_ORDER = tuple("q{}".format(i) for i in range(1, 11))
+
+
+def workload() -> List[Query]:
+    """The ten experimental queries, parsed, in q1..q10 order."""
+    return [parse_query(WORKLOAD_TEXT[name], name=name)
+            for name in WORKLOAD_ORDER]
+
+
+def workload_query(name: str) -> Query:
+    """One workload query by name ("q1".."q10")."""
+    return parse_query(WORKLOAD_TEXT[name], name=name)
+
+
+def figure2_queries() -> List[Query]:
+    """The five Figure 2 illustration queries, parsed."""
+    return [parse_query(text, name=name)
+            for name, text in FIGURE2_TEXT.items()]

@@ -1,0 +1,42 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the substrate on which the simulated cloud services
+run.  It provides a small, SimPy-flavoured kernel:
+
+- :class:`~repro.sim.engine.Environment` — event loop and simulated clock;
+- :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` —
+  awaitable occurrences;
+- :class:`~repro.sim.process.Process` — generator-based simulated
+  processes (yield events to wait on them);
+- :class:`~repro.sim.resources.Resource` — capacity-limited resources
+  (CPU cores, service request slots);
+- :class:`~repro.sim.resources.Store` — FIFO item stores (message queues);
+- :class:`~repro.sim.resources.ThroughputLimiter` — fluid-model token
+  bucket used to model provisioned throughput (DynamoDB capacity units);
+- :class:`~repro.sim.metering.Meter` — records every metered operation so
+  the cost model can price a run after the fact.
+
+Everything is single-threaded and fully deterministic: two runs with the
+same inputs produce identical event orderings, simulated times and meter
+records.
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.metering import Meter, MeterRecord
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, ThroughputLimiter
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Meter",
+    "MeterRecord",
+    "Process",
+    "Resource",
+    "Store",
+    "ThroughputLimiter",
+    "Timeout",
+]

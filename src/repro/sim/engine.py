@@ -1,0 +1,125 @@
+"""The simulation environment: clock plus event loop.
+
+:class:`Environment` owns the simulated clock and the priority queue of
+scheduled events.  It offers the small factory API the rest of the
+library uses: ``env.timeout(...)``, ``env.process(...)``,
+``env.event()``, ``env.run(...)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+
+class Environment:
+    """Deterministic discrete-event simulation environment.
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> def hello(env):
+    ...     yield env.timeout(3.0)
+    ...     return env.now
+    >>> proc = env.process(hello(env))
+    >>> env.run()
+    >>> proc.value
+    3.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_processes = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Start a new simulated process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling (kernel internal) ---------------------------------------
+
+    def schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to be processed ``delay`` seconds from now."""
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event))
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the event loop.
+
+        With ``until=None``, runs until no events remain.  With a numeric
+        ``until``, runs until the clock reaches that time (events at
+        exactly ``until`` are *not* processed) and then sets ``now`` to
+        ``until``.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                "run(until={}) is in the past (now={})".format(until, self._now))
+        while self._queue:
+            if until is not None and self._queue[0][0] >= until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator: Generator[Event, Any, Any],
+                    name: str = "") -> Any:
+        """Start a process, run *until it completes*, return its value.
+
+        The loop stops as soon as the process finishes — pending
+        unrelated events (e.g. lease watchdogs armed far in the future)
+        stay queued and do **not** advance the clock past the process's
+        completion time.  Raises :class:`SimulationDeadlock` if the
+        event queue drains before the process finishes (it is waiting on
+        an event nobody will ever trigger).
+        """
+        proc = self.process(generator, name=name)
+        while proc.is_alive:
+            if not self._queue:
+                raise SimulationDeadlock(
+                    "process {!r} never completed (deadlock)".format(
+                        proc.name))
+            self.step()
+        return proc.value

@@ -1,0 +1,179 @@
+"""Operation metering for after-the-fact cost accounting.
+
+Every simulated cloud API call records a :class:`MeterRecord`.  The cost
+model (:mod:`repro.costs`) prices a run by folding over these records —
+the same way the AWS bill in the paper is the fold of Amazon's request
+logs over its price book.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MeterRecord:
+    """One metered cloud operation.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the operation completed.
+    service:
+        Service name, e.g. ``"s3"``, ``"dynamodb"``, ``"sqs"``, ``"ec2"``.
+    operation:
+        Operation name, e.g. ``"get"``, ``"put"``, ``"send_message"``.
+    count:
+        Number of billable requests this record represents (batch APIs
+        record the batch as a single billable request when the provider
+        bills it that way).
+    bytes_in:
+        Payload bytes transferred into the service.
+    bytes_out:
+        Payload bytes transferred out of the service.
+    tag:
+        Free-form attribution tag, used to slice costs per activity
+        (e.g. ``"index-build"`` vs ``"query:q3"``).
+    """
+
+    time: float
+    service: str
+    operation: str
+    count: int = 1
+    bytes_in: int = 0
+    bytes_out: int = 0
+    tag: str = ""
+
+
+@dataclass
+class MeterTotals:
+    """Aggregated view of a set of meter records."""
+
+    requests: Counter = field(default_factory=Counter)
+    bytes_in: Counter = field(default_factory=Counter)
+    bytes_out: Counter = field(default_factory=Counter)
+
+    def key(self, service: str, operation: str) -> Tuple[str, str]:
+        """The ``(service, operation)`` counter key."""
+        return (service, operation)
+
+
+class Meter:
+    """Accumulates :class:`MeterRecord` entries for one simulated run.
+
+    A meter also carries a *tag stack*: warehouse code pushes an activity
+    tag (``with meter.tagged("query:q3"): ...``) and every record emitted
+    below inherits it, enabling per-query cost attribution without
+    threading tags through every call site.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[MeterRecord] = []
+        self._tag_stack: List[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, time: float, service: str, operation: str,
+               count: int = 1, bytes_in: int = 0, bytes_out: int = 0,
+               tag: Optional[str] = None) -> MeterRecord:
+        """Append and return a new record, inheriting the current tag."""
+        if tag is None:
+            tag = self._tag_stack[-1] if self._tag_stack else ""
+        rec = MeterRecord(time=time, service=service, operation=operation,
+                          count=count, bytes_in=bytes_in,
+                          bytes_out=bytes_out, tag=tag)
+        self._records.append(rec)
+        return rec
+
+    def tagged(self, tag: str) -> "_TagScope":
+        """Context manager that tags all records emitted inside it."""
+        return _TagScope(self, tag)
+
+    @property
+    def current_tag(self) -> str:
+        """The innermost active attribution tag ("" if none)."""
+        return self._tag_stack[-1] if self._tag_stack else ""
+
+    # -- querying ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MeterRecord]:
+        return iter(self._records)
+
+    def records(self, service: Optional[str] = None,
+                operation: Optional[str] = None,
+                tag: Optional[str] = None,
+                tag_prefix: Optional[str] = None) -> List[MeterRecord]:
+        """Filter records by service and/or operation and/or tag."""
+        out = []
+        for rec in self._records:
+            if service is not None and rec.service != service:
+                continue
+            if operation is not None and rec.operation != operation:
+                continue
+            if tag is not None and rec.tag != tag:
+                continue
+            if tag_prefix is not None and not rec.tag.startswith(tag_prefix):
+                continue
+            out.append(rec)
+        return out
+
+    def request_count(self, service: str,
+                      operation: Optional[str] = None,
+                      tag: Optional[str] = None) -> int:
+        """Total billable requests matching the filter."""
+        return sum(r.count for r in self.records(service, operation, tag))
+
+    def bytes_out_total(self, service: Optional[str] = None,
+                        tag: Optional[str] = None) -> int:
+        """Total bytes transferred out of matching services."""
+        return sum(r.bytes_out for r in self.records(service, tag=tag))
+
+    def bytes_in_total(self, service: Optional[str] = None,
+                       tag: Optional[str] = None) -> int:
+        """Total bytes transferred into matching services."""
+        return sum(r.bytes_in for r in self.records(service, tag=tag))
+
+    def totals(self) -> MeterTotals:
+        """Aggregate counters keyed by ``(service, operation)``."""
+        totals = MeterTotals()
+        for rec in self._records:
+            key = (rec.service, rec.operation)
+            totals.requests[key] += rec.count
+            totals.bytes_in[key] += rec.bytes_in
+            totals.bytes_out[key] += rec.bytes_out
+        return totals
+
+    def by_tag(self) -> Dict[str, List[MeterRecord]]:
+        """Group records by their attribution tag."""
+        grouped: Dict[str, List[MeterRecord]] = defaultdict(list)
+        for rec in self._records:
+            grouped[rec.tag].append(rec)
+        return dict(grouped)
+
+    def clear(self) -> None:
+        """Drop all records (tag stack is preserved)."""
+        self._records.clear()
+
+    def extend(self, records: Iterable[MeterRecord]) -> None:
+        """Append pre-built records (used when merging sub-runs)."""
+        self._records.extend(records)
+
+
+class _TagScope:
+    """Context manager pushing/popping a tag on a meter's tag stack."""
+
+    def __init__(self, meter: Meter, tag: str) -> None:
+        self._meter = meter
+        self._tag = tag
+
+    def __enter__(self) -> Meter:
+        self._meter._tag_stack.append(self._tag)
+        return self._meter
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self._meter._tag_stack.pop()

@@ -1,0 +1,47 @@
+"""The warehouse architecture of §3 (Figure 1).
+
+Documents live in the file store (S3); the index lives in the key-value
+store (DynamoDB); loader and query-processor modules run on EC2
+instances; every hand-off goes through SQS queues:
+
+1.  the :class:`~repro.warehouse.frontend.Frontend` stores an incoming
+    document in S3 and posts a load request (steps 1-3);
+2.  an :class:`~repro.warehouse.loader.IndexerWorker` picks the request
+    up, reads the document, extracts index entries for the configured
+    strategy and writes them to the index store (steps 4-6);
+3.  queries are posted to the query request queue (steps 7-8), picked up
+    by a :class:`~repro.warehouse.query_processor.QueryWorker` which
+    consults the index (9-10), runs the look-up plan (11), fetches the
+    candidate documents from S3 and evaluates the query on them (12-13),
+    writes the results to S3 and announces them (14-15);
+4.  the front end fetches and returns the results (16-18).
+
+:class:`~repro.warehouse.warehouse.Warehouse` wires the whole pipeline
+over a :class:`~repro.cloud.provider.CloudProvider` and exposes the
+experiment-level operations (load corpus, build index, run query /
+workload) together with the timing decompositions the paper's figures
+report.
+"""
+
+from repro.warehouse.lease import LeaseKeeper
+from repro.warehouse.messages import (LoadRequest, QueryRequest,
+                                      QueryResponse, StopWorker)
+from repro.warehouse.monitoring import ResourceReport, resource_report
+from repro.warehouse.warehouse import (BuiltIndex, IndexBuildReport,
+                                       QueryExecution, Warehouse,
+                                       WorkloadReport)
+
+__all__ = [
+    "BuiltIndex",
+    "IndexBuildReport",
+    "LeaseKeeper",
+    "LoadRequest",
+    "QueryExecution",
+    "QueryRequest",
+    "QueryResponse",
+    "ResourceReport",
+    "StopWorker",
+    "Warehouse",
+    "WorkloadReport",
+    "resource_report",
+]

@@ -1,0 +1,72 @@
+"""Message-lease keep-alive (§3).
+
+"If an instance fails to renew its lease on the message which had
+caused a task to start, the message becomes available again" — so a
+*healthy* worker must renew while a task runs longer than the queue's
+visibility timeout.  :class:`LeaseKeeper` is that heartbeat: started
+when a message begins processing, it renews the lease every
+``visibility / HEARTBEAT_FRACTION`` simulated seconds until stopped.
+If the worker dies, the keeper dies with it (same process tree is not
+modelled — the keeper simply checks a shared flag), the lease lapses,
+and SQS redelivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.cloud.provider import CloudProvider
+from repro.errors import ReceiptHandleInvalid
+
+#: Renew when a third of the visibility window has elapsed.
+HEARTBEAT_FRACTION = 3.0
+
+
+class LeaseKeeper:
+    """Heartbeat process renewing one or more message leases."""
+
+    def __init__(self, cloud: CloudProvider, queue_name: str,
+                 visibility_timeout: float) -> None:
+        self._cloud = cloud
+        self._queue_name = queue_name
+        self._visibility = visibility_timeout
+        self._interval = visibility_timeout / HEARTBEAT_FRACTION
+        self._handles: List[str] = []
+        self._running = False
+        self._process = None
+        self.renewals = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, handles: List[str]) -> None:
+        """Begin renewing ``handles`` until :meth:`stop`."""
+        self._handles = list(handles)
+        self._running = True
+        self._process = self._cloud.env.process(
+            self._heartbeat(), name="lease-keeper-{}".format(
+                self._queue_name))
+
+    def stop(self) -> None:
+        """Stop renewing (the task finished; messages get deleted)."""
+        self._running = False
+        self._handles = []
+
+    # -- heartbeat ------------------------------------------------------------
+
+    def _heartbeat(self) -> Generator[Any, Any, None]:
+        while True:
+            yield self._cloud.env.timeout(self._interval)
+            if not self._running:
+                return
+            for handle in list(self._handles):
+                try:
+                    yield from self._cloud.sqs.renew(
+                        self._queue_name, handle, self._visibility)
+                    self.renewals += 1
+                except ReceiptHandleInvalid:
+                    # The lease already lapsed (e.g. the task overran a
+                    # previous gap); nothing left to keep alive.
+                    if handle in self._handles:
+                        self._handles.remove(handle)
+            if not self._handles and not self._running:
+                return

@@ -1,0 +1,170 @@
+"""The indexing module: loader workers on EC2 instances (Figure 1, 4-6).
+
+A worker loops on the loader request queue; for each batch of document
+references it fetches the documents from S3, parses them and extracts
+index entries (CPU work on the instance's cores, in parallel — the
+"multi-threading" of §3), then uploads the entries to the index store
+(bounded by DynamoDB's provisioned write throughput, which is why the
+paper observed "DynamoDB was the bottleneck while indexing" and used
+``l`` rather than ``xl`` loader instances).  Messages are deleted only
+after their documents are fully indexed, so a crashed worker's work is
+redelivered to another instance.
+
+Documents are processed in batches (§8.1: "the documents were gathered
+in batches by multiple instances [...] to minimize the number of calls
+needed to load the index into DynamoDB"): entries of a whole batch are
+packed together into DynamoDB items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.cloud.ec2 import Instance
+from repro.cloud.provider import CloudProvider
+from repro.config import MB, PerformanceProfile
+from repro.indexing.base import ExtractionStats, IndexingStrategy
+from repro.indexing.entries import IndexEntry
+from repro.indexing.mapper import IndexStore, WriteStats
+from repro.warehouse.lease import LeaseKeeper
+from repro.warehouse.messages import LOADER_QUEUE, LoadRequest, StopWorker
+from repro.xmldb.parser import parse_document
+
+
+@dataclass
+class LoaderWorkerStats:
+    """Per-worker accounting for one index build."""
+
+    documents: int = 0
+    batches: int = 0
+    #: Wall (simulated) seconds spent in the extraction phase.
+    extraction_s: float = 0.0
+    #: Wall (simulated) seconds spent uploading to the index store.
+    upload_s: float = 0.0
+    first_receive: Optional[float] = None
+    last_delete: float = 0.0
+    extraction: ExtractionStats = field(
+        default_factory=ExtractionStats)
+    writes: WriteStats = field(default_factory=WriteStats)
+
+    def merge_extraction(self, stats: ExtractionStats) -> None:
+        """Accumulate one document's extraction stats."""
+        self.extraction = ExtractionStats(
+            entries=self.extraction.entries + stats.entries,
+            ids=self.extraction.ids + stats.ids,
+            paths=self.extraction.paths + stats.paths)
+
+
+def extraction_cpu_ecu_s(profile: PerformanceProfile, document_bytes: int,
+                         stats: ExtractionStats) -> float:
+    """ECU-seconds to parse one document and extract its entries."""
+    parse = profile.parse_ecu_s_per_mb * (document_bytes / MB)
+    extract = (stats.entries * profile.extract_ecu_s_per_entry
+               + stats.ids * profile.extract_ecu_s_per_id
+               + stats.paths * profile.extract_ecu_s_per_path)
+    return parse + extract
+
+
+class IndexerWorker:
+    """One loader worker bound to one EC2 instance."""
+
+    def __init__(self, cloud: CloudProvider, instance: Instance,
+                 store: IndexStore, strategy: IndexingStrategy,
+                 table_names: Dict[str, str], document_bucket: str,
+                 batch_size: int = 8) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._cloud = cloud
+        self._instance = instance
+        self._store = store
+        self._strategy = strategy
+        self._table_names = table_names
+        self._bucket = document_bucket
+        self._batch_size = batch_size
+        self.stats = LoaderWorkerStats()
+
+    def _visibility_timeout(self) -> float:
+        """The loader queue's configured visibility timeout."""
+        return self._cloud.sqs._queue(LOADER_QUEUE).visibility_timeout
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> Generator[Any, Any, LoaderWorkerStats]:
+        """Worker process: consume load requests until a poison pill."""
+        sqs = self._cloud.sqs
+        while True:
+            body, handle = yield from sqs.receive(LOADER_QUEUE)
+            if isinstance(body, StopWorker):
+                yield from sqs.delete(LOADER_QUEUE, handle)
+                return self.stats
+            if self.stats.first_receive is None:
+                self.stats.first_receive = self._cloud.env.now
+            batch: List[Tuple[LoadRequest, str]] = [(body, handle)]
+            # Opportunistically fill the batch without blocking.
+            while len(batch) < self._batch_size:
+                extra = yield from sqs.receive_if_available(LOADER_QUEUE)
+                if extra is None or isinstance(extra[0], StopWorker):
+                    if extra is not None:
+                        # Put the pill back for the other workers by
+                        # releasing our lease immediately.
+                        yield from sqs.renew(LOADER_QUEUE, extra[1], 1e-9)
+                    break
+                batch.append(extra)
+            # Keep the batch's leases alive while it processes (§3):
+            # a crash stops the heartbeat and the messages reappear.
+            keeper = LeaseKeeper(self._cloud, LOADER_QUEUE,
+                                 self._visibility_timeout())
+            keeper.start([handle for _, handle in batch])
+            try:
+                yield from self._process_batch(
+                    [request for request, _ in batch])
+            finally:
+                keeper.stop()
+            for _, batch_handle in batch:
+                yield from sqs.delete(LOADER_QUEUE, batch_handle)
+                self.stats.last_delete = self._cloud.env.now
+
+    # -- batch processing -------------------------------------------------------
+
+    def _process_batch(self, requests: List[LoadRequest],
+                       ) -> Generator[Any, Any, None]:
+        env = self._cloud.env
+        self.stats.batches += 1
+
+        # Phase 1 — extraction: fetch + parse + extract, one core task
+        # per document (intra-machine parallelism).
+        extracted: Dict[str, List[IndexEntry]] = {
+            table: [] for table in self._strategy.logical_tables}
+        phase_start = env.now
+        tasks = [env.process(self._extract_one(request.uri, extracted),
+                             name="extract-{}".format(request.uri))
+                 for request in requests]
+        for task in tasks:
+            yield task
+        self.stats.extraction_s += env.now - phase_start
+        self.stats.documents += len(requests)
+
+        # Phase 2 — upload: write the batch's entries per logical table.
+        upload_start = env.now
+        for logical_table in self._strategy.logical_tables:
+            entries = extracted[logical_table]
+            if not entries:
+                continue
+            write_stats = yield from self._store.write_entries(
+                self._table_names[logical_table], entries)
+            self.stats.writes.merge(write_stats)
+        self.stats.upload_s += env.now - upload_start
+
+    def _extract_one(self, uri: str,
+                     sink: Dict[str, List[IndexEntry]],
+                     ) -> Generator[Any, Any, None]:
+        data = yield from self._cloud.s3.get(self._bucket, uri)
+        document = parse_document(data, uri)
+        by_table = self._strategy.extract(document)
+        stats = ExtractionStats.of(by_table)
+        work = extraction_cpu_ecu_s(self._cloud.profile, len(data), stats)
+        yield from self._instance.run(work)
+        self.stats.merge_extraction(stats)
+        for logical_table, entries in by_table.items():
+            sink[logical_table].extend(entries)

@@ -1,0 +1,51 @@
+"""Message types flowing through the SQS queues (Figure 1).
+
+Messages are small value objects; large payloads (documents, results)
+never travel through queues — only *references* into the file store do,
+exactly as in the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Queue names used by the warehouse deployment.
+LOADER_QUEUE = "loader-requests"
+QUERY_QUEUE = "query-requests"
+RESPONSE_QUEUE = "query-responses"
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """Step 3: "a message containing the reference to the document"."""
+
+    uri: str
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Step 8: "a message containing the query"."""
+
+    query_id: int
+    #: Textual form of the query (parsed by the worker).
+    text: str
+    #: Query display name (e.g. "q3"), for reporting only.
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Step 15: "a message with the reference to those results"."""
+
+    query_id: int
+    #: S3 key (in the results bucket) under which results were written.
+    result_key: str
+
+
+@dataclass(frozen=True)
+class StopWorker:
+    """Poison pill: tells a worker its module is being scaled down.
+
+    (Real deployments stop instances out of band; inside the simulation
+    an explicit sentinel keeps worker processes finite.)
+    """

@@ -1,0 +1,165 @@
+"""Warehouse observability: resource utilisation and queue health.
+
+The paper explains several results through resource saturation
+("DynamoDB was the bottleneck while indexing"; "many strong instances
+[...] come close to saturating DynamoDB's capacity") — claims an
+operator verifies from service metrics.  This module derives those
+metrics from the simulated deployment: key-value store throughput
+utilisation and queueing delay, per-instance busy fractions, queue
+depths and redelivery counts, and per-service request volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
+                                      RESPONSE_QUEUE)
+
+
+@dataclass(frozen=True)
+class ThroughputUtilization:
+    """One fluid server's (DynamoDB/SimpleDB read or write) load."""
+
+    name: str
+    requests: int
+    total_units: float
+    #: Mean queueing delay per request, seconds — the saturation signal.
+    mean_queue_delay_s: float
+    #: Work currently queued ahead of a new request, seconds.
+    backlog_s: float
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: requests waited noticeably on provisioned capacity."""
+        return self.mean_queue_delay_s > 0.05
+
+
+@dataclass(frozen=True)
+class InstanceUtilization:
+    """One EC2 instance's lifetime utilisation."""
+
+    instance_id: str
+    instance_type: str
+    uptime_s: float
+    busy_ecu_s: float
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of total compute capacity actually used."""
+        from repro.config import instance_type as lookup
+        capacity = lookup(self.instance_type).total_ecu * self.uptime_s
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_ecu_s / capacity)
+
+
+@dataclass(frozen=True)
+class QueueHealth:
+    """One SQS queue's current state."""
+
+    name: str
+    visible: int
+    in_flight: int
+    redelivered: int
+
+    @property
+    def drained(self) -> bool:
+        """True when nothing is visible or in flight."""
+        return self.visible == 0 and self.in_flight == 0
+
+
+@dataclass
+class ResourceReport:
+    """Full deployment snapshot."""
+
+    time_s: float
+    stores: List[ThroughputUtilization] = field(default_factory=list)
+    instances: List[InstanceUtilization] = field(default_factory=list)
+    queues: List[QueueHealth] = field(default_factory=list)
+    #: (service, operation) -> billable request count.
+    request_counts: Dict[str, int] = field(default_factory=dict)
+
+    def store(self, name: str) -> ThroughputUtilization:
+        """Look a store's utilisation up by name."""
+        for entry in self.stores:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def queue(self, name: str) -> QueueHealth:
+        """Look a queue's health up by name."""
+        for entry in self.queues:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = ["Resource report @ t={:.1f}s".format(self.time_s)]
+        lines.append("  stores:")
+        for entry in self.stores:
+            lines.append(
+                "    {:<16} {:>8} reqs  {:>12.0f} units  "
+                "mean wait {:.3f}s  backlog {:.3f}s{}".format(
+                    entry.name, entry.requests, entry.total_units,
+                    entry.mean_queue_delay_s, entry.backlog_s,
+                    "  [SATURATED]" if entry.saturated else ""))
+        lines.append("  instances:")
+        for entry in self.instances:
+            lines.append("    {:<12} {:<3} up {:>8.1f}s  busy {:.0%}".format(
+                entry.instance_id, entry.instance_type, entry.uptime_s,
+                entry.busy_fraction))
+        lines.append("  queues:")
+        for entry in self.queues:
+            lines.append(
+                "    {:<18} visible {:>4}  in-flight {:>3}  "
+                "redelivered {:>3}".format(entry.name, entry.visible,
+                                           entry.in_flight,
+                                           entry.redelivered))
+        lines.append("  requests:")
+        for key in sorted(self.request_counts):
+            lines.append("    {:<28} {}".format(key,
+                                                self.request_counts[key]))
+        return "\n".join(lines)
+
+
+def _limiter_utilization(limiter, name: str) -> ThroughputUtilization:
+    mean_delay = (limiter.total_queue_delay / limiter.requests
+                  if limiter.requests else 0.0)
+    return ThroughputUtilization(
+        name=name, requests=limiter.requests,
+        total_units=limiter.total_units,
+        mean_queue_delay_s=mean_delay,
+        backlog_s=limiter.backlog_seconds)
+
+
+def resource_report(warehouse) -> ResourceReport:
+    """Snapshot a warehouse's resource state (cheap, side-effect free)."""
+    cloud = warehouse.cloud
+    report = ResourceReport(time_s=cloud.env.now)
+    report.stores = [
+        _limiter_utilization(cloud.dynamodb.write_limiter, "dynamodb-write"),
+        _limiter_utilization(cloud.dynamodb.read_limiter, "dynamodb-read"),
+        _limiter_utilization(cloud.simpledb._write_limiter, "simpledb-write"),
+        _limiter_utilization(cloud.simpledb._read_limiter, "simpledb-read"),
+    ]
+    report.instances = [
+        InstanceUtilization(
+            instance_id=instance.instance_id,
+            instance_type=instance.itype.name,
+            uptime_s=instance.uptime_seconds,
+            busy_ecu_s=instance.busy_ecu_seconds)
+        for instance in cloud.ec2.instances()]
+    for queue_name in (LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE):
+        report.queues.append(QueueHealth(
+            name=queue_name,
+            visible=cloud.sqs.approximate_depth(queue_name),
+            in_flight=cloud.sqs.in_flight_count(queue_name),
+            redelivered=cloud.sqs.redelivered_count(queue_name)))
+    totals = cloud.meter.totals()
+    report.request_counts = {
+        "{}:{}".format(service, operation): count
+        for (service, operation), count in sorted(totals.requests.items())}
+    return report

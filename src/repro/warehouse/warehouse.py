@@ -1,0 +1,562 @@
+"""Warehouse orchestration: the experiment-level API.
+
+A :class:`Warehouse` owns a :class:`~repro.cloud.provider.CloudProvider`
+deployment (buckets, queues, index tables) and drives the three
+operations every experiment is built from:
+
+- :meth:`Warehouse.upload_corpus` — store the document set in S3;
+- :meth:`Warehouse.build_index` — run loader instances over the corpus
+  for one strategy, producing a :class:`BuiltIndex` plus the Table 4
+  style timing report;
+- :meth:`Warehouse.run_workload` / :meth:`Warehouse.run_query` — run
+  query-processor instances over a query list (with or without an
+  index), producing per-query :class:`QueryExecution` records carrying
+  the Figure 9 decomposition and the Table 5 document counts.
+
+Every phase is tagged on the meter, so the cost model can price
+index builds and individual queries separately (Tables 6, Figures
+11-13).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence, Union
+
+from repro.cloud.provider import CloudProvider
+from repro.errors import WarehouseError
+from repro.indexing.base import IndexingStrategy
+from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
+                                   SimpleDBIndexStore)
+from repro.indexing.registry import strategy as strategy_by_name
+from repro.query.parser import query_to_source
+from repro.query.pattern import Query
+from repro.warehouse.frontend import Frontend
+from repro.warehouse.loader import IndexerWorker, LoaderWorkerStats
+from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
+                                      RESPONSE_QUEUE, StopWorker)
+from repro.warehouse.query_processor import QueryWorker, QueryWorkStats
+from repro.xmark.corpus import Corpus
+
+DOCUMENT_BUCKET = "documents"
+RESULTS_BUCKET = "results"
+
+#: Realistic lease: long tasks survive through the workers' heartbeat
+#: renewals (``repro.warehouse.lease``), not an oversized timeout.
+QUEUE_VISIBILITY_TIMEOUT = 120.0
+
+
+@dataclass
+class PhaseRecord:
+    """One metered phase: which instances ran for how long, under what tag."""
+
+    tag: str
+    instance_type: str
+    instances: int
+    started_at: float
+    ended_at: float
+
+    @property
+    def duration_s(self) -> float:
+        """Phase length in simulated seconds."""
+        return self.ended_at - self.started_at
+
+    @property
+    def vm_hours(self) -> float:
+        """Fractional instance-hours (the §7 formulas use task time)."""
+        return self.duration_s / 3600.0 * self.instances
+
+
+@dataclass
+class IndexBuildReport:
+    """Table 4-style report for one index build."""
+
+    strategy_name: str
+    include_words: bool
+    tag: str
+    instance_type: str
+    instances: int
+    documents: int
+    #: ``tidx`` — first load message retrieved → last message deleted.
+    total_s: float
+    #: Mean per-instance wall seconds spent extracting entries.
+    avg_extraction_s: float
+    #: Mean per-instance wall seconds spent uploading to the index store.
+    avg_upload_s: float
+    #: ``|op(D, I)|`` — billable index put operations.
+    puts: int
+    items: int
+    batches: int
+    entries: int
+    ids: int
+    paths: int
+    #: ``sr(D, I)`` / ``ovh(D, I)`` / ``s(D, I)`` in bytes (§7.1).
+    raw_bytes: int
+    overhead_bytes: int
+    stored_bytes: int
+    vm_hours: float
+
+
+@dataclass
+class BuiltIndex:
+    """Handle to a built index: strategy + store + physical tables."""
+
+    strategy: IndexingStrategy
+    store: IndexStore
+    table_names: Dict[str, str]
+    report: IndexBuildReport
+
+    def make_lookup(self):
+        """The strategy's look-up planner over this index."""
+        return self.strategy.make_lookup(self.store, self.table_names)
+
+    @property
+    def physical_tables(self) -> List[str]:
+        """Physical table names backing this index."""
+        return [self.table_names[t] for t in self.strategy.logical_tables]
+
+    def stored_bytes(self) -> int:
+        """Current billable index storage, ``s(D, I)``."""
+        return self.store.stored_bytes(self.physical_tables)
+
+
+@dataclass
+class QueryExecution:
+    """One query's measurements (Figure 9 + Table 5 + cost inputs)."""
+
+    name: str
+    strategy_name: str          # "none" for the no-index baseline
+    instance_type: str
+    instances: int
+    tag: str
+    #: User-perceived response time: submit → results fetched.
+    response_s: float
+    #: ``ptq`` / ``pt``: worker message retrieved → deleted.
+    processing_s: float
+    lookup_get_s: float
+    lookup_plan_s: float
+    fetch_eval_s: float
+    #: Table 5 "# Doc. IDs from index" (per-pattern sum).
+    docs_from_index: int
+    per_pattern_docs: List[int]
+    #: ``|Dq_I|`` — documents actually fetched from S3.
+    documents_fetched: int
+    #: Table 5 "# Docs. with results".
+    docs_with_results: int
+    result_rows: int
+    #: ``|r(q)|`` in bytes.
+    result_bytes: int
+    #: ``|op(q, D, I)|`` — billable index get operations.
+    index_gets: int
+    rows_processed: int
+
+
+@dataclass
+class WorkloadReport:
+    """A workload run: per-query executions plus the makespan."""
+
+    executions: List[QueryExecution]
+    strategy_name: str
+    instance_type: str
+    instances: int
+    tag: str
+    #: First submission → last result fetched (Figure 10's metric).
+    makespan_s: float
+
+    def by_name(self) -> Dict[str, List[QueryExecution]]:
+        """Executions grouped by query name."""
+        grouped: Dict[str, List[QueryExecution]] = {}
+        for execution in self.executions:
+            grouped.setdefault(execution.name, []).append(execution)
+        return grouped
+
+
+class Warehouse:
+    """A deployed warehouse on one simulated cloud."""
+
+    def __init__(self, cloud: Optional[CloudProvider] = None) -> None:
+        self.cloud = cloud or CloudProvider()
+        self.cloud.s3.create_bucket(DOCUMENT_BUCKET)
+        self.cloud.s3.create_bucket(RESULTS_BUCKET)
+        for queue in (LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE):
+            self.cloud.sqs.create_queue(
+                queue, visibility_timeout=QUEUE_VISIBILITY_TIMEOUT)
+        self.frontend = Frontend(self.cloud, DOCUMENT_BUCKET, RESULTS_BUCKET)
+        self.phases: List[PhaseRecord] = []
+        self.corpus: Optional[Corpus] = None
+        self._all_uris: List[str] = []
+        self._build_ids = itertools.count(1)
+        #: Shared host-side parse cache for query workers (see
+        #: QueryWorker.parsed_documents: simulated CPU is unaffected).
+        self._parse_cache: Dict[str, Any] = {}
+
+    # -- corpus upload -----------------------------------------------------------
+
+    def upload_corpus(self, corpus: Corpus, tag: str = "upload") -> None:
+        """Store every corpus document in the file store (steps 1-2)."""
+        self.corpus = corpus
+        self._all_uris = [doc.uri for doc in corpus.documents]
+        self._parse_cache = {doc.uri: doc for doc in corpus.documents}
+
+        def driver() -> Generator[Any, Any, None]:
+            for uri in self._all_uris:
+                yield from self.frontend.store_document(uri, corpus.data[uri])
+
+        with self.cloud.meter.tagged(tag):
+            self.cloud.env.run_process(driver(), name="upload-corpus")
+
+    # -- index building ------------------------------------------------------------
+
+    def build_index(self, strategy: Union[str, IndexingStrategy],
+                    instances: int = 8, instance_type: str = "l",
+                    batch_size: int = 8, include_words: bool = True,
+                    backend: str = "dynamodb",
+                    tag: Optional[str] = None) -> BuiltIndex:
+        """Build one strategy's index over the uploaded corpus.
+
+        Launches ``instances`` loader VMs of ``instance_type``, enqueues
+        one load request per document, and runs the pipeline to
+        completion.  ``backend`` selects the index store ("dynamodb" or
+        "simpledb" — the latter reproduces the [8] baseline of Tables
+        7-8).
+        """
+        if self.corpus is None:
+            raise WarehouseError("upload_corpus() must run before build_index()")
+        if isinstance(strategy, str):
+            strategy = strategy_by_name(strategy, include_words=include_words)
+        build_id = next(self._build_ids)
+        tag = tag or "index-build:{}:{}".format(strategy.name, build_id)
+
+        store = self._make_store(backend, seed=build_id)
+        table_names = {
+            logical: "idx-{}-{}-{}".format(
+                strategy.name.lower(), logical, build_id)
+            for logical in strategy.logical_tables}
+        for physical in table_names.values():
+            store.create_table(physical)
+
+        fleet = self.cloud.ec2.launch_fleet(instance_type, instances)
+        workers = [IndexerWorker(self.cloud, instance, store, strategy,
+                                 table_names, DOCUMENT_BUCKET,
+                                 batch_size=batch_size)
+                   for instance in fleet]
+
+        def driver() -> Generator[Any, Any, List[LoaderWorkerStats]]:
+            procs = [self.cloud.env.process(worker.run(),
+                                            name="loader-{}".format(i))
+                     for i, worker in enumerate(workers)]
+            # Load requests are posted concurrently (documents "arrive"
+            # independently at the scalable front end) so the loader
+            # fleet — not the request rate — bounds indexing time.
+            sends = [self.cloud.env.process(self.frontend.request_load(uri),
+                                            name="send-{}".format(uri))
+                     for uri in self._all_uris]
+            for send in sends:
+                yield send
+            for _ in workers:
+                yield from self.cloud.sqs.send(LOADER_QUEUE, StopWorker())
+            results: List[LoaderWorkerStats] = []
+            for proc in procs:
+                results.append((yield proc))
+            return results
+
+        started_at = self.cloud.env.now
+        with self.cloud.meter.tagged(tag):
+            stats: List[LoaderWorkerStats] = self.cloud.env.run_process(
+                driver(), name="build-{}".format(strategy.name))
+        self.cloud.ec2.stop_all()
+        ended_at = self.cloud.env.now
+        phase = PhaseRecord(tag=tag, instance_type=instance_type,
+                            instances=instances, started_at=started_at,
+                            ended_at=ended_at)
+        self.phases.append(phase)
+
+        active = [s for s in stats if s.documents]
+        first_receive = min((s.first_receive for s in active
+                             if s.first_receive is not None),
+                            default=started_at)
+        last_delete = max((s.last_delete for s in active), default=ended_at)
+        physical = list(table_names.values())
+        report = IndexBuildReport(
+            strategy_name=strategy.name,
+            include_words=strategy.include_words,
+            tag=tag,
+            instance_type=instance_type,
+            instances=instances,
+            documents=sum(s.documents for s in stats),
+            total_s=last_delete - first_receive,
+            avg_extraction_s=(sum(s.extraction_s for s in active)
+                              / len(active)) if active else 0.0,
+            avg_upload_s=(sum(s.upload_s for s in active)
+                          / len(active)) if active else 0.0,
+            puts=sum(s.writes.puts for s in stats),
+            items=sum(s.writes.items for s in stats),
+            batches=sum(s.writes.batches for s in stats),
+            entries=sum(s.extraction.entries for s in stats),
+            ids=sum(s.extraction.ids for s in stats),
+            paths=sum(s.extraction.paths for s in stats),
+            raw_bytes=store.raw_bytes(physical),
+            overhead_bytes=store.overhead_bytes(physical),
+            stored_bytes=store.stored_bytes(physical),
+            vm_hours=phase.vm_hours,
+        )
+        return BuiltIndex(strategy=strategy, store=store,
+                          table_names=table_names, report=report)
+
+    def ingest_increment(self, increment: Corpus,
+                         indexes: Sequence[BuiltIndex],
+                         instances: int = 2, instance_type: str = "l",
+                         batch_size: int = 8,
+                         tag: Optional[str] = None) -> List[IndexBuildReport]:
+        """Incrementally warehouse newly-arrived documents (steps 1-6).
+
+        The paper's indexes "only depend on data", so new documents
+        extend existing indexes without rebuilds: each increment
+        document is stored in S3, a load request is posted, and loader
+        workers extract entries into the *existing* tables of every
+        index in ``indexes``.  Returns one report per extended index.
+        """
+        if self.corpus is None:
+            raise WarehouseError(
+                "upload_corpus() must run before ingest_increment()")
+        duplicate = set(self.corpus.data) & set(increment.data)
+        if duplicate:
+            raise WarehouseError(
+                "increment re-uses existing URIs: {}".format(
+                    sorted(duplicate)[:3]))
+        tag = tag or "ingest:{}".format(len(increment))
+
+        # Extend the warehouse's view of the corpus.
+        self.corpus = Corpus(
+            documents=self.corpus.documents + increment.documents,
+            data={**self.corpus.data, **increment.data},
+            kinds={**self.corpus.kinds, **increment.kinds},
+            restructured=self.corpus.restructured + increment.restructured,
+            heterogenized=(self.corpus.heterogenized
+                           + increment.heterogenized))
+        self._all_uris.extend(doc.uri for doc in increment.documents)
+        self._parse_cache.update(
+            {doc.uri: doc for doc in increment.documents})
+
+        reports: List[IndexBuildReport] = []
+        with self.cloud.meter.tagged(tag):
+            # Steps 1-2: the front end stores the arriving documents.
+            def store_driver() -> Generator[Any, Any, None]:
+                for document in increment.documents:
+                    yield from self.frontend.store_document(
+                        document.uri, increment.data[document.uri])
+            self.cloud.env.run_process(store_driver(), name="ingest-store")
+
+        for built in indexes:
+            reports.append(self._index_increment(
+                built, increment, instances, instance_type, batch_size,
+                tag="{}:{}".format(tag, built.strategy.name)))
+        return reports
+
+    def _index_increment(self, built: BuiltIndex, increment: Corpus,
+                         instances: int, instance_type: str,
+                         batch_size: int, tag: str) -> IndexBuildReport:
+        """Run loader workers over the increment into existing tables."""
+        fleet = self.cloud.ec2.launch_fleet(instance_type, instances)
+        workers = [IndexerWorker(self.cloud, instance, built.store,
+                                 built.strategy, built.table_names,
+                                 DOCUMENT_BUCKET, batch_size=batch_size)
+                   for instance in fleet]
+
+        def driver() -> Generator[Any, Any, List[LoaderWorkerStats]]:
+            procs = [self.cloud.env.process(worker.run(),
+                                            name="ingest-loader-{}".format(i))
+                     for i, worker in enumerate(workers)]
+            sends = [self.cloud.env.process(
+                self.frontend.request_load(document.uri),
+                name="ingest-send-{}".format(document.uri))
+                for document in increment.documents]
+            for send in sends:
+                yield send
+            for _ in workers:
+                yield from self.cloud.sqs.send(LOADER_QUEUE, StopWorker())
+            results: List[LoaderWorkerStats] = []
+            for proc in procs:
+                results.append((yield proc))
+            return results
+
+        started_at = self.cloud.env.now
+        with self.cloud.meter.tagged(tag):
+            stats = self.cloud.env.run_process(
+                driver(), name="ingest-{}".format(built.strategy.name))
+        self.cloud.ec2.stop_all()
+        phase = PhaseRecord(tag=tag, instance_type=instance_type,
+                            instances=instances, started_at=started_at,
+                            ended_at=self.cloud.env.now)
+        self.phases.append(phase)
+        active = [s for s in stats if s.documents]
+        first_receive = min((s.first_receive for s in active
+                             if s.first_receive is not None),
+                            default=started_at)
+        last_delete = max((s.last_delete for s in active),
+                          default=self.cloud.env.now)
+        physical = built.physical_tables
+        report = IndexBuildReport(
+            strategy_name=built.strategy.name,
+            include_words=built.strategy.include_words,
+            tag=tag,
+            instance_type=instance_type,
+            instances=instances,
+            documents=sum(s.documents for s in stats),
+            total_s=last_delete - first_receive,
+            avg_extraction_s=(sum(s.extraction_s for s in active)
+                              / len(active)) if active else 0.0,
+            avg_upload_s=(sum(s.upload_s for s in active)
+                          / len(active)) if active else 0.0,
+            puts=sum(s.writes.puts for s in stats),
+            items=sum(s.writes.items for s in stats),
+            batches=sum(s.writes.batches for s in stats),
+            entries=sum(s.extraction.entries for s in stats),
+            ids=sum(s.extraction.ids for s in stats),
+            paths=sum(s.extraction.paths for s in stats),
+            raw_bytes=built.store.raw_bytes(physical),
+            overhead_bytes=built.store.overhead_bytes(physical),
+            stored_bytes=built.store.stored_bytes(physical),
+            vm_hours=phase.vm_hours,
+        )
+        # Keep the handle's report in sync with the grown index.
+        built.report.raw_bytes = report.raw_bytes
+        built.report.overhead_bytes = report.overhead_bytes
+        built.report.stored_bytes = report.stored_bytes
+        return report
+
+    def drop_index(self, built: BuiltIndex) -> int:
+        """Delete an index's tables, ending its storage rent.
+
+        Returns the number of bytes freed (``s(D, I)``) — what the
+        monthly ``IDX$m,GB`` charge stops accruing on.
+        """
+        freed = built.store.stored_bytes(built.physical_tables)
+        for physical in built.physical_tables:
+            if built.store.backend_name == "dynamodb":
+                self.cloud.dynamodb.delete_table(physical)
+            else:
+                self.cloud.simpledb.delete_domain(physical)
+        return freed
+
+    def _make_store(self, backend: str, seed: int) -> IndexStore:
+        if backend == "dynamodb":
+            return DynamoIndexStore(self.cloud.dynamodb, seed=seed)
+        if backend == "simpledb":
+            return SimpleDBIndexStore(self.cloud.simpledb, seed=seed)
+        raise WarehouseError(
+            "unknown index backend {!r} (dynamodb or simpledb)".format(backend))
+
+    # -- querying ----------------------------------------------------------------------
+
+    def run_workload(self, queries: Sequence[Query],
+                     index: Optional[BuiltIndex],
+                     instances: int = 1, instance_type: str = "xl",
+                     repeats: int = 1, pipeline: bool = False,
+                     tag: Optional[str] = None) -> WorkloadReport:
+        """Run ``queries`` (``repeats`` times) over ``instances`` VMs.
+
+        With ``index=None`` the no-index baseline runs: every document
+        is fetched and evaluated for every query.
+
+        ``pipeline=False`` (default) submits queries one at a time,
+        waiting for each response before the next submission — the
+        per-query response-time protocol of Figure 9.  ``pipeline=True``
+        submits the whole workload up front so the instance fleet
+        processes queries concurrently — the throughput protocol of
+        Figure 10 ("we sent to the front-end all our workload queries,
+        successively, 16 times").
+        """
+        if self.corpus is None:
+            raise WarehouseError("upload_corpus() must run before queries")
+        strategy_name = index.strategy.name if index else "none"
+        tag = tag or "workload:{}:{}x{}".format(
+            strategy_name, instances, instance_type)
+
+        fleet = self.cloud.ec2.launch_fleet(instance_type, instances)
+        stats_sink: Dict[int, QueryWorkStats] = {}
+        workers = [QueryWorker(self.cloud, instance,
+                               index.make_lookup() if index else None,
+                               DOCUMENT_BUCKET, RESULTS_BUCKET,
+                               self._all_uris, stats_sink,
+                               parsed_documents=self._parse_cache)
+                   for instance in fleet]
+
+        submitted: Dict[int, float] = {}
+        fetched: Dict[int, float] = {}
+        names: Dict[int, str] = {}
+
+        def submit_one(query: Query) -> Generator[Any, Any, None]:
+            query_id = yield from self.frontend.submit_query(
+                query_to_source(query), name=query.name)
+            submitted[query_id] = self.cloud.env.now
+            names[query_id] = query.name
+
+        def driver() -> Generator[Any, Any, None]:
+            procs = [self.cloud.env.process(worker.run(),
+                                            name="qworker-{}".format(i))
+                     for i, worker in enumerate(workers)]
+            plan = [query for _ in range(repeats) for query in queries]
+            if pipeline:
+                for query in plan:
+                    yield from submit_one(query)
+                for _ in plan:
+                    result = yield from self.frontend.await_response()
+                    fetched[result.query_id] = result.fetched_at
+            else:
+                for query in plan:
+                    yield from submit_one(query)
+                    result = yield from self.frontend.await_response()
+                    fetched[result.query_id] = result.fetched_at
+            for _ in workers:
+                yield from self.cloud.sqs.send(QUERY_QUEUE, StopWorker())
+            for proc in procs:
+                yield proc
+
+        started_at = self.cloud.env.now
+        with self.cloud.meter.tagged(tag):
+            self.cloud.env.run_process(driver(), name="workload")
+        self.cloud.ec2.stop_all()
+        self.phases.append(PhaseRecord(
+            tag=tag, instance_type=instance_type, instances=instances,
+            started_at=started_at, ended_at=self.cloud.env.now))
+
+        executions: List[QueryExecution] = []
+        for query_id in sorted(submitted):
+            work = stats_sink[query_id]
+            executions.append(QueryExecution(
+                name=names[query_id],
+                strategy_name=strategy_name,
+                instance_type=instance_type,
+                instances=instances,
+                tag=tag,
+                response_s=fetched[query_id] - submitted[query_id],
+                processing_s=work.processing_s,
+                lookup_get_s=work.lookup_get_s,
+                lookup_plan_s=work.lookup_plan_s,
+                fetch_eval_s=work.fetch_eval_s,
+                docs_from_index=work.docs_from_index,
+                per_pattern_docs=list(work.per_pattern_docs),
+                documents_fetched=work.documents_fetched,
+                docs_with_results=work.docs_with_results,
+                result_rows=work.result_rows,
+                result_bytes=work.result_bytes,
+                index_gets=work.index_gets,
+                rows_processed=work.rows_processed,
+            ))
+        makespan = (max(fetched.values()) - min(submitted.values())
+                    if fetched else 0.0)
+        return WorkloadReport(executions=executions,
+                              strategy_name=strategy_name,
+                              instance_type=instance_type,
+                              instances=instances, tag=tag,
+                              makespan_s=makespan)
+
+    def run_query(self, query: Query, index: Optional[BuiltIndex],
+                  instance_type: str = "xl",
+                  tag: Optional[str] = None) -> QueryExecution:
+        """Run a single query on a single instance."""
+        report = self.run_workload([query], index, instances=1,
+                                   instance_type=instance_type, tag=tag)
+        return report.executions[0]

@@ -1,0 +1,23 @@
+"""XMark-style corpus generation (§8.1 experimental setup).
+
+The paper generates 20 000 XMark [24] documents with the benchmark's
+``split`` option, then "modified a fraction of the documents to alter
+their path structure (while preserving their labels), and modified
+another fraction to make them 'more' heterogeneous than the original
+documents, by rendering more elements optional children of their
+parents".  This subpackage reproduces that recipe at configurable scale:
+
+- :mod:`~repro.xmark.vocabulary` — deterministic word/name pools,
+  including rare *marker* words that make ``contains`` queries selective;
+- :mod:`~repro.xmark.generator` — generates split auction-site documents
+  (items, people, open/closed auctions, categories) with consistent
+  cross-references;
+- :mod:`~repro.xmark.heterogeneity` — the two §8.1 modifications;
+- :class:`~repro.xmark.corpus.Corpus` — the generated document set, with
+  size accounting and prefix slicing for the Figure 7 scaling study.
+"""
+
+from repro.xmark.corpus import Corpus, generate_corpus
+from repro.xmark.generator import XMarkGenerator
+
+__all__ = ["Corpus", "XMarkGenerator", "generate_corpus"]

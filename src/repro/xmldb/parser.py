@@ -1,0 +1,44 @@
+"""XML bytes → Document parsing.
+
+Parsing uses the stdlib expat-backed :mod:`xml.etree.ElementTree` for
+well-formedness and then converts to our ordered model, preserving mixed
+content (``text`` / ``tail``) and attribute order, before assigning
+(pre, post, depth) identifiers.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Union
+
+from repro.errors import XMLParseError
+from repro.xmldb.model import Attribute, Document, Element, Text, assign_identifiers
+
+
+def _convert(source: ET.Element) -> Element:
+    element = Element(label=source.tag)
+    for name, value in source.attrib.items():
+        element.attributes.append(Attribute(name=name, value=value))
+    if source.text:
+        element.children.append(Text(value=source.text))
+    for child in source:
+        element.children.append(_convert(child))
+        if child.tail:
+            element.children.append(Text(value=child.tail))
+    return element
+
+
+def parse_document(data: Union[bytes, str], uri: str) -> Document:
+    """Parse XML ``data`` into a :class:`Document` with IDs assigned.
+
+    Raises :class:`~repro.errors.XMLParseError` on malformed input.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    try:
+        root = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise XMLParseError("{} (uri={})".format(exc, uri)) from exc
+    document = Document(uri=uri, root=_convert(root), size_bytes=len(data))
+    assign_identifiers(document)
+    return document

@@ -1,0 +1,66 @@
+"""Document → XML bytes serialization.
+
+The serializer produces canonical-ish XML: attributes in model order,
+text exactly as stored, no insignificant whitespace added.  It is the
+inverse of :func:`repro.xmldb.parser.parse_document` up to ID
+re-assignment, a property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.xmldb.model import Document, Element, Text
+
+_ESCAPES_TEXT = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ESCAPES_ATTR = _ESCAPES_TEXT + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, entity in _ESCAPES_TEXT:
+        value = value.replace(raw, entity)
+    return value
+
+
+def escape_attr(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for raw, entity in _ESCAPES_ATTR:
+        value = value.replace(raw, entity)
+    return value
+
+
+def serialize_element(element: Element) -> str:
+    """Serialize one element subtree to an XML string."""
+    parts: List[str] = []
+    _write(element, parts)
+    return "".join(parts)
+
+
+def _write(node: Union[Element, Text], parts: List[str]) -> None:
+    if isinstance(node, Text):
+        parts.append(escape_text(node.value))
+        return
+    parts.append("<")
+    parts.append(node.label)
+    for attr in node.attributes:
+        parts.append(' {}="{}"'.format(attr.name, escape_attr(attr.value)))
+    if not node.children:
+        parts.append("/>")
+        return
+    parts.append(">")
+    for child in node.children:
+        _write(child, parts)
+    parts.append("</")
+    parts.append(node.label)
+    parts.append(">")
+
+
+def serialize(document: Document) -> bytes:
+    """Serialize a document to UTF-8 XML bytes (no XML declaration)."""
+    return serialize_element(document.root).encode("utf-8")
+
+
+def subtree_xml(element: Element) -> str:
+    """The *content* of a node (§4 ``cont``): the full XML subtree."""
+    return serialize_element(element)

@@ -1,0 +1,62 @@
+"""Unit tests for the CloudProvider bundle and the price catalog."""
+
+import pytest
+
+from repro.cloud import CloudProvider
+from repro.cloud.pricing_catalog import (AWS_SINGAPORE, GOOGLE_CLOUD,
+                                         PRICE_BOOKS, WINDOWS_AZURE,
+                                         price_book)
+from repro.config import PerformanceProfile
+from repro.errors import ConfigError
+
+
+def test_provider_wires_shared_env_and_meter():
+    cloud = CloudProvider()
+    cloud.s3.create_bucket("b")
+    cloud.sqs.create_queue("q")
+
+    def scenario():
+        yield from cloud.s3.put("b", "k", b"x")
+        yield from cloud.sqs.send("q", "m")
+    cloud.env.run_process(scenario())
+    services = {record.service for record in cloud.meter}
+    assert services == {"s3", "sqs"}
+    assert cloud.now > 0
+
+
+def test_provider_defaults():
+    cloud = CloudProvider()
+    assert cloud.price_book is AWS_SINGAPORE
+    assert isinstance(cloud.profile, PerformanceProfile)
+
+
+def test_provider_accepts_custom_book():
+    cloud = CloudProvider(price_book=GOOGLE_CLOUD)
+    assert cloud.price_book.provider == "google"
+
+
+def test_price_book_lookup():
+    assert price_book("aws") is AWS_SINGAPORE
+    assert price_book("google") is GOOGLE_CLOUD
+    assert price_book("azure") is WINDOWS_AZURE
+    with pytest.raises(ConfigError):
+        price_book("digitalocean")
+
+
+def test_all_books_price_both_instance_types():
+    """Table 1: every provider covers the same service range."""
+    for book in PRICE_BOOKS.values():
+        assert book.vm_hourly("l") > 0
+        assert book.vm_hourly("xl") > 0
+        assert book.st_month_gb > 0
+        assert book.idx_month_gb > 0
+        assert book.egress_gb > 0
+
+
+def test_unknown_vm_type_raises():
+    with pytest.raises(ConfigError):
+        AWS_SINGAPORE.vm_hourly("m5.24xlarge")
+
+
+def test_repr_mentions_provider():
+    assert "aws" in repr(CloudProvider())

@@ -1,0 +1,160 @@
+"""Unit tests for the simulated SQS queues (at-least-once, visibility
+timeouts, lease renewal — the §3 fault-tolerance machinery)."""
+
+import pytest
+
+from repro.errors import NoSuchQueue, QueueError, ReceiptHandleInvalid
+
+
+@pytest.fixture
+def sqs(cloud):
+    cloud.sqs.create_queue("q", visibility_timeout=10.0)
+    return cloud.sqs
+
+
+def test_duplicate_queue_rejected(sqs):
+    with pytest.raises(QueueError):
+        sqs.create_queue("q")
+
+
+def test_nonpositive_visibility_rejected(cloud):
+    with pytest.raises(QueueError):
+        cloud.sqs.create_queue("bad", visibility_timeout=0.0)
+
+
+def test_unknown_queue_raises(cloud):
+    def scenario():
+        yield from cloud.sqs.send("nope", "x")
+    with pytest.raises(NoSuchQueue):
+        cloud.env.run_process(scenario())
+
+
+def test_send_receive_delete(cloud, sqs):
+    def scenario():
+        yield from sqs.send("q", {"uri": "a.xml"})
+        body, handle = yield from sqs.receive("q")
+        yield from sqs.delete("q", handle)
+        return body
+    assert cloud.env.run_process(scenario()) == {"uri": "a.xml"}
+    assert sqs.approximate_depth("q") == 0
+    assert sqs.in_flight_count("q") == 0
+
+
+def test_fifo_order(cloud, sqs):
+    def scenario():
+        for i in range(3):
+            yield from sqs.send("q", i)
+        received = []
+        for _ in range(3):
+            body, handle = yield from sqs.receive("q")
+            received.append(body)
+            yield from sqs.delete("q", handle)
+        return received
+    assert cloud.env.run_process(scenario()) == [0, 1, 2]
+
+
+def test_receive_blocks_until_message(cloud, sqs):
+    env = cloud.env
+    arrival = []
+
+    def receiver():
+        body, handle = yield from sqs.receive("q")
+        arrival.append(env.now)
+        yield from sqs.delete("q", handle)
+
+    def sender():
+        yield env.timeout(5.0)
+        yield from sqs.send("q", "late")
+
+    env.process(receiver())
+    env.process(sender())
+    env.run()
+    assert arrival and arrival[0] >= 5.0
+
+
+def test_lease_expiry_redelivers(cloud, sqs):
+    """§3: a crashed worker's message becomes available again."""
+    env = cloud.env
+
+    def scenario():
+        yield from sqs.send("q", "job")
+        body, handle = yield from sqs.receive("q")
+        # Crash: never delete.  Wait out the visibility timeout.
+        yield env.timeout(11.0)
+        body2, handle2 = yield from sqs.receive("q")
+        yield from sqs.delete("q", handle2)
+        return body2
+    assert env.run_process(scenario()) == "job"
+    assert sqs.redelivered_count("q") == 1
+
+
+def test_renew_extends_lease(cloud, sqs):
+    env = cloud.env
+
+    def scenario():
+        yield from sqs.send("q", "job")
+        body, handle = yield from sqs.receive("q")
+        yield env.timeout(8.0)
+        yield from sqs.renew("q", handle, 10.0)
+        yield env.timeout(8.0)  # would have expired without the renewal
+        yield from sqs.delete("q", handle)
+    env.run_process(scenario())
+    assert sqs.redelivered_count("q") == 0
+
+
+def test_delete_with_stale_handle_raises(cloud, sqs):
+    env = cloud.env
+
+    def scenario():
+        yield from sqs.send("q", "job")
+        body, handle = yield from sqs.receive("q")
+        yield env.timeout(20.0)  # lease expired, message redelivered
+        yield from sqs.delete("q", handle)
+    with pytest.raises(ReceiptHandleInvalid):
+        env.run_process(scenario())
+
+
+def test_renew_with_unknown_handle_raises(cloud, sqs):
+    def scenario():
+        yield from sqs.renew("q", "rh-bogus", 5.0)
+    with pytest.raises(ReceiptHandleInvalid):
+        cloud.env.run_process(scenario())
+
+
+def test_receive_count_increments_on_redelivery(cloud, sqs):
+    env = cloud.env
+    counts = []
+
+    def scenario():
+        yield from sqs.send("q", "job")
+        for _ in range(2):
+            body, handle = yield from sqs.receive("q")
+            yield env.timeout(15.0)  # let the lease lapse each time
+        body, handle = yield from sqs.receive("q")
+        yield from sqs.delete("q", handle)
+    env.run_process(scenario())
+    assert sqs.redelivered_count("q") == 2
+
+
+def test_receive_if_available(cloud, sqs):
+    def scenario():
+        empty = yield from sqs.receive_if_available("q")
+        yield from sqs.send("q", "x")
+        full = yield from sqs.receive_if_available("q")
+        yield from sqs.delete("q", full[1])
+        return empty, full[0]
+    empty, body = cloud.env.run_process(scenario())
+    assert empty is None
+    assert body == "x"
+    # Both receive attempts were billed (real SQS charges empty polls).
+    assert cloud.meter.request_count("sqs", "receive_message") == 2
+
+
+def test_every_api_call_metered(cloud, sqs):
+    def scenario():
+        yield from sqs.send("q", "x")
+        body, handle = yield from sqs.receive("q")
+        yield from sqs.renew("q", handle, 5.0)
+        yield from sqs.delete("q", handle)
+    cloud.env.run_process(scenario())
+    assert cloud.meter.request_count("sqs") == 4

@@ -1,0 +1,54 @@
+"""Unit tests for the Figure 13 amortization study."""
+
+import pytest
+
+from repro.costs.amortization import AmortizationStudy, amortization_series
+
+
+def _study(build=10.0, no_index=3.0, indexed=0.5):
+    return AmortizationStudy(strategy_name="LU", build_cost=build,
+                             workload_cost_no_index=no_index,
+                             workload_cost_indexed=indexed)
+
+
+def test_benefit_per_run():
+    assert _study().benefit_per_run == pytest.approx(2.5)
+
+
+def test_net_value_linear_in_runs():
+    study = _study()
+    assert study.net_value(0) == pytest.approx(-10.0)
+    assert study.net_value(4) == pytest.approx(0.0)
+    assert study.net_value(10) == pytest.approx(15.0)
+
+
+def test_break_even_exact_division():
+    assert _study().break_even_runs == 4
+
+
+def test_break_even_rounds_up():
+    study = _study(build=10.0, no_index=3.0, indexed=0.0)
+    assert study.break_even_runs == 4  # 10/3 -> 4 runs
+    assert study.net_value(3) < 0 <= study.net_value(4)
+
+
+def test_never_amortising_raises():
+    study = _study(no_index=1.0, indexed=2.0)
+    with pytest.raises(ValueError):
+        _ = study.break_even_runs
+    assert study.net_value(100) < 0
+
+
+def test_series_shape():
+    series = amortization_series(_study(), max_runs=20)
+    assert len(series) == 21
+    assert series[0] == (0, -10.0)
+    runs, values = zip(*series)
+    assert list(runs) == list(range(21))
+    # Monotonically increasing with positive benefit.
+    assert all(b > a for a, b in zip(values, values[1:]))
+
+
+def test_zero_build_cost_amortises_immediately():
+    study = _study(build=0.0)
+    assert study.break_even_runs == 0

@@ -1,0 +1,57 @@
+"""Unit tests for metric lifting from warehouse reports."""
+
+import pytest
+
+from repro.costs.metrics import DatasetMetrics, IndexMetrics, QueryMetrics
+from repro.warehouse.warehouse import IndexBuildReport, QueryExecution
+
+
+def _report(**overrides):
+    base = dict(strategy_name="LUI", include_words=True, tag="t",
+                instance_type="l", instances=8, documents=100,
+                total_s=3600.0, avg_extraction_s=10.0, avg_upload_s=20.0,
+                puts=5000, items=5000, batches=200, entries=4000,
+                ids=6000, paths=0, raw_bytes=2 ** 30,
+                overhead_bytes=2 ** 29, stored_bytes=3 * 2 ** 29,
+                vm_hours=8.0)
+    base.update(overrides)
+    return IndexBuildReport(**base)
+
+
+def _execution(**overrides):
+    base = dict(name="q1", strategy_name="LUI", instance_type="xl",
+                instances=1, tag="t", response_s=1.0, processing_s=0.9,
+                lookup_get_s=0.1, lookup_plan_s=0.1, fetch_eval_s=0.6,
+                docs_from_index=10, per_pattern_docs=[10],
+                documents_fetched=10, docs_with_results=7,
+                result_rows=12, result_bytes=4096, index_gets=5,
+                rows_processed=100)
+    base.update(overrides)
+    return QueryExecution(**base)
+
+
+def test_index_metrics_of_report():
+    metrics = IndexMetrics.of_report(_report())
+    assert metrics.put_operations == 5000
+    assert metrics.build_hours == pytest.approx(1.0)
+    assert metrics.instances == 8
+    assert metrics.raw_gb == pytest.approx(1.0)
+    assert metrics.overhead_gb == pytest.approx(0.5)
+    assert metrics.stored_gb == pytest.approx(1.5)
+
+
+def test_query_metrics_of_execution():
+    metrics = QueryMetrics.of_execution(_execution())
+    assert metrics.get_operations == 5
+    assert metrics.documents_fetched == 10
+    assert metrics.processing_hours == pytest.approx(0.9 / 3600.0)
+    assert metrics.result_bytes == 4096
+    assert metrics.instance_type == "xl"
+
+
+def test_dataset_metrics_of_corpus(small_corpus):
+    metrics = DatasetMetrics.of_corpus(small_corpus)
+    assert metrics.documents == len(small_corpus)
+    assert metrics.size_bytes == small_corpus.total_bytes
+    assert metrics.size_gb == pytest.approx(
+        small_corpus.total_bytes / 1024 ** 3)

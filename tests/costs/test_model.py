@@ -1,0 +1,110 @@
+"""Unit tests for the §7.3 cost formulas — checked against hand-computed
+values using the paper's Table 3 prices."""
+
+import pytest
+
+from repro.costs.metrics import DatasetMetrics, IndexMetrics, QueryMetrics
+from repro.costs.model import (data_only_storage_cost, index_build_cost,
+                               index_only_storage_cost, monthly_storage_cost,
+                               query_cost_indexed, query_cost_no_index,
+                               result_retrieval_cost, upload_cost)
+from repro.costs.pricing import AWS_SINGAPORE
+
+GB = 1024 ** 3
+
+DATASET = DatasetMetrics(documents=20000, size_bytes=40 * GB)
+INDEX = IndexMetrics(strategy_name="LU", put_operations=1000000,
+                     build_hours=2.1833, instances=8, instance_type="l",
+                     raw_bytes=10 * GB, overhead_bytes=2 * GB)
+QUERY = QueryMetrics(query_name="q1", result_bytes=GB // 10,
+                     get_operations=50, documents_fetched=3,
+                     processing_hours=0.5 / 3600.0, instance_type="xl")
+
+
+def test_upload_cost_formula():
+    # ud$(D) = STput x |D| + QS x |D|
+    expected = 0.000011 * 20000 + 0.000001 * 20000
+    assert upload_cost(AWS_SINGAPORE, DATASET) == pytest.approx(expected)
+
+
+def test_index_build_cost_formula():
+    # ci$ = ud$ + IDXput x |op| + STget x |D| + VM x tidx x n + QS x 2|D|
+    expected = (upload_cost(AWS_SINGAPORE, DATASET)
+                + 0.00000032 * 1000000
+                + 0.0000011 * 20000
+                + 0.34 * 2.1833 * 8
+                + 0.000001 * 2 * 20000)
+    assert index_build_cost(AWS_SINGAPORE, DATASET, INDEX) == \
+        pytest.approx(expected)
+
+
+def test_build_cost_magnitude_matches_table6():
+    """With Table 4's LU times and plausible op counts, ci$ lands in
+    Table 6's ballpark (LU: $26.64 for 40 GB)."""
+    lu = IndexMetrics(strategy_name="LU", put_operations=60000000,
+                      build_hours=2.1833, instances=8, instance_type="l",
+                      raw_bytes=25 * GB, overhead_bytes=8 * GB)
+    cost = index_build_cost(AWS_SINGAPORE, DATASET, lu)
+    assert 20 < cost < 35
+
+
+def test_monthly_storage_formula():
+    expected = 0.125 * 40 + 1.14 * 12
+    assert monthly_storage_cost(AWS_SINGAPORE, DATASET, INDEX) == \
+        pytest.approx(expected)
+    assert data_only_storage_cost(AWS_SINGAPORE, DATASET) == \
+        pytest.approx(0.125 * 40)
+    assert index_only_storage_cost(AWS_SINGAPORE, INDEX) == \
+        pytest.approx(1.14 * 12)
+
+
+def test_result_retrieval_formula():
+    # rq$ = STget + egress x |r| + QS x 3
+    expected = 0.0000011 + 0.19 * 0.1 + 0.000001 * 3
+    assert result_retrieval_cost(AWS_SINGAPORE, QUERY) == \
+        pytest.approx(expected)
+
+
+def test_query_cost_no_index_formula():
+    expected = (result_retrieval_cost(AWS_SINGAPORE, QUERY)
+                + 0.0000011 * 20000
+                + 0.000011
+                + 0.68 * QUERY.processing_hours
+                + 0.000001 * 3)
+    assert query_cost_no_index(AWS_SINGAPORE, QUERY, DATASET) == \
+        pytest.approx(expected)
+
+
+def test_query_cost_indexed_formula():
+    expected = (result_retrieval_cost(AWS_SINGAPORE, QUERY)
+                + 0.000000032 * 50
+                + 0.0000011 * 3
+                + 0.000011
+                + 0.68 * QUERY.processing_hours
+                + 0.000001 * 3)
+    assert query_cost_indexed(AWS_SINGAPORE, QUERY) == \
+        pytest.approx(expected)
+
+
+def test_indexed_always_cheaper_for_same_processing():
+    """With identical processing time, the index saves the STget x |D|
+    scan term whenever |Dq| < |D|."""
+    indexed = query_cost_indexed(AWS_SINGAPORE, QUERY)
+    scanned = query_cost_no_index(AWS_SINGAPORE, QUERY, DATASET)
+    assert indexed < scanned
+
+
+def test_q1_cost_magnitude_matches_paper():
+    """§8.4: "our $1.2 x 10^-4 cost of q1 using LUP" — a selective query
+    processed in ~0.5 s should land near that figure."""
+    q1 = QueryMetrics(query_name="q1", result_bytes=40,
+                      get_operations=4, documents_fetched=2,
+                      processing_hours=0.5 / 3600.0, instance_type="l")
+    cost = query_cost_indexed(AWS_SINGAPORE, q1)
+    assert 0.3e-4 < cost < 3e-4
+
+
+def test_metrics_unit_conversions():
+    assert DATASET.size_gb == pytest.approx(40.0)
+    assert INDEX.stored_gb == pytest.approx(12.0)
+    assert QUERY.result_gb == pytest.approx(0.1)

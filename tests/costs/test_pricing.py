@@ -1,0 +1,30 @@
+"""Unit tests for the price books and Table 3 rendering."""
+
+from repro.costs.pricing import AWS_SINGAPORE, render_table3
+
+
+def test_table3_constants_verbatim():
+    """The exact Table 3 values of the paper."""
+    book = AWS_SINGAPORE
+    assert book.st_month_gb == 0.125
+    assert book.st_put == 0.000011
+    assert book.st_get == 0.0000011
+    assert book.idx_month_gb == 1.14
+    assert book.idx_put == 0.00000032
+    assert book.idx_get == 0.000000032
+    assert book.vm_hourly("l") == 0.34
+    assert book.vm_hourly("xl") == 0.68
+    assert book.qs_request == 0.000001
+    assert book.egress_gb == 0.19
+
+
+def test_render_table3_contains_all_components():
+    rendered = render_table3()
+    for component in ("ST$m,GB", "STput$", "STget$", "IDXst$m,GB",
+                      "IDXput$", "IDXget$", "VM$h,l", "VM$h,xl", "QS$",
+                      "egress$GB"):
+        assert component in rendered
+
+
+def test_render_mentions_region():
+    assert "ap-southeast-1" in render_table3()

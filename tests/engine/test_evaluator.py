@@ -1,0 +1,127 @@
+"""Unit tests for tree-pattern evaluation — anchored on the paper's own
+Figure 2 queries over the Figure 3 documents."""
+
+from repro.engine.evaluator import (evaluate_pattern, evaluate_query,
+                                    pattern_matches, result_size_bytes)
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.workload import FIGURE2_TEXT
+
+
+class TestFigure2OnFigure3:
+    """§4's worked example: what each query returns on the two
+    painting documents."""
+
+    def test_q1_returns_name_pairs(self, paper_documents):
+        query = parse_query(FIGURE2_TEXT["fig2-q1"])
+        rows = evaluate_query(query, paper_documents)
+        assert sorted(row.projections for row in rows) == [
+            ("Olympia", "EdouardManet"),
+            ("The Lion Hunt", "EugeneDelacroix"),
+        ]
+
+    def test_q3_lion_selects_delacroix(self, paper_documents):
+        # "the last name of painters having authored a painting whose
+        # name includes the word Lion"
+        query = parse_query(FIGURE2_TEXT["fig2-q3"])
+        rows = evaluate_query(query, paper_documents)
+        assert [row.projections for row in rows] == [("Delacroix",)]
+        assert rows[0].uri == "delacroix.xml"
+
+    def test_q2_year_filter_empty_without_year(self, paper_documents):
+        # The Figure 3 fragments carry no <year>, so q2 returns nothing.
+        query = parse_query(FIGURE2_TEXT["fig2-q2"])
+        assert evaluate_query(query, paper_documents) == []
+
+
+class TestAxes:
+    def test_child_vs_descendant(self, manet):
+        assert pattern_matches(parse_pattern("//painting/name"), manet)
+        assert pattern_matches(parse_pattern("//painting//last"), manet)
+        assert not pattern_matches(parse_pattern("//painting/last"), manet)
+
+    def test_root_may_match_any_element(self, manet):
+        assert pattern_matches(parse_pattern("//painter"), manet)
+        assert pattern_matches(parse_pattern("//last"), manet)
+
+    def test_attribute_child_axis(self, manet):
+        assert pattern_matches(parse_pattern("//painting/@id"), manet)
+        assert not pattern_matches(parse_pattern("//painter/@id"), manet)
+
+    def test_attribute_descendant_axis(self, manet):
+        # //painter//@? finds nothing; //painting//@id includes self.
+        assert pattern_matches(parse_pattern("//painting//@id"), manet)
+
+
+class TestPredicatesInContext:
+    def test_equality_on_attribute(self, manet, delacroix):
+        pattern = parse_pattern('//painting[/@id="1863-1"]')
+        assert pattern_matches(pattern, manet)
+        assert not pattern_matches(pattern, delacroix)
+
+    def test_equality_on_element_value(self, manet):
+        assert pattern_matches(parse_pattern('//name="Olympia"'), manet)
+        assert not pattern_matches(parse_pattern('//name="olympia"'), manet)
+
+    def test_contains_word(self, delacroix, manet):
+        pattern = parse_pattern('//name contains("Lion")')
+        assert pattern_matches(pattern, delacroix)
+        assert not pattern_matches(pattern, manet)
+
+    def test_range_on_missing_element(self, manet):
+        assert not pattern_matches(
+            parse_pattern("//painting/year in(1854, 1865)"), manet)
+
+
+class TestProjection:
+    def test_val_yields_string_value(self, manet):
+        rows = evaluate_pattern(parse_pattern("//painter/name{val}"), manet)
+        assert rows == [rows[0]]
+        assert rows[0].projections == ("EdouardManet",)
+
+    def test_cont_yields_subtree_xml(self, manet):
+        rows = evaluate_pattern(parse_pattern("//painting/name{cont}"),
+                                manet)
+        assert rows[0].projections == ("<name>Olympia</name>",)
+
+    def test_attribute_val(self, manet):
+        rows = evaluate_pattern(parse_pattern("//painting/@id{val}"), manet)
+        assert rows[0].projections == ("1863-1",)
+
+    def test_variables_captured(self, manet):
+        rows = evaluate_pattern(parse_pattern("//painting/@id{$x}"), manet)
+        assert rows[0].variable("x") == "1863-1"
+        assert rows[0].projections == ()
+
+    def test_set_semantics_dedupe(self, manet):
+        # //name matches twice but projects distinct values; //painting
+        # with two identical branches would duplicate otherwise.
+        rows = evaluate_pattern(
+            parse_pattern("//painting[//name][//name]{val}"), manet)
+        assert len(rows) == 1
+
+    def test_rows_carry_uri(self, manet):
+        rows = evaluate_pattern(parse_pattern("//painting{val}"), manet)
+        assert rows[0].uri == "manet.xml"
+
+
+class TestResultSize:
+    def test_size_accounts_projections_and_variables(self, manet):
+        rows = evaluate_pattern(
+            parse_pattern("//painting[/name{val}][/@id{$x}]"), manet)
+        assert result_size_bytes(rows) == len("Olympia") + len("1863-1")
+
+    def test_empty_rows(self):
+        assert result_size_bytes([]) == 0
+
+
+def test_multiple_embeddings_enumerated(small_corpus):
+    """A document with several matching entities yields several rows."""
+    pattern = parse_pattern("//person/name{val}")
+    multi = None
+    for document in small_corpus.documents:
+        rows = evaluate_pattern(pattern, document)
+        if len(rows) >= 2:
+            multi = rows
+            break
+    assert multi is not None, "need a document with 2+ persons"
+    assert len({row.projections for row in multi}) == len(multi)

@@ -1,0 +1,167 @@
+"""Unit tests for the full TwigStack (path solutions + merge)."""
+
+import pytest
+
+from repro.engine.twigstack import HolisticTwigJoin
+from repro.engine.twigstack_full import TwigStack
+from repro.errors import EvaluationError
+from repro.query.parser import parse_pattern
+from repro.query.pattern import Axis
+from repro.xmldb.ids import NodeID
+
+
+def _streams_for(pattern, mapping):
+    streams = {}
+    for node in pattern.iter_nodes():
+        streams[id(node)] = mapping.get(node.label, [])
+    return streams
+
+
+def _brute_force(pattern, streams):
+    """Oracle: enumerate embeddings directly from the full streams."""
+    def expand(node, node_id):
+        partial = [{id(node): node_id}]
+        for child in node.children:
+            found = []
+            for child_id in streams[id(child)]:
+                if child.axis is Axis.CHILD:
+                    if not node_id.is_parent_of(child_id):
+                        continue
+                elif not node_id.is_ancestor_of(child_id):
+                    continue
+                found.extend(expand(child, child_id))
+            if not found:
+                return []
+            combined = []
+            for p in partial:
+                for f in found:
+                    merged = dict(p)
+                    merged.update(f)
+                    combined.append(merged)
+            partial = combined
+        return partial
+
+    out = []
+    for root_id in streams[id(pattern.root)]:
+        out.extend(expand(pattern.root, root_id))
+    return out
+
+
+def _as_sets(matches):
+    return {tuple(sorted(m.values())) for m in matches}
+
+
+def test_single_path_solutions():
+    pattern = parse_pattern("//a//b")
+    streams = _streams_for(pattern, {
+        "a": [NodeID(1, 6, 1), NodeID(2, 5, 2)],
+        "b": [NodeID(3, 2, 3), NodeID(4, 3, 3)],
+    })
+    join = TwigStack(pattern, streams)
+    leaf = pattern.root.children[0]
+    solutions = join.path_solutions()[id(leaf)]
+    # Each b under each enclosing a: 2 a's x 2 b's = 4 path solutions.
+    assert len(solutions) == 4
+    for ancestor, descendant in solutions:
+        assert ancestor.is_ancestor_of(descendant)
+
+
+def test_matches_agree_with_brute_force_simple():
+    pattern = parse_pattern("//a[/b][//c]")
+    streams = _streams_for(pattern, {
+        "a": [NodeID(1, 8, 1), NodeID(5, 7, 2)],
+        "b": [NodeID(2, 1, 2), NodeID(6, 5, 3)],
+        "c": [NodeID(3, 2, 2), NodeID(7, 6, 3)],
+    })
+    twig = TwigStack(pattern, streams)
+    assert _as_sets(twig.twig_matches()) == \
+        _as_sets(_brute_force(pattern, streams))
+
+
+def test_agrees_with_existence_join_on_corpus(small_corpus):
+    """Full TwigStack and the existence join decide the same documents."""
+    from repro.indexing.entries import collect_occurrences
+    from repro.indexing.keys import element_key
+
+    patterns = [
+        parse_pattern("//item/mailbox/mail"),
+        parse_pattern("//person[/address/city][/profile]"),
+        parse_pattern("//open_auction[/itemref][/seller][//personref]"),
+    ]
+    decided_positive = 0
+    for document in small_corpus.documents[:25]:
+        occurrences = collect_occurrences(document, include_words=False)
+        for pattern in patterns:
+            streams = {}
+            for node in pattern.iter_nodes():
+                group = occurrences.get(element_key(node.label))
+                streams[id(node)] = list(group.ids) if group else []
+            full = TwigStack(pattern, streams).matches()
+            exists = HolisticTwigJoin(pattern, streams).matches()
+            assert full == exists, (document.uri, str(pattern))
+            decided_positive += int(full)
+    assert decided_positive > 0
+
+
+def test_empty_stream_no_matches():
+    pattern = parse_pattern("//a/b")
+    streams = _streams_for(pattern, {"a": [NodeID(1, 2, 1)], "b": []})
+    assert TwigStack(pattern, streams).twig_matches() == []
+
+
+def test_unsorted_stream_rejected():
+    pattern = parse_pattern("//a")
+    with pytest.raises(EvaluationError):
+        TwigStack(pattern, {id(pattern.root): [NodeID(3, 1, 1),
+                                               NodeID(1, 2, 1)]})
+
+
+def test_parent_child_enforced_in_merge():
+    pattern = parse_pattern("//a/b")
+    streams = _streams_for(pattern, {
+        "a": [NodeID(1, 4, 1)],
+        "b": [NodeID(2, 1, 2), NodeID(3, 2, 3)],  # child and grandchild
+    })
+    matches = TwigStack(pattern, streams).twig_matches()
+    assert len(matches) == 1
+    leaf = pattern.root.children[0]
+    assert matches[0][id(leaf)] == NodeID(2, 1, 2)
+
+
+def test_nested_same_label_regression():
+    """Regression (found by hypothesis): ``<a><a><b/></a></a>`` with
+    ``//a/b``.  (pre, post) are *ranks*, not region positions, so the
+    advance test must compare pre-with-pre and post-with-post — the
+    outer a has post(3) > pre(b)=3's post, but the inner a(2, 2, 2)
+    satisfies ``a.post < b.pre`` even though b is inside it."""
+    from repro.xmldb.parser import parse_document
+    from repro.indexing.entries import collect_occurrences
+    from repro.indexing.keys import element_key
+
+    document = parse_document(b"<a><a><b/></a></a>", "t.xml")
+    pattern = parse_pattern("//a/b")
+    occurrences = collect_occurrences(document, include_words=False)
+    streams = {}
+    for node in pattern.iter_nodes():
+        group = occurrences.get(element_key(node.label))
+        streams[id(node)] = list(group.ids) if group else []
+    matches = TwigStack(pattern, streams).twig_matches()
+    assert len(matches) == 1
+    leaf = pattern.root.children[0]
+    root_id = matches[0][id(pattern.root)]
+    assert root_id.is_parent_of(matches[0][id(leaf)])
+    assert root_id == NodeID(2, 2, 2)  # the inner a
+
+
+def test_skips_inextensible_heads():
+    """a-elements with no b below them never enter path solutions."""
+    pattern = parse_pattern("//a//b")
+    streams = _streams_for(pattern, {
+        "a": [NodeID(1, 1, 1),   # childless: inextensible
+              NodeID(2, 4, 1)],
+        "b": [NodeID(3, 3, 2)],
+    })
+    join = TwigStack(pattern, streams)
+    leaf = pattern.root.children[0]
+    solutions = join.path_solutions()[id(leaf)]
+    assert solutions == [(NodeID(2, 4, 1), NodeID(3, 3, 2))]

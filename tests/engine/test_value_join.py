@@ -1,0 +1,98 @@
+"""Unit tests for value joins across tree-pattern results (§5.5)."""
+
+import pytest
+
+from repro.engine.evaluator import EvalRow, evaluate_query
+from repro.engine.value_join import hash_value_join, join_query_rows
+from repro.errors import EvaluationError
+from repro.query.parser import parse_query
+from repro.query.workload import FIGURE2_TEXT
+
+
+def _row(uri, projections=(), **variables):
+    return EvalRow(projections=tuple(projections),
+                   variables=tuple(sorted(variables.items())), uri=uri)
+
+
+class TestHashValueJoin:
+    def test_basic_equi_join(self):
+        left = [_row("a.xml", ("L1",), x="1"), _row("b.xml", ("L2",), x="2")]
+        right = [_row("c.xml", ("R1",), y="2")]
+        joined = hash_value_join(left, right, "x", "y")
+        assert len(joined) == 1
+        assert joined[0].projections == ("L2", "R1")
+
+    def test_projection_order_stable_regardless_of_build_side(self):
+        left = [_row("a.xml", ("L",), x="1")]
+        right = [_row("b.xml", ("R1",), y="1"), _row("c.xml", ("R2",), y="1"),
+                 _row("d.xml", ("R3",), y="9")]
+        joined = hash_value_join(left, right, "x", "y")
+        assert all(row.projections[0] == "L" for row in joined)
+        assert len(joined) == 2
+
+    def test_many_to_many(self):
+        left = [_row("a", (), x="k"), _row("b", (), x="k")]
+        right = [_row("c", (), y="k"), _row("d", (), y="k")]
+        assert len(hash_value_join(left, right, "x", "y")) == 4
+
+    def test_provenance_merges_uris(self):
+        joined = hash_value_join([_row("a.xml", (), x="1")],
+                                 [_row("b.xml", (), y="1")], "x", "y")
+        assert joined[0].uri == "a.xml+b.xml"
+
+    def test_same_document_join_keeps_single_uri(self):
+        joined = hash_value_join([_row("a.xml", (), x="1")],
+                                 [_row("a.xml", (), y="1")], "x", "y")
+        assert joined[0].uri == "a.xml"
+
+    def test_empty_sides(self):
+        assert hash_value_join([], [_row("a", (), y="1")], "x", "y") == []
+        assert hash_value_join([_row("a", (), x="1")], [], "x", "y") == []
+
+
+class TestJoinQueryRows:
+    def test_row_count_mismatch_rejected(self):
+        query = parse_query("//a{$x} ; //b{$y} join $x = $y")
+        with pytest.raises(EvaluationError):
+            join_query_rows(query, [[]])
+
+    def test_multi_pattern_without_joins_rejected(self):
+        from repro.query.pattern import Query, TreePattern, PatternNode
+        query = Query(patterns=[
+            TreePattern(root=PatternNode(label="a")),
+            TreePattern(root=PatternNode(label="b"))])
+        with pytest.raises(EvaluationError):
+            join_query_rows(query, [[], []])
+
+    def test_single_pattern_passthrough(self):
+        query = parse_query("//a{val}")
+        rows = [_row("a.xml", ("v",))]
+        assert join_query_rows(query, [rows]) == rows
+
+    def test_two_pattern_join(self):
+        query = parse_query("//a[/@id{$x}] ; //b[/@ref{$y}] join $x = $y")
+        left = [_row("a.xml", (), x="7")]
+        right = [_row("b.xml", (), y="7"), _row("c.xml", (), y="8")]
+        joined = join_query_rows(query, [left, right])
+        assert len(joined) == 1
+
+
+class TestFigure2Q5:
+    """The paper's value-join example: museums exposing paintings by
+    Delacroix."""
+
+    def test_join_across_documents(self, paper_documents):
+        from repro.xmldb.parser import parse_document
+        museum = parse_document(
+            b'<museum><name>Louvre</name>'
+            b'<painting id="1854-1"/><painting id="9999-9"/></museum>',
+            "louvre.xml")
+        query = parse_query(FIGURE2_TEXT["fig2-q5"])
+        rows = evaluate_query(query, list(paper_documents) + [museum])
+        assert [row.projections for row in rows] == [("Louvre",)]
+        assert rows[0].uri == "louvre.xml+delacroix.xml"
+
+    def test_no_join_partner_no_rows(self, paper_documents):
+        query = parse_query(FIGURE2_TEXT["fig2-q5"])
+        # Without any museum documents, the join is empty.
+        assert evaluate_query(query, paper_documents) == []

@@ -1,0 +1,41 @@
+"""Unit tests for the key(n) function (§5 Notations)."""
+
+import pytest
+
+from repro.indexing.keys import (attribute_key, attribute_value_key,
+                                 element_key, text_word_keys, word_key)
+
+
+def test_element_key_prefix():
+    assert element_key("name") == "ename"
+    assert element_key("painting") == "epainting"
+
+
+def test_attribute_keys_both_forms():
+    """§5: an attribute yields a name key and a name+value key."""
+    assert attribute_key("id") == "aid"
+    assert attribute_value_key("id", "1863-1") == "aid 1863-1"
+
+
+def test_word_key_lowercases():
+    assert word_key("Olympia") == "wolympia"
+
+
+def test_word_key_single_word_only():
+    with pytest.raises(ValueError):
+        word_key("two words")
+
+
+def test_text_word_keys_distinct_first_seen():
+    assert text_word_keys("The Lion Hunt the") == \
+        ["wthe", "wlion", "whunt"]
+
+
+def test_text_word_keys_empty_text():
+    assert text_word_keys("  ") == []
+
+
+def test_prefixes_disambiguate():
+    """An element <id> and an attribute @id must not collide."""
+    assert element_key("id") != attribute_key("id")
+    assert element_key("olympia") != word_key("olympia")

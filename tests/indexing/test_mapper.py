@@ -1,0 +1,208 @@
+"""Unit tests for the physical index stores (DynamoDB / SimpleDB
+mappings, §6)."""
+
+import pytest
+
+from repro.cloud import CloudProvider
+from repro.errors import IndexingError
+from repro.indexing.entries import IndexEntry
+from repro.indexing.mapper import (DynamoIndexStore, SimpleDBIndexStore,
+                                   _chunk_ids_text)
+from repro.xmldb.ids import NodeID
+
+
+@pytest.fixture
+def dynamo_store(cloud):
+    store = DynamoIndexStore(cloud.dynamodb, seed=1)
+    store.create_table("idx")
+    return store
+
+
+@pytest.fixture
+def simpledb_store(cloud):
+    store = SimpleDBIndexStore(cloud.simpledb, seed=1)
+    store.create_table("idx")
+    return store
+
+
+def _presence(key, uri):
+    return IndexEntry(key=key, uri=uri)
+
+
+def _paths(key, uri, *paths):
+    return IndexEntry(key=key, uri=uri, paths=tuple(paths))
+
+
+def _ids(key, uri, *ids):
+    return IndexEntry(key=key, uri=uri, ids=tuple(ids))
+
+
+class TestDynamoStore:
+    def test_presence_round_trip(self, cloud, dynamo_store):
+        entries = [_presence("ename", "a.xml"), _presence("ename", "b.xml")]
+
+        def scenario():
+            stats = yield from dynamo_store.write_entries("idx", entries)
+            payloads, gets = yield from dynamo_store.read_key(
+                "idx", "ename", "presence")
+            return stats, payloads, gets
+        stats, payloads, gets = cloud.env.run_process(scenario())
+        assert set(payloads) == {"a.xml", "b.xml"}
+        assert gets == 1
+        assert stats.puts >= 1
+
+    def test_paths_round_trip(self, cloud, dynamo_store):
+        entries = [_paths("ename", "a.xml", "/ea/ename", "/ea/eb/ename")]
+
+        def scenario():
+            yield from dynamo_store.write_entries("idx", entries)
+            payloads, _ = yield from dynamo_store.read_key(
+                "idx", "ename", "paths")
+            return payloads
+        payloads = cloud.env.run_process(scenario())
+        assert payloads["a.xml"] == ("/ea/ename", "/ea/eb/ename")
+
+    def test_ids_round_trip_binary(self, cloud, dynamo_store):
+        ids = (NodeID(3, 3, 2), NodeID(6, 8, 3))
+        entries = [_ids("ename", "a.xml", *ids)]
+
+        def scenario():
+            yield from dynamo_store.write_entries("idx", entries)
+            payloads, _ = yield from dynamo_store.read_key(
+                "idx", "ename", "ids")
+            return payloads
+        payloads = cloud.env.run_process(scenario())
+        assert payloads["a.xml"] == list(ids)
+
+    def test_uuid_packing_shares_items(self, cloud, dynamo_store):
+        entries = [_presence("ename", "doc{}.xml".format(i))
+                   for i in range(50)]
+
+        def scenario():
+            return (yield from dynamo_store.write_entries("idx", entries))
+        stats = cloud.env.run_process(scenario())
+        # All 50 URIs share one key and fit one item.
+        assert stats.items == 1
+        assert cloud.dynamodb.table("idx").item_count() == 1
+
+    def test_attribute_mode_one_item_per_entry(self, cloud):
+        store = DynamoIndexStore(cloud.dynamodb, seed=2,
+                                 range_key_mode="attribute")
+        store.create_table("alt")
+        entries = [_presence("ename", "doc{}.xml".format(i))
+                   for i in range(10)]
+
+        def scenario():
+            return (yield from store.write_entries("alt", entries))
+        stats = cloud.env.run_process(scenario())
+        assert stats.items == 10
+
+    def test_invalid_range_key_mode(self, cloud):
+        with pytest.raises(IndexingError):
+            DynamoIndexStore(cloud.dynamodb, range_key_mode="bogus")
+
+    def test_oversized_id_entry_splits(self, cloud, dynamo_store):
+        # ~70k IDs encode past the 64 KB item limit and must shard.
+        ids = tuple(NodeID(i, i, 5) for i in range(1, 70001))
+        entries = [IndexEntry(key="ebig", uri="huge.xml", ids=ids)]
+
+        def scenario():
+            stats = yield from dynamo_store.write_entries("idx", entries)
+            payloads, _ = yield from dynamo_store.read_key(
+                "idx", "ebig", "ids")
+            return stats, payloads
+        stats, payloads = cloud.env.run_process(scenario())
+        assert stats.items >= 2
+        assert payloads["huge.xml"] == list(ids)  # reassembled, sorted
+
+    def test_read_keys_batches(self, cloud, dynamo_store):
+        entries = [_presence("k{}".format(i), "d.xml") for i in range(150)]
+
+        def scenario():
+            yield from dynamo_store.write_entries("idx", entries)
+            keys = ["k{}".format(i) for i in range(150)]
+            return (yield from dynamo_store.read_keys(
+                "idx", keys, "presence"))
+        payloads, gets = cloud.env.run_process(scenario())
+        assert gets == 150  # billable gets, even though batched in 2 calls
+        assert cloud.meter.request_count("dynamodb", "get") == 150
+        assert all(payloads["k{}".format(i)] for i in range(150))
+
+    def test_read_unknown_key_empty(self, cloud, dynamo_store):
+        def scenario():
+            return (yield from dynamo_store.read_key("idx", "nope", "ids"))
+        payloads, gets = cloud.env.run_process(scenario())
+        assert payloads == {}
+        assert gets == 1
+
+    def test_deterministic_uuids(self, cloud):
+        first = DynamoIndexStore(cloud.dynamodb, seed=9)
+        second = DynamoIndexStore(cloud.dynamodb, seed=9)
+        assert first._uuid() == second._uuid()
+
+
+class TestSimpleDBStore:
+    def test_presence_round_trip(self, cloud, simpledb_store):
+        entries = [_presence("ename", "a.xml")]
+
+        def scenario():
+            yield from simpledb_store.write_entries("idx", entries)
+            return (yield from simpledb_store.read_key(
+                "idx", "ename", "presence"))
+        payloads, gets = cloud.env.run_process(scenario())
+        assert set(payloads) == {"a.xml"}
+
+    def test_ids_stored_as_text_chunks(self, cloud, simpledb_store):
+        ids = tuple(NodeID(i, i + 1, 3) for i in range(1, 400))
+        entries = [IndexEntry(key="ek", uri="a.xml", ids=ids)]
+
+        def scenario():
+            yield from simpledb_store.write_entries("idx", entries)
+            return (yield from simpledb_store.read_key("idx", "ek", "ids"))
+        payloads, _ = cloud.env.run_process(scenario())
+        assert payloads["a.xml"] == list(ids)
+
+    def test_long_path_rejected(self, cloud, simpledb_store):
+        entries = [_paths("ek", "a.xml", "/e" + "x" * 2000)]
+
+        def scenario():
+            yield from simpledb_store.write_entries("idx", entries)
+        with pytest.raises(IndexingError):
+            cloud.env.run_process(scenario())
+
+    def test_many_pairs_shard_items(self, cloud, simpledb_store):
+        entries = [_presence("ename", "doc{}.xml".format(i))
+                   for i in range(300)]  # > 256 attribute pairs
+
+        def scenario():
+            return (yield from simpledb_store.write_entries("idx", entries))
+        stats = cloud.env.run_process(scenario())
+        assert stats.items >= 2
+
+    def test_read_keys_one_select_per_key(self, cloud, simpledb_store):
+        entries = [_presence("k{}".format(i), "d.xml") for i in range(5)]
+
+        def scenario():
+            yield from simpledb_store.write_entries("idx", entries)
+            return (yield from simpledb_store.read_keys(
+                "idx", ["k0", "k1", "k2"], "presence"))
+        payloads, gets = cloud.env.run_process(scenario())
+        assert gets == 3
+
+
+class TestChunking:
+    def test_chunks_under_limit(self):
+        ids = [NodeID(i, i, 2) for i in range(1, 1000)]
+        for chunk in _chunk_ids_text(ids):
+            assert len(chunk.encode("utf-8")) <= 1024
+
+    def test_chunks_carry_sequence_numbers(self):
+        ids = [NodeID(i, i, 2) for i in range(1, 500)]
+        chunks = _chunk_ids_text(ids)
+        assert [int(c.split("|", 1)[0]) for c in chunks] == \
+            list(range(len(chunks)))
+
+    def test_single_small_chunk(self):
+        chunks = _chunk_ids_text([NodeID(1, 1, 1)])
+        assert len(chunks) == 1
+        assert chunks[0].startswith("0000|")

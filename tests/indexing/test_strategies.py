@@ -1,0 +1,110 @@
+"""Unit tests for the four strategies' extraction output — validated
+against the exact tuples the paper prints in §5.1-§5.4 for the
+Figure 3 documents."""
+
+import pytest
+
+from repro.indexing.registry import ALL_STRATEGY_NAMES, all_strategies, strategy
+from repro.errors import UnknownStrategy
+from repro.xmldb.ids import NodeID
+
+
+def _entry(entries, key):
+    matching = [e for e in entries if e.key == key]
+    assert len(matching) == 1, key
+    return matching[0]
+
+
+class TestLU:
+    def test_paper_tuples(self, delacroix, manet):
+        """§5.1: ename/aid/aid 1863-1/wOlympia presence tuples."""
+        lu = strategy("LU")
+        d_entries = lu.extract(delacroix)["lu"]
+        m_entries = lu.extract(manet)["lu"]
+        for entries, uri in ((d_entries, "delacroix.xml"),
+                             (m_entries, "manet.xml")):
+            entry = _entry(entries, "ename")
+            assert entry.uri == uri
+            assert entry.kind == "presence"
+        assert _entry(m_entries, "aid 1863-1").kind == "presence"
+        assert any(e.key == "wolympia" for e in m_entries)
+        assert not any(e.key == "wolympia" for e in d_entries)
+
+    def test_one_entry_per_key(self, manet):
+        entries = strategy("LU").extract(manet)["lu"]
+        keys = [e.key for e in entries]
+        assert len(keys) == len(set(keys))
+
+
+class TestLUP:
+    def test_paper_tuples(self, manet):
+        """§5.2's table for "manet.xml"."""
+        entries = strategy("LUP").extract(manet)["lup"]
+        assert _entry(entries, "ename").paths == (
+            "/epainting/ename", "/epainting/epainter/ename")
+        assert _entry(entries, "aid").paths == ("/epainting/aid",)
+        assert _entry(entries, "aid 1863-1").paths == (
+            "/epainting/aid 1863-1",)
+        assert _entry(entries, "wolympia").paths == (
+            "/epainting/ename/wolympia",)
+
+
+class TestLUI:
+    def test_paper_tuples(self, manet, delacroix):
+        """§5.3's table: ename -> (3,3,2)(6,8,3) for both documents."""
+        lui = strategy("LUI")
+        for document in (manet, delacroix):
+            entries = lui.extract(document)["lui"]
+            assert _entry(entries, "ename").ids == (
+                NodeID(3, 3, 2), NodeID(6, 8, 3))
+            assert _entry(entries, "aid").ids == (NodeID(2, 1, 2),)
+        m_entries = lui.extract(manet)["lui"]
+        assert _entry(m_entries, "wolympia").ids == (NodeID(4, 2, 3),)
+
+    def test_ids_sorted(self, small_corpus):
+        lui = strategy("LUI")
+        for document in small_corpus.documents[:8]:
+            for entry in lui.extract(document)["lui"]:
+                pres = [node_id.pre for node_id in entry.ids]
+                assert pres == sorted(pres)
+
+
+class Test2LUPI:
+    def test_materialises_both_subindexes(self, manet):
+        """§5.4 / Figure 4: the 2LUPI tuples are LUP's and LUI's."""
+        two = strategy("2LUPI")
+        combined = two.extract(manet)
+        assert set(combined) == {"lup", "lui"}
+        lup_alone = strategy("LUP").extract(manet)["lup"]
+        lui_alone = strategy("LUI").extract(manet)["lui"]
+        assert combined["lup"] == lup_alone
+        assert combined["lui"] == lui_alone
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert ALL_STRATEGY_NAMES == ("LU", "LUP", "LUI", "2LUPI")
+        assert [s.name for s in all_strategies()] == list(ALL_STRATEGY_NAMES)
+
+    def test_case_insensitive_lookup(self):
+        assert strategy("lup").name == "LUP"
+        assert strategy("2lupi").name == "2LUPI"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownStrategy):
+            strategy("BTREE")
+
+    def test_include_words_flag_propagates(self, manet):
+        bare = strategy("LU", include_words=False)
+        entries = bare.extract(manet)["lu"]
+        assert not any(e.key.startswith("w") for e in entries)
+        assert "no keywords" in bare.describe()
+
+    def test_logical_tables(self):
+        assert strategy("LU").logical_tables == ("lu",)
+        assert strategy("2LUPI").logical_tables == ("lup", "lui")
+
+    def test_table_kind_mapping(self):
+        s = strategy("2LUPI")
+        assert s.table_kind("lup") == "paths"
+        assert s.table_kind("lui") == "ids"

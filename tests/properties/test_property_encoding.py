@@ -1,0 +1,44 @@
+"""Property-based tests: the structural-ID codecs."""
+
+from hypothesis import given, settings
+
+from tests.properties.strategies import sorted_node_ids
+
+from repro.xmldb.encoding import (decode_ids, decode_ids_text, encode_ids,
+                                  encode_ids_text)
+
+
+@given(sorted_node_ids())
+@settings(max_examples=100)
+def test_binary_round_trip(ids):
+    assert decode_ids(encode_ids(ids)) == ids
+
+
+@given(sorted_node_ids())
+@settings(max_examples=100)
+def test_text_round_trip(ids):
+    assert decode_ids_text(encode_ids_text(ids)) == ids
+
+
+@given(sorted_node_ids(max_size=50))
+@settings(max_examples=60)
+def test_binary_never_larger_than_text(ids):
+    """The §8.2 compression claim: binary beats the textual form for
+    any non-trivial list."""
+    binary = len(encode_ids(ids))
+    text = len(encode_ids_text(ids).encode("utf-8"))
+    if len(ids) >= 2:
+        assert binary < text
+
+
+@given(sorted_node_ids())
+@settings(max_examples=60)
+def test_encoding_deterministic(ids):
+    assert encode_ids(ids) == encode_ids(list(ids))
+
+
+@given(sorted_node_ids(max_size=15), sorted_node_ids(max_size=15))
+@settings(max_examples=60)
+def test_distinct_lists_encode_distinctly(left, right):
+    if left != right:
+        assert encode_ids(left) != encode_ids(right)

@@ -1,0 +1,111 @@
+"""Property-based tests: index stores round-trip arbitrary entries.
+
+Whatever a strategy extracts, writing it through either physical
+mapping (DynamoDB items with UUID range keys, SimpleDB sharded text
+items) and reading it back must reproduce the payload exactly — paths
+in order, IDs sorted — across batch boundaries and item splits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.properties.strategies import sorted_node_ids
+
+from repro.cloud import CloudProvider
+from repro.indexing.entries import IndexEntry
+from repro.indexing.mapper import DynamoIndexStore, SimpleDBIndexStore
+
+keys = st.sampled_from(["ea", "eb", "aid", "wgold", "ename"])
+uris = st.sampled_from(["d1.xml", "d2.xml", "d3.xml"])
+paths = st.lists(
+    st.sampled_from(["/ea", "/ea/eb", "/ea/eb/ec", "/ea/aid"]),
+    min_size=1, max_size=4, unique=True)
+
+
+@st.composite
+def entries(draw):
+    kind = draw(st.sampled_from(["presence", "paths", "ids"]))
+    key = draw(keys)
+    uri = draw(uris)
+    if kind == "presence":
+        return IndexEntry(key=key, uri=uri)
+    if kind == "paths":
+        return IndexEntry(key=key, uri=uri, paths=tuple(draw(paths)))
+    ids = draw(sorted_node_ids(max_size=12))
+    if not ids:
+        return IndexEntry(key=key, uri=uri)
+    return IndexEntry(key=key, uri=uri, ids=tuple(ids))
+
+
+def _unique_per_key_uri(entry_list):
+    seen = set()
+    out = []
+    for entry in entry_list:
+        if (entry.key, entry.uri) not in seen:
+            seen.add((entry.key, entry.uri))
+            out.append(entry)
+    return out
+
+
+def _expected(entry_list):
+    expected = {}
+    for entry in entry_list:
+        if entry.kind == "presence":
+            expected[(entry.key, entry.uri)] = None
+        elif entry.kind == "paths":
+            expected[(entry.key, entry.uri)] = tuple(entry.paths)
+        else:
+            expected[(entry.key, entry.uri)] = list(entry.ids)
+    return expected
+
+
+def _round_trip(store_factory, entry_list):
+    cloud = CloudProvider()
+    store = store_factory(cloud)
+    store.create_table("t")
+
+    def write():
+        yield from store.write_entries("t", entry_list)
+    cloud.env.run_process(write())
+
+    expected = _expected(entry_list)
+    for (key, uri), payload in expected.items():
+        kind = ("presence" if payload is None
+                else "paths" if isinstance(payload, tuple) else "ids")
+
+        def read(key=key, kind=kind):
+            return (yield from store.read_key("t", key, kind))
+        payloads, _ = cloud.env.run_process(read())
+        assert uri in payloads, (key, uri)
+        if kind == "presence":
+            assert payloads[uri] is None
+        else:
+            assert payloads[uri] == payload
+
+
+@given(st.lists(entries(), min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_dynamo_store_round_trip(entry_list):
+    # One payload kind per key per run (tables hold one kind in the
+    # real system); also dedupe (key, uri) pairs as the loader does.
+    filtered = _unique_per_key_uri(entry_list)
+    by_key_kind = {}
+    kept = []
+    for entry in filtered:
+        if by_key_kind.setdefault(entry.key, entry.kind) == entry.kind:
+            kept.append(entry)
+    _round_trip(lambda cloud: DynamoIndexStore(cloud.dynamodb, seed=1),
+                kept)
+
+
+@given(st.lists(entries(), min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_simpledb_store_round_trip(entry_list):
+    filtered = _unique_per_key_uri(entry_list)
+    by_key_kind = {}
+    kept = []
+    for entry in filtered:
+        if by_key_kind.setdefault(entry.key, entry.kind) == entry.kind:
+            kept.append(entry)
+    _round_trip(lambda cloud: SimpleDBIndexStore(cloud.simpledb, seed=1),
+                kept)

@@ -1,0 +1,82 @@
+"""Property-based tests: query syntax round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.parser import parse_query, query_to_source
+from repro.query.pattern import (Axis, PatternNode, Query, TreePattern,
+                                 ValueJoin)
+from repro.query.predicates import Contains, Equals, RangePredicate
+
+LABELS = ("a", "b", "c", "name", "item")
+WORDS = ("gold", "lion", "x1")
+
+
+@st.composite
+def pattern_nodes(draw, depth=2, allow_attribute=True):
+    is_attribute = allow_attribute and draw(st.booleans()) and depth < 2
+    node = PatternNode(
+        label=draw(st.sampled_from(LABELS)),
+        is_attribute=is_attribute,
+        axis=draw(st.sampled_from([Axis.CHILD, Axis.DESCENDANT])))
+    predicate = draw(st.sampled_from([
+        None, None,
+        Equals(draw(st.sampled_from(WORDS))),
+        Contains(draw(st.sampled_from(WORDS))),
+        RangePredicate("1", "9"),
+    ]))
+    node.predicate = predicate
+    if not is_attribute:
+        node.want_val = draw(st.booleans())
+        node.want_cont = draw(st.booleans())
+        if depth > 0:
+            for child in draw(st.lists(
+                    pattern_nodes(depth=depth - 1), max_size=2)):
+                node.add_child(child)
+    else:
+        node.want_val = draw(st.booleans())
+    return node
+
+
+@st.composite
+def queries(draw):
+    root = draw(pattern_nodes(allow_attribute=False))
+    root.is_attribute = False
+    # A pattern root hangs off the document root by a descendant edge
+    # by definition (Figure 2); its axis field is not part of syntax.
+    root.axis = Axis.DESCENDANT
+    patterns = [TreePattern(root=root)]
+    joins = []
+    if draw(st.booleans()):
+        left = PatternNode(label="a", is_attribute=False, variable="vl")
+        right = PatternNode(label="b", is_attribute=False, variable="vr")
+        patterns = [TreePattern(root=left), TreePattern(root=right)]
+        joins = [ValueJoin("vl", "vr")]
+    return Query(patterns=patterns, joins=joins, name="prop")
+
+
+@given(queries())
+@settings(max_examples=100)
+def test_source_round_trip_is_fixpoint(query):
+    """parse(to_source(q)) re-renders to the same source text."""
+    source = query_to_source(query)
+    reparsed = parse_query(source)
+    assert query_to_source(reparsed) == source
+    assert reparsed.node_count() == query.node_count()
+    assert len(reparsed.joins) == len(query.joins)
+
+
+@given(queries())
+@settings(max_examples=60)
+def test_round_trip_preserves_annotations(query):
+    reparsed = parse_query(query_to_source(query))
+    original_nodes = [n for p in query.patterns for n in p.iter_nodes()]
+    reparsed_nodes = [n for p in reparsed.patterns for n in p.iter_nodes()]
+    for ours, theirs in zip(original_nodes, reparsed_nodes):
+        assert ours.label == theirs.label
+        assert ours.is_attribute == theirs.is_attribute
+        assert ours.axis == theirs.axis
+        assert ours.want_val == theirs.want_val
+        assert ours.want_cont == theirs.want_cont
+        assert ours.variable == theirs.variable
+        assert type(ours.predicate) is type(theirs.predicate)

@@ -1,0 +1,97 @@
+"""Property-based tests: simulation kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, ThroughputLimiter
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=60)
+def test_resource_never_exceeds_capacity(durations, capacity):
+    env = Environment()
+    resource = Resource(env, capacity)
+    peak = {"value": 0}
+
+    def worker(duration):
+        yield resource.request()
+        peak["value"] = max(peak["value"], resource.in_use)
+        assert resource.in_use <= capacity
+        yield env.timeout(duration)
+        resource.release()
+
+    for duration in durations:
+        env.process(worker(duration))
+    env.run()
+    assert peak["value"] <= capacity
+    assert resource.in_use == 0
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=50.0),
+                min_size=1, max_size=20),
+       st.floats(min_value=0.5, max_value=20.0))
+@settings(max_examples=60)
+def test_limiter_conserves_work(amounts, rate):
+    """All-at-once demand completes exactly at cumulative/rate."""
+    env = Environment()
+    limiter = ThroughputLimiter(env, rate=rate)
+    finishes = []
+
+    def worker(amount):
+        yield limiter.consume(amount)
+        finishes.append(env.now)
+
+    for amount in amounts:
+        env.process(worker(amount))
+    env.run()
+    expected_total = sum(amounts) / rate
+    assert max(finishes) - expected_total < 1e-6 * max(1.0, expected_total)
+    # FIFO: finish times are the cumulative prefix sums.
+    prefix = 0.0
+    for amount, finish in zip(amounts, sorted(finishes)):
+        prefix += amount / rate
+        assert abs(finish - prefix) < 1e-6 * max(1.0, prefix)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                          st.floats(min_value=0.0, max_value=10.0)),
+                min_size=1, max_size=15))
+@settings(max_examples=60)
+def test_clock_monotone_under_any_schedule(pairs):
+    env = Environment()
+    observed = []
+
+    def worker(start_delay, work):
+        yield env.timeout(start_delay)
+        observed.append(env.now)
+        yield env.timeout(work)
+        observed.append(env.now)
+
+    for start_delay, work in pairs:
+        env.process(worker(start_delay, work))
+    env.run()
+    assert observed == sorted(observed)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=5.0),
+                min_size=2, max_size=10))
+@settings(max_examples=40)
+def test_determinism_under_identical_inputs(durations):
+    def run_once():
+        env = Environment()
+        limiter = ThroughputLimiter(env, rate=2.0)
+        log = []
+
+        def worker(index, amount):
+            yield env.timeout(amount / 10)
+            yield limiter.consume(amount)
+            log.append((index, env.now))
+
+        for index, amount in enumerate(durations):
+            env.process(worker(index, amount))
+        env.run()
+        return log
+
+    assert run_once() == run_once()

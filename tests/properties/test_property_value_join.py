@@ -1,0 +1,58 @@
+"""Property-based tests: hash value joins vs a nested-loop oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.evaluator import EvalRow
+from repro.engine.value_join import hash_value_join
+
+values = st.sampled_from(["a", "b", "c", "d"])
+uris = st.sampled_from(["x.xml", "y.xml"])
+
+
+@st.composite
+def rows(draw, variable):
+    return EvalRow(
+        projections=(draw(values),),
+        variables=((variable, draw(values)),),
+        uri=draw(uris))
+
+
+@given(st.lists(rows("l"), max_size=8), st.lists(rows("r"), max_size=8))
+@settings(max_examples=100)
+def test_join_matches_nested_loop(left, right):
+    expected = sorted(
+        (l.projections + r.projections)
+        for l in left for r in right
+        if l.variable("l") == r.variable("r"))
+    actual = sorted(row.projections
+                    for row in hash_value_join(left, right, "l", "r"))
+    assert actual == expected
+
+
+@given(st.lists(rows("l"), max_size=8), st.lists(rows("r"), max_size=8))
+@settings(max_examples=60)
+def test_join_cardinality_symmetric(left, right):
+    """|A join B| is independent of which side builds the hash table."""
+    forward = hash_value_join(left, right, "l", "r")
+    # Force the opposite build side by swapping argument roles.
+    backward = hash_value_join(right, left, "r", "l")
+    assert len(forward) == len(backward)
+
+
+@given(st.lists(rows("l"), max_size=6), st.lists(rows("r"), max_size=6))
+@settings(max_examples=60)
+def test_joined_rows_satisfy_the_predicate(left, right):
+    for row in hash_value_join(left, right, "l", "r"):
+        assert row.variable("l") == row.variable("r")
+
+
+@given(st.lists(rows("l"), max_size=6))
+@settings(max_examples=40)
+def test_self_join_contains_diagonal(left):
+    right = [EvalRow(projections=row.projections,
+                     variables=(("r", row.variable("l")),),
+                     uri=row.uri)
+             for row in left]
+    joined = hash_value_join(left, right, "l", "r")
+    assert len(joined) >= len(left)

@@ -1,0 +1,87 @@
+"""Property-based tests: XML model, identifiers, serialization."""
+
+from hypothesis import given, settings
+
+from tests.properties.strategies import documents, tricky_text
+
+from repro.xmldb.model import (Attribute, Document, Element, Text,
+                               assign_identifiers)
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import serialize
+
+
+@given(documents())
+@settings(max_examples=60)
+def test_serialize_parse_round_trip(document):
+    """parse(serialize(d)) preserves structure, values and IDs."""
+    data = serialize(document)
+    reparsed = parse_document(data, document.uri)
+    assert serialize(reparsed) == data
+    original_nodes = list(document.iter_nodes())
+    reparsed_nodes = list(reparsed.iter_nodes())
+    assert len(original_nodes) == len(reparsed_nodes)
+    for ours, theirs in zip(original_nodes, reparsed_nodes):
+        assert type(ours) is type(theirs)
+        assert getattr(ours, "node_id", None) == \
+            getattr(theirs, "node_id", None)
+
+
+@given(documents())
+@settings(max_examples=60)
+def test_identifier_invariants(document):
+    """pre values are 1..n in document order; post values are a
+    permutation of 1..n; containment matches the ID arithmetic."""
+    nodes = list(document.iter_nodes())
+    pres = [n.node_id.pre for n in nodes]
+    posts = sorted(n.node_id.post for n in nodes)
+    assert pres == list(range(1, len(nodes) + 1))
+    assert posts == list(range(1, len(nodes) + 1))
+
+
+@given(documents())
+@settings(max_examples=40)
+def test_ancestor_arithmetic_matches_tree(document):
+    """a.is_ancestor_of(b) iff b is really inside a's subtree."""
+    elements = [e for e in document.iter_elements()]
+    for ancestor in elements:
+        inside = {id(n) for n in ancestor.iter_subtree()} - {id(ancestor)}
+        for element in elements:
+            expected = id(element) in inside
+            assert ancestor.node_id.is_ancestor_of(element.node_id) == \
+                expected
+
+
+@given(documents())
+@settings(max_examples=40)
+def test_depth_matches_path_length(document):
+    for element in document.iter_elements():
+        segments = [s for s in element.path.split("/") if s]
+        assert element.node_id.depth == len(segments)
+
+
+@given(tricky_text, tricky_text)
+@settings(max_examples=60)
+def test_escaping_round_trip(content, attr_value):
+    root = Element(label="r")
+    root.set_attribute("a", attr_value)
+    root.add(Text(value=content))
+    document = Document(uri="t.xml", root=root)
+    assign_identifiers(document)
+    reparsed = parse_document(serialize(document), "t.xml")
+    assert reparsed.root.attribute("a").value == attr_value
+    assert reparsed.root.string_value() == content
+
+
+@given(documents())
+@settings(max_examples=40)
+def test_string_value_is_text_concatenation(document):
+    def collect(element):
+        out = []
+        for child in element.children:
+            if isinstance(child, Text):
+                out.append(child.value)
+            else:
+                out.extend(collect(child))
+        return out
+    for element in document.iter_elements():
+        assert element.string_value() == "".join(collect(element))

@@ -1,0 +1,140 @@
+"""Unit tests for the textual query syntax."""
+
+import pytest
+
+from repro.errors import PatternSyntaxError
+from repro.query.parser import (node_to_source, parse_pattern, parse_query,
+                                query_to_source)
+from repro.query.pattern import Axis
+from repro.query.predicates import Contains, Equals, RangePredicate
+
+
+class TestBasicParsing:
+    def test_single_node(self):
+        pattern = parse_pattern("//painting")
+        assert pattern.root.label == "painting"
+        assert pattern.root.axis is Axis.DESCENDANT
+        assert pattern.root.is_leaf
+
+    def test_must_start_with_descendant(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("painting")
+
+    def test_spine_children(self):
+        pattern = parse_pattern("//a/b//c")
+        a = pattern.root
+        b = a.children[0]
+        c = b.children[0]
+        assert (a.label, b.label, c.label) == ("a", "b", "c")
+        assert b.axis is Axis.CHILD
+        assert c.axis is Axis.DESCENDANT
+
+    def test_branches(self):
+        pattern = parse_pattern("//a[/b][//c]")
+        assert [child.label for child in pattern.root.children] == ["b", "c"]
+        assert pattern.root.children[0].axis is Axis.CHILD
+        assert pattern.root.children[1].axis is Axis.DESCENDANT
+
+    def test_branch_requires_axis(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("//a[b]")
+
+    def test_attribute_node(self):
+        pattern = parse_pattern("//a/@id")
+        attr = pattern.root.children[0]
+        assert attr.is_attribute
+        assert attr.label == "id"
+
+    def test_nested_branches(self):
+        pattern = parse_pattern("//a[/b[/c][//d]]")
+        b = pattern.root.children[0]
+        assert [c.label for c in b.children] == ["c", "d"]
+
+
+class TestAnnotations:
+    def test_val_and_cont(self):
+        pattern = parse_pattern("//a{val}{cont}")
+        assert pattern.root.want_val and pattern.root.want_cont
+
+    def test_variable(self):
+        pattern = parse_pattern("//a/@id{$x}")
+        assert pattern.root.children[0].variable == "x"
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("//a{volume}")
+
+
+class TestPredicates:
+    def test_equality_quoted(self):
+        pattern = parse_pattern('//a/b="The Lion Hunt"')
+        assert pattern.root.children[0].predicate == \
+            Equals("The Lion Hunt")
+
+    def test_equality_bare(self):
+        pattern = parse_pattern("//a/b=1854")
+        assert pattern.root.children[0].predicate == Equals("1854")
+
+    def test_contains(self):
+        pattern = parse_pattern('//a[/name contains("Lion")]')
+        assert pattern.root.children[0].predicate == Contains("Lion")
+
+    def test_range(self):
+        pattern = parse_pattern("//a[/year in(1854, 1865)]")
+        assert pattern.root.children[0].predicate == \
+            RangePredicate("1854", "1865")
+
+    def test_two_predicates_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern('//a="x"="y"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern('//a="unterminated')
+
+
+class TestQueries:
+    def test_value_join_query(self):
+        query = parse_query(
+            "//museum[/name{val}][//painting/@id{$i}] ; "
+            '//painting[/@id{$j}][//painter/name/last="Delacroix"] '
+            "join $i = $j", name="fig2-q5")
+        assert len(query.patterns) == 2
+        assert len(query.joins) == 1
+        assert query.joins[0].left_variable == "i"
+        assert query.joins[0].right_variable == "j"
+        assert query.name == "fig2-q5"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_query("//a extra")
+
+    def test_join_without_second_pattern_rejected(self):
+        with pytest.raises(Exception):
+            parse_query("//a{$x} join $x = $y")
+
+    def test_error_reports_offset(self):
+        with pytest.raises(PatternSyntaxError) as exc_info:
+            parse_pattern("//a[{bad}]")
+        assert "offset" in str(exc_info.value)
+
+
+class TestRoundTrip:
+    CASES = [
+        "//painting[/name{val}][//painter/name{val}]",
+        '//painting[/description{cont}][/year="1854"]',
+        '//painting[/name contains("Lion")][//painter/name/last{val}]',
+        "//a[/year in(1854, 1865)][/@id{$x}] ; //b[/@ref{$y}] join $x = $y",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_source_round_trip(self, text):
+        query = parse_query(text)
+        regenerated = parse_query(query_to_source(query))
+        assert query_to_source(regenerated) == query_to_source(query)
+        assert regenerated.node_count() == query.node_count()
+        assert len(regenerated.joins) == len(query.joins)
+
+    def test_node_to_source_renders_predicates(self):
+        pattern = parse_pattern('//a[/b contains("x")]')
+        assert 'contains("x")' in node_to_source(pattern.root)

@@ -1,0 +1,88 @@
+"""Unit tests for value predicates."""
+
+import pytest
+
+from repro.errors import PatternSemanticsError
+from repro.query.predicates import (Contains, Equals, RangePredicate,
+                                    tokenize)
+
+
+class TestTokenize:
+    def test_words_lowercased(self):
+        assert tokenize("The Lion Hunt") == ["the", "lion", "hunt"]
+
+    def test_punctuation_splits(self):
+        assert tokenize("12/03/2001") == ["12", "03", "2001"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_alphanumeric_kept_together(self):
+        assert tokenize("person123") == ["person123"]
+
+
+class TestEquals:
+    def test_exact_match(self):
+        assert Equals("Manet").matches("Manet")
+        assert not Equals("Manet").matches("manet")
+        assert not Equals("Manet").matches("Manet ")
+
+    def test_lookup_words(self):
+        assert Equals("The Lion Hunt").lookup_words() == \
+            ["the", "lion", "hunt"]
+
+    def test_str(self):
+        assert str(Equals("1854")) == '="1854"'
+
+
+class TestContains:
+    def test_word_match_case_insensitive(self):
+        predicate = Contains("Lion")
+        assert predicate.matches("The Lion Hunt")
+        assert predicate.matches("the lion hunt")
+
+    def test_substring_is_not_word_match(self):
+        # contains() is word containment, consistent with the w-index.
+        assert not Contains("Lion").matches("Lionize the crowd")
+
+    def test_multi_word_rejected(self):
+        with pytest.raises(PatternSemanticsError):
+            Contains("two words")
+
+    def test_lookup_words(self):
+        assert Contains("Lion").lookup_words() == ["lion"]
+
+
+class TestRangePredicate:
+    def test_numeric_comparison(self):
+        predicate = RangePredicate("1854", "1865")
+        assert predicate.matches("1854")
+        assert predicate.matches("1860")
+        assert predicate.matches("1865")
+        assert not predicate.matches("1853")
+        assert not predicate.matches("1866")
+
+    def test_numeric_despite_lexicographic_trap(self):
+        # "9" > "10" lexicographically; numerically 9 < 10 <= 20.
+        assert RangePredicate("9", "20").matches("10")
+
+    def test_lexicographic_fallback(self):
+        predicate = RangePredicate("apple", "mango")
+        assert predicate.matches("banana")
+        assert not predicate.matches("zebra")
+
+    def test_empty_numeric_range_rejected(self):
+        with pytest.raises(PatternSemanticsError):
+            RangePredicate("10", "5")
+
+    def test_empty_lexicographic_range_rejected(self):
+        with pytest.raises(PatternSemanticsError):
+            RangePredicate("zebra", "apple")
+
+    def test_no_lookup_words(self):
+        """§5.5: range look-ups would need a full scan, so the index
+        cannot pre-filter on them."""
+        assert RangePredicate("1", "2").lookup_words() == []
+
+    def test_non_numeric_value_in_numeric_range(self):
+        assert not RangePredicate("1", "2").matches("abc")

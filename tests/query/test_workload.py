@@ -1,0 +1,67 @@
+"""Unit tests for the experimental workload definitions."""
+
+import pytest
+
+from repro.query.predicates import RangePredicate
+from repro.query.workload import (FIGURE2_TEXT, WORKLOAD_ORDER,
+                                  WORKLOAD_TEXT, figure2_queries, workload,
+                                  workload_query)
+
+
+def test_ten_queries_in_order():
+    queries = workload()
+    assert [q.name for q in queries] == list(WORKLOAD_ORDER)
+    assert len(queries) == 10
+
+
+def test_last_three_feature_value_joins():
+    """§8.2: "the last three queries feature value joins"."""
+    queries = workload()
+    for query in queries[:7]:
+        assert not query.has_value_joins, query.name
+        assert query.is_single_pattern, query.name
+    for query in queries[7:]:
+        assert query.has_value_joins, query.name
+        assert len(query.patterns) == 2, query.name
+
+
+def test_q4_has_a_range_predicate():
+    query = workload_query("q4")
+    predicates = [n.predicate for n in query.patterns[0].iter_nodes()
+                  if n.predicate is not None]
+    assert any(isinstance(p, RangePredicate) for p in predicates)
+
+
+def test_q1_is_a_point_query():
+    query = workload_query("q1")
+    root = query.patterns[0].root
+    attr = [n for n in root.children if n.is_attribute]
+    assert attr and attr[0].predicate is not None
+
+
+def test_every_query_projects_something():
+    for query in workload():
+        annotated = [n for p in query.patterns for n in p.iter_nodes()
+                     if n.want_val or n.want_cont]
+        assert annotated, "{} returns nothing".format(query.name)
+
+
+def test_workload_query_lookup():
+    assert workload_query("q3").name == "q3"
+    with pytest.raises(KeyError):
+        workload_query("q99")
+
+
+def test_figure2_queries_parse():
+    queries = figure2_queries()
+    assert len(queries) == len(FIGURE2_TEXT) == 5
+    q5 = queries[-1]
+    assert q5.has_value_joins
+    assert len(q5.patterns) == 2
+
+
+def test_workload_text_parses_identically_twice():
+    for name in WORKLOAD_ORDER:
+        first = workload_query(name)
+        second = workload_query(name)
+        assert str(first) == str(second)

@@ -1,0 +1,110 @@
+"""Unit tests for the simulation environment / event loop."""
+
+import pytest
+
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+
+def test_run_until_stops_before_future_events(env):
+    env.timeout(10.0)
+    env.run(until=5.0)
+    assert env.now == 5.0
+    env.run()
+    assert env.now == 10.0
+
+
+def test_run_until_in_past_rejected(env):
+    env.timeout(10.0)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_empty_with_until_advances_clock(env):
+    env.run(until=42.0)
+    assert env.now == 42.0
+
+
+def test_peek_returns_next_event_time(env):
+    assert env.peek() is None
+    env.timeout(7.0)
+    env.timeout(3.0)
+    assert env.peek() == 3.0
+
+
+def test_step_on_empty_queue_raises(env):
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_events_process_in_time_order(env):
+    order = []
+    for delay in (5.0, 1.0, 3.0):
+        env.timeout(delay).add_callback(
+            lambda e, d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 3.0, 5.0]
+
+
+def test_simultaneous_events_process_in_schedule_order(env):
+    order = []
+    for tag in ("a", "b", "c"):
+        env.timeout(1.0).add_callback(lambda e, t=tag: order.append(t))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_process_returns_value(env):
+    def worker(env):
+        yield env.timeout(2.0)
+        return "result"
+    assert env.run_process(worker(env)) == "result"
+    assert env.now == 2.0
+
+
+def test_run_process_detects_deadlock(env):
+    def stuck(env):
+        yield env.event()  # nobody will ever trigger this
+    with pytest.raises(SimulationDeadlock):
+        env.run_process(stuck(env))
+
+
+def test_run_process_does_not_drain_unrelated_events(env):
+    """Stale future events must not drag the clock forward (the SQS
+    lease-watchdog regression)."""
+    env.timeout(10000.0)  # unrelated far-future event
+
+    def quick(env):
+        yield env.timeout(1.0)
+    env.run_process(quick(env))
+    assert env.now == 1.0
+
+
+def test_determinism_two_runs_identical():
+    def scenario():
+        env = Environment()
+        trace = []
+
+        def worker(env, name, delay):
+            yield env.timeout(delay)
+            trace.append((name, env.now))
+            yield env.timeout(delay)
+            trace.append((name, env.now))
+            return name
+
+        procs = [env.process(worker(env, "w{}".format(i), 0.5 + 0.1 * i))
+                 for i in range(5)]
+
+        def main(env):
+            for proc in procs:
+                yield proc
+        env.run_process(main(env))
+        return trace
+
+    assert scenario() == scenario()

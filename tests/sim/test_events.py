@@ -1,0 +1,123 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+def test_event_starts_pending(env):
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_succeed_sets_value(env):
+    event = env.event()
+    event.succeed(42)
+    assert event.triggered
+    env.run()
+    assert event.processed
+    assert event.value == 42
+
+
+def test_succeed_twice_raises(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_value_before_trigger_raises(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_fail_requires_exception(env):
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_failed_event_raises_on_value(env):
+    event = env.event()
+    event.fail(ValueError("boom"))
+    env.run()
+    with pytest.raises(ValueError):
+        _ = event.value
+    assert not event.ok
+
+
+def test_timeout_fires_at_delay(env):
+    fired = []
+    timeout = env.timeout(5.0, value="done")
+    timeout.add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [5.0]
+    assert timeout.value == "done"
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_zero_timeout_allowed(env):
+    timeout = env.timeout(0.0)
+    env.run()
+    assert timeout.processed
+    assert env.now == 0.0
+
+
+def test_callback_on_processed_event_runs_immediately(env):
+    event = env.event()
+    event.succeed("x")
+    env.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_all_of_collects_values(env):
+    timeouts = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+    combined = AllOf(env, timeouts)
+    env.run()
+    assert combined.value == [3.0, 1.0, 2.0]
+    assert env.now == 3.0
+
+
+def test_all_of_empty_fires_immediately(env):
+    combined = AllOf(env, [])
+    assert combined.triggered
+    env.run()
+    assert combined.value == []
+
+
+def test_any_of_fires_on_first(env):
+    timeouts = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+    combined = AnyOf(env, timeouts)
+    fired_at = []
+    combined.add_callback(lambda e: fired_at.append(env.now))
+    env.run()
+    assert combined.value == 1.0
+    assert fired_at == [1.0]
+
+
+def test_all_of_propagates_failure(env):
+    good = env.timeout(1.0)
+    bad = env.event()
+    bad.fail(RuntimeError("child failed"))
+    combined = AllOf(env, [good, bad])
+    env.run()
+    assert combined.triggered
+    assert not combined.ok
+
+
+def test_repr_mentions_state(env):
+    event = env.event()
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)
+    env.run()
+    assert "processed" in repr(event)

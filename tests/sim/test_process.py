@@ -1,0 +1,115 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_process_requires_generator(env):
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # not a generator
+
+
+def test_process_is_event(env):
+    def worker(env):
+        yield env.timeout(1.0)
+        return 7
+    proc = env.process(worker(env))
+    assert proc.is_alive
+
+    def waiter(env):
+        value = yield proc
+        return value * 2
+    assert env.run_process(waiter(env)) == 14
+    assert not proc.is_alive
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner failure")
+
+    proc = env.process(failing(env))
+
+    def waiter(env):
+        with pytest.raises(ValueError):
+            yield proc
+        return "caught"
+    assert env.run_process(waiter(env)) == "caught"
+
+
+def test_yield_non_event_raises_inside_process(env):
+    def bad(env):
+        yield 42
+
+    def waiter(env):
+        with pytest.raises(SimulationError):
+            yield env.process(bad(env))
+        return True
+    assert env.run_process(waiter(env))
+
+
+def test_yield_foreign_event_raises(env):
+    other = Environment()
+
+    def bad(env):
+        yield other.timeout(1.0)
+
+    def waiter(env):
+        with pytest.raises(SimulationError):
+            yield env.process(bad(env))
+        return True
+    assert env.run_process(waiter(env))
+
+
+def test_interrupt_wakes_process_with_exception(env):
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+            log.append("slept")
+        except RuntimeError as exc:
+            log.append(str(exc))
+        return "done"
+
+    proc = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        proc.interrupt(RuntimeError("wake up"))
+        yield proc
+    env.run_process(interrupter(env))
+    assert log == ["wake up"]
+    assert env.now == 1.0
+
+
+def test_interrupt_finished_process_raises(env):
+    def quick(env):
+        yield env.timeout(0.0)
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt(RuntimeError("too late"))
+
+
+def test_processes_interleave(env):
+    trace = []
+
+    def worker(env, name, delay):
+        for _ in range(3):
+            yield env.timeout(delay)
+            trace.append(name)
+
+    env.process(worker(env, "fast", 1.0))
+    env.process(worker(env, "slow", 2.5))
+    env.run()
+    assert trace == ["fast", "fast", "slow", "fast", "slow", "slow"]
+
+
+def test_immediate_return_process(env):
+    def instant(env):
+        return 5
+        yield  # pragma: no cover - makes this a generator
+    assert env.run_process(instant(env)) == 5

@@ -1,0 +1,82 @@
+"""Unit tests for the §9 index advisor."""
+
+import pytest
+
+from repro.advisor import IndexAdvisor, StrategyEstimate
+from repro.indexing.registry import ALL_STRATEGY_NAMES
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.workload import workload
+
+
+@pytest.fixture(scope="module")
+def advisor(small_corpus):
+    return IndexAdvisor(small_corpus.stats())
+
+
+def test_estimates_cover_all_strategies(advisor):
+    estimates = advisor.estimate_all(workload())
+    assert set(estimates) == set(ALL_STRATEGY_NAMES)
+    for estimate in estimates.values():
+        assert isinstance(estimate, StrategyEstimate)
+        assert estimate.build_cost > 0
+        assert estimate.monthly_storage > 0
+        assert estimate.workload_cost > 0
+        assert len(estimate.per_query) == 10
+
+
+def test_finer_strategies_estimate_fewer_documents(advisor, small_corpus):
+    pattern = parse_pattern(
+        '//person[/address/city contains("Tokyo")][/profile/interest]')
+    lu = advisor.estimate_pattern_documents(pattern, "LU")
+    lup = advisor.estimate_pattern_documents(pattern, "LUP")
+    lui = advisor.estimate_pattern_documents(pattern, "LUI")
+    assert lu >= lup >= lui
+    assert lui < lup, "the twig correction should bite on branched patterns"
+    assert lu <= small_corpus.stats().document_count
+
+
+def test_point_query_estimated_selective(advisor, small_corpus):
+    pattern = parse_pattern('//person[/@id="person3"]')
+    estimate = advisor.estimate_pattern_documents(pattern, "LU")
+    assert estimate < 0.2 * small_corpus.stats().document_count
+
+
+def test_estimated_gets_reflect_strategy(advisor):
+    pattern = parse_pattern("//item[/name][/quantity]")
+    assert advisor._estimate_gets(pattern, "LU") == 3       # 3 keys
+    assert advisor._estimate_gets(pattern, "LUP") == 2      # 2 paths
+    assert advisor._estimate_gets(pattern, "LUI") == 3      # 3 twig keys
+    assert advisor._estimate_gets(pattern, "2LUPI") == 5    # both phases
+
+
+def test_recommend_returns_a_known_strategy(advisor):
+    recommendation = advisor.recommend(workload(), runs=10)
+    assert recommendation.strategy_name in ALL_STRATEGY_NAMES
+
+
+def test_total_cost_grows_with_runs(advisor):
+    estimate = advisor.estimate_strategy("LUP", workload())
+    assert estimate.total_cost(20) > estimate.total_cost(5)
+
+
+def test_recommendation_shifts_with_horizon(advisor):
+    """Very short horizons weight build cost; long horizons weight
+    per-run savings — the recommendation must be horizon-sensitive in
+    the right direction (never pick a pricier-everything strategy)."""
+    short = advisor.recommend(workload(), runs=0)
+    long = advisor.recommend(workload(), runs=100000)
+    short_estimate = advisor.estimate_strategy(short.strategy_name,
+                                               workload())
+    long_estimate = advisor.estimate_strategy(long.strategy_name, workload())
+    assert short_estimate.build_cost <= long_estimate.build_cost * 1.0001
+    assert long_estimate.workload_cost <= short_estimate.workload_cost \
+        * 1.0001
+
+
+def test_value_join_queries_estimated_per_pattern(advisor):
+    query = parse_query(
+        "//person[/@id{$p}] ; //closed_auction[/buyer/@person{$b}] "
+        "join $p = $b", name="join-test")
+    estimate = advisor.estimate_strategy("LU", [query])
+    assert len(estimate.per_query) == 1
+    assert estimate.per_query[0].documents > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the bench support layer (reporting + datasets)."""
+
+import pytest
+
+from repro.bench.datasets import ExperimentContext, get_context
+from repro.bench.reporting import (ExperimentResult, format_bytes,
+                                   format_duration, format_money,
+                                   format_table)
+from repro.config import ScaleProfile
+
+
+class TestFormatting:
+    def test_duration(self):
+        assert format_duration(0) == "0:00:00"
+        assert format_duration(61) == "0:01:01"
+        assert format_duration(3 * 3600 + 47 * 60) == "3:47:00"
+        assert format_duration(59.6) == "0:01:00"  # rounds
+
+    def test_money(self):
+        assert format_money(0) == "$0"
+        assert format_money(26.64) == "$26.64"
+        assert format_money(0.00000032) == "$0.000000"
+        assert format_money(0.004) == "$0.004000"
+
+    def test_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KB"
+        assert format_bytes(3 * 1024 ** 2) == "3.00 MB"
+        assert format_bytes(5 * 1024 ** 3) == "5.00 GB"
+
+    def test_table_alignment(self):
+        text = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line.rstrip()) for line in (lines[0], lines[2])}
+        assert len(widths) <= 2  # consistent columns
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="Table X", title="demo",
+            headers=["strategy", "value"],
+            rows=[["LU", 1], ["LUP", 2]],
+            series={"LU": {0.5: 1.0, 1.0: 2.0}},
+            notes=["a note"])
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "Table X" in text and "demo" in text
+        assert "LUP" in text
+        assert "series LU" in text
+        assert "note: a note" in text
+
+    def test_row_map(self):
+        mapping = self._result().row_map()
+        assert mapping["LU"] == ["LU", 1]
+        assert set(mapping) == {"LU", "LUP"}
+
+
+class TestExperimentContext:
+    def test_context_cached_per_scale(self):
+        scale = ScaleProfile(documents=10, seed=91)
+        assert get_context(scale) is get_context(scale)
+        other = ScaleProfile(documents=11, seed=91)
+        assert get_context(scale) is not get_context(other)
+
+    def test_lazy_artefacts_cached(self):
+        ctx = ExperimentContext(ScaleProfile(documents=15, seed=92))
+        assert ctx.corpus is ctx.corpus
+        assert ctx.warehouse is ctx.warehouse
+        assert len(ctx.queries) == 10
+        index = ctx.index("LU")
+        assert ctx.index("LU") is index
+        report = ctx.workload_report("LU")
+        assert ctx.workload_report("LU") is report
+        execution = ctx.execution("LU", "q1")
+        assert execution.name == "q1"
+        with pytest.raises(KeyError):
+            ctx.execution("LU", "q99")
+
+    def test_dataset_metrics_match_corpus(self):
+        ctx = ExperimentContext(ScaleProfile(documents=12, seed=93))
+        metrics = ctx.dataset_metrics
+        assert metrics.documents == len(ctx.corpus)
+        assert metrics.size_bytes == ctx.corpus.total_bytes

@@ -1,0 +1,75 @@
+"""Unit tests for the demo CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_generate_prints_summary(capsys):
+    assert main(["generate", "--documents", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "generated 25 documents" in out
+    assert "distinct paths" in out
+
+
+def test_generate_writes_files(tmp_path, capsys):
+    assert main(["generate", "--documents", "10",
+                 "--out", str(tmp_path)]) == 0
+    files = list(tmp_path.glob("*.xml"))
+    assert len(files) == 10
+    assert files[0].read_bytes().startswith(b"<")
+
+
+def test_demo_runs_selected_queries(capsys):
+    assert main(["demo", "--documents", "40", "--strategy", "lui",
+                 "--instances", "2", "--queries", "q1,q6"]) == 0
+    out = capsys.readouterr().out
+    assert "built LUI" in out
+    assert "q1" in out and "q6" in out
+    assert "cost" in out
+
+
+def test_demo_monitor_flag(capsys):
+    assert main(["demo", "--documents", "30", "--queries", "q1",
+                 "--instances", "2", "--monitor"]) == 0
+    out = capsys.readouterr().out
+    assert "Resource report" in out
+    assert "dynamodb-write" in out
+
+
+def test_demo_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        main(["demo", "--documents", "10", "--strategy", "BTREE"])
+
+
+def test_demo_rejects_unknown_query():
+    with pytest.raises(SystemExit):
+        main(["demo", "--documents", "10", "--queries", "q42"])
+
+
+def test_advise(capsys):
+    assert main(["advise", "--documents", "40", "--runs", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "recommendation:" in out
+    assert "total @7 runs" in out
+    for name in ("LU", "LUP", "LUI", "2LUPI"):
+        assert name in out
+
+
+def test_xquery_translation(capsys):
+    assert main(["xquery", '//painting[/name{val}][/year="1854"]']) == 0
+    out = capsys.readouterr().out
+    assert "for $painting in" in out
+    assert 'string($year) = "1854"' in out
+
+
+def test_prices_provider_choice(capsys):
+    assert main(["prices", "--provider", "google"]) == 0
+    assert "google" in capsys.readouterr().out
+    assert main(["prices"]) == 0
+    assert "aws" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,19 @@
+"""Run the package's executable docstring examples."""
+
+import doctest
+
+import repro
+import repro.sim.engine
+
+
+def test_package_doctest():
+    """The README-style example in ``repro/__init__`` really runs."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 4
+    assert results.failed == 0
+
+
+def test_sim_engine_doctest():
+    results = doctest.testmod(repro.sim.engine, verbose=False)
+    assert results.attempted >= 3
+    assert results.failed == 0

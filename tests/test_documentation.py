@@ -1,0 +1,67 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+The deliverable requires doc comments on every public item; this test
+walks the package and enforces it, so documentation debt fails CI
+rather than accumulating.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+EXEMPT_MODULES = set()
+
+
+def _public_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in EXEMPT_MODULES:
+            continue
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def test_every_module_has_a_docstring():
+    for module in _public_modules():
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _public_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append("{}.{}".format(module.__name__, name))
+    assert not missing, "undocumented public items:\n  " + \
+        "\n  ".join(sorted(missing))
+
+
+def test_public_methods_documented():
+    missing = []
+    for module in _public_modules():
+        for cls_name, cls in vars(module).items():
+            if cls_name.startswith("_") or not inspect.isclass(cls):
+                continue
+            if getattr(cls, "__module__", None) != module.__name__:
+                continue
+            for method_name, method in vars(cls).items():
+                if method_name.startswith("_"):
+                    continue
+                if not (inspect.isfunction(method)
+                        or isinstance(method, property)):
+                    continue
+                target = method.fget if isinstance(method, property) \
+                    else method
+                if not (target.__doc__ and target.__doc__.strip()):
+                    missing.append("{}.{}.{}".format(
+                        module.__name__, cls_name, method_name))
+    assert not missing, "undocumented public methods:\n  " + \
+        "\n  ".join(sorted(missing))

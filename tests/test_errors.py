@@ -1,0 +1,47 @@
+"""Sanity tests for the exception hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (CloudServiceError, QueryError, ReproError,
+                          SimulationError, WarehouseError, XMLError)
+
+
+def _all_error_classes():
+    return [obj for _, obj in inspect.getmembers(errors_module,
+                                                 inspect.isclass)
+            if issubclass(obj, Exception)]
+
+
+def test_every_error_derives_from_repro_error():
+    for cls in _all_error_classes():
+        assert issubclass(cls, ReproError), cls
+
+
+def test_family_roots():
+    from repro.errors import (NoSuchBucket, NoSuchQueue, PatternSyntaxError,
+                              SimulationDeadlock, ThroughputExceeded,
+                              XMLParseError)
+    assert issubclass(NoSuchBucket, CloudServiceError)
+    assert issubclass(NoSuchQueue, CloudServiceError)
+    assert issubclass(ThroughputExceeded, CloudServiceError)
+    assert issubclass(SimulationDeadlock, SimulationError)
+    assert issubclass(PatternSyntaxError, QueryError)
+    assert issubclass(XMLParseError, XMLError)
+
+
+def test_one_catch_all_suffices():
+    from repro.errors import DocumentNotLoaded
+    with pytest.raises(ReproError):
+        raise DocumentNotLoaded("x")
+    with pytest.raises(WarehouseError):
+        raise DocumentNotLoaded("x")
+
+
+def test_errors_carry_messages():
+    try:
+        raise SimulationError("specific detail")
+    except ReproError as exc:
+        assert "specific detail" in str(exc)

@@ -1,0 +1,84 @@
+"""Smoke tests for the experiment drivers at unit-test scale.
+
+``pytest benchmarks/`` runs every experiment with its full checks at
+bench scale; these tests run the cheaper drivers on a tiny corpus so
+``pytest tests/`` alone exercises the experiment code paths.  Only the
+*structure* of each artefact is asserted here — the paper's qualitative
+claims need bench scale and are asserted by the benches.
+"""
+
+import pytest
+
+from repro.bench.datasets import ExperimentContext
+from repro.bench.experiments import (figure9_response_times,
+                                     figure11_query_costs,
+                                     figure12_cost_details,
+                                     figure13_amortization,
+                                     figure15_sensitivity, table3_pricing,
+                                     table4_indexing_times,
+                                     table5_query_details,
+                                     table6_indexing_costs)
+from repro.config import ScaleProfile
+from repro.indexing.registry import ALL_STRATEGY_NAMES
+from repro.query.workload import WORKLOAD_ORDER
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return ExperimentContext(ScaleProfile(documents=36, seed=101))
+
+
+def test_table3_runs_and_checks(tiny_ctx):
+    result = table3_pricing.run(tiny_ctx)
+    table3_pricing.check(result, tiny_ctx)  # scale-independent
+    assert len(result.rows) == 10
+
+
+def test_table4_structure(tiny_ctx):
+    result = table4_indexing_times.run(tiny_ctx)
+    assert [row[0] for row in result.rows] == list(ALL_STRATEGY_NAMES)
+    for row in result.rows:
+        assert row[6] > 0  # total seconds
+
+
+def test_table5_structure(tiny_ctx):
+    result = table5_query_details.run(tiny_ctx)
+    assert [row[0] for row in result.rows] == list(WORKLOAD_ORDER)
+    for row in result.rows:
+        # Soundness holds at any scale.
+        assert row[1] >= row[2] >= row[3] >= row[5]
+        assert row[3] == row[4]  # LUI == 2LUPI
+
+
+def test_figure9_structure(tiny_ctx):
+    result = figure9_response_times.run(tiny_ctx)
+    assert len(result.rows) == 10 * 2 * 5  # queries x types x strategies
+    for row in result.rows:
+        assert row[3] > 0
+
+
+def test_figure11_and_12_structure(tiny_ctx):
+    result11 = figure11_query_costs.run(tiny_ctx)
+    assert all(row[4] > 0 for row in result11.rows)
+    result12 = figure12_cost_details.run(tiny_ctx)
+    assert [row[0] for row in result12.rows] == \
+        ["none"] + list(ALL_STRATEGY_NAMES)
+    assert result12.row_map()["none"][7] == 0.0  # no DynamoDB bill
+
+
+def test_figure13_structure(tiny_ctx):
+    result = figure13_amortization.run(tiny_ctx)
+    for row in result.rows:
+        assert row[4] > 0  # benefit per run positive even at tiny scale
+
+
+def test_table6_structure(tiny_ctx):
+    result = table6_indexing_costs.run(tiny_ctx)
+    for row in result.rows:
+        assert row[9] > 0 and row[10] > 0
+
+
+def test_figure15_structure(tiny_ctx):
+    result = figure15_sensitivity.run(tiny_ctx)
+    assert result.series  # per-query savings present
+    assert any("dominant component" in note for note in result.notes)

@@ -1,0 +1,74 @@
+"""Unit tests for the platform half of the §9 advisor."""
+
+import pytest
+
+from repro.advisor import IndexAdvisor, PlatformRecommendation
+from repro.query.workload import workload
+
+
+@pytest.fixture(scope="module")
+def advisor(small_corpus):
+    return IndexAdvisor(small_corpus.stats())
+
+
+def test_platform_estimates_cover_both_types(advisor):
+    platforms = advisor.estimate_platform("LUP", workload())
+    assert set(platforms) == {"l", "xl"}
+    for estimate in platforms.values():
+        assert estimate.workload_seconds > 0
+        assert estimate.workload_cost > 0
+
+
+def test_xl_estimated_faster_than_l(advisor):
+    platforms = advisor.estimate_platform("LUP", workload())
+    assert platforms["xl"].workload_seconds < \
+        platforms["l"].workload_seconds
+
+
+def test_costs_near_machine_type_independent(advisor):
+    """The Figure 11 cancellation: twice the price, half the time."""
+    platforms = advisor.estimate_platform("LUP", workload())
+    ratio = platforms["xl"].workload_cost / platforms["l"].workload_cost
+    assert 0.5 < ratio < 2.0
+
+
+def test_recommendation_structure(advisor):
+    rec = advisor.recommend_platform(workload(), runs=10)
+    assert isinstance(rec, PlatformRecommendation)
+    assert rec.query_instance_type in ("l", "xl")
+    assert 1 <= rec.loader_instances <= 16
+    assert rec.platform.instance_type == rec.query_instance_type
+
+
+def test_deadline_forces_faster_type(advisor):
+    platforms = advisor.estimate_platform("LUP", workload())
+    # A deadline only xl can meet must select xl.
+    tight = (platforms["xl"].workload_seconds
+             + platforms["l"].workload_seconds) / 2
+    rec = advisor.recommend_platform(workload(), strategy_name="LUP",
+                                     max_workload_seconds=tight)
+    assert rec.query_instance_type == "xl"
+
+
+def test_impossible_deadline_picks_fastest(advisor):
+    rec = advisor.recommend_platform(workload(), strategy_name="LUP",
+                                     max_workload_seconds=1e-9)
+    assert rec.query_instance_type == "xl"
+
+
+def test_no_deadline_picks_cheapest(advisor):
+    platforms = advisor.estimate_platform("LUP", workload())
+    cheapest = min(platforms.values(), key=lambda p: p.workload_cost)
+    rec = advisor.recommend_platform(workload(), strategy_name="LUP")
+    assert rec.query_instance_type == cheapest.instance_type
+
+
+def test_loader_fleet_bounded_and_monotone(advisor):
+    for name in ("LU", "LUP", "LUI", "2LUPI"):
+        fleet = advisor.recommended_loader_fleet(name)
+        assert 1 <= fleet <= 16
+    # Strategies with more extraction work per byte written need no
+    # larger fleet than the write-heavy ones at equal throughput --
+    # just sanity-check determinism here.
+    assert advisor.recommended_loader_fleet("LU") == \
+        advisor.recommended_loader_fleet("LU")

@@ -1,0 +1,97 @@
+"""Fault tolerance through queue semantics (§3).
+
+"If an instance fails to renew its lease on the message which had
+caused a task to start, the message becomes available again and another
+virtual instance will take over the job."  We simulate a worker crash
+mid-task and check the pipeline still completes with correct output.
+"""
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.indexing.mapper import DynamoIndexStore
+from repro.indexing.registry import strategy
+from repro.warehouse.loader import IndexerWorker
+from repro.warehouse.messages import LOADER_QUEUE, LoadRequest, StopWorker
+from repro.xmark import generate_corpus
+
+
+@pytest.fixture
+def setup(cloud):
+    corpus = generate_corpus(ScaleProfile(documents=10, seed=23))
+    cloud.s3.create_bucket("documents")
+    # Short visibility so redelivery happens quickly after the crash.
+    cloud.sqs.create_queue(LOADER_QUEUE, visibility_timeout=5.0)
+    store = DynamoIndexStore(cloud.dynamodb, seed=1)
+    lu = strategy("LU")
+    store.create_table("lu-table")
+
+    def upload():
+        for document in corpus.documents:
+            yield from cloud.s3.put("documents", document.uri,
+                                    corpus.data[document.uri])
+    cloud.env.run_process(upload())
+    return corpus, store, lu, {"lu": "lu-table"}
+
+
+def test_crashed_workers_messages_are_taken_over(cloud, setup):
+    corpus, store, lu, tables = setup
+    env = cloud.env
+
+    crash_instance = cloud.ec2.launch("l")
+    crasher = IndexerWorker(cloud, crash_instance, store, lu, tables,
+                            "documents", batch_size=1)
+    survivor = IndexerWorker(cloud, cloud.ec2.launch("l"), store, lu,
+                             tables, "documents", batch_size=2)
+
+    def driver():
+        crash_proc = env.process(crasher.run(), name="crasher")
+        for document in corpus.documents:
+            yield from cloud.sqs.send(LOADER_QUEUE,
+                                      LoadRequest(uri=document.uri))
+        # Let the crasher receive a message, then kill it mid-task.
+        yield env.timeout(0.05)
+        crash_proc.interrupt(RuntimeError("instance crash"))
+        try:
+            yield crash_proc
+        except RuntimeError:
+            pass
+        # Now the survivor takes over everything, including the
+        # redelivered in-flight message.  Keep it polling past the
+        # crashed message's visibility timeout before scaling down.
+        survivor_proc = env.process(survivor.run(), name="survivor")
+        yield env.timeout(10.0)
+        yield from cloud.sqs.send(LOADER_QUEUE, StopWorker())
+        return (yield survivor_proc)
+
+    stats = env.run_process(driver())
+    # Every document was indexed by *someone*, at least once.
+    indexed = crasher.stats.documents + stats.documents
+    assert indexed >= len(corpus)
+    assert cloud.sqs.approximate_depth(LOADER_QUEUE) == 0
+    assert cloud.sqs.in_flight_count(LOADER_QUEUE) == 0
+    assert cloud.sqs.redelivered_count(LOADER_QUEUE) >= 1
+    # The index covers the full corpus despite the crash: every
+    # document URI appears in the table.
+    table = cloud.dynamodb.table("lu-table")
+    stored_uris = set()
+    for hash_key in table.hash_keys():
+        for group in table._items[hash_key].values():
+            stored_uris.update(group.attributes)
+    assert {d.uri for d in corpus.documents} <= stored_uris
+
+
+def test_duplicate_indexing_is_idempotent_for_lookups(cloud, setup):
+    """At-least-once delivery can index a document twice; look-ups must
+    not be affected (presence payloads merge idempotently)."""
+    corpus, store, lu, tables = setup
+    document = corpus.documents[0]
+    entries = lu.extract(document)["lu"]
+
+    def scenario():
+        yield from store.write_entries("lu-table", entries)
+        yield from store.write_entries("lu-table", entries)  # duplicate
+        return (yield from store.read_key("lu-table", entries[0].key,
+                                          "presence"))
+    payloads, _ = cloud.env.run_process(scenario())
+    assert list(payloads) == [document.uri]

@@ -1,0 +1,114 @@
+"""Incremental warehousing: new documents extend existing indexes.
+
+§2: unlike the HadoopXML comparison system, "in our system we do not
+adopt document partitioning, the query workload is dynamic (indexes
+only depend on data)" — a newly arrived document is simply stored,
+indexed and immediately queryable, with no rebuild.
+"""
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.errors import NoSuchTable, WarehouseError
+from repro.query.parser import parse_query
+from repro.query.workload import workload_query
+from repro.warehouse import Warehouse
+from repro.xmark import generate_corpus
+
+
+@pytest.fixture()
+def setup():
+    base = generate_corpus(ScaleProfile(documents=30, seed=61))
+    warehouse = Warehouse()
+    warehouse.upload_corpus(base)
+    indexes = [warehouse.build_index(name, instances=2)
+               for name in ("LU", "LUI")]
+    increment = generate_corpus(ScaleProfile(documents=12, seed=62))
+    # Distinct URIs for the increment.
+    increment.data = {"inc-" + uri: data
+                      for uri, data in increment.data.items()}
+    renamed = []
+    for document in increment.documents:
+        document.uri = "inc-" + document.uri
+        renamed.append(document)
+    increment.kinds = {"inc-" + uri: kind
+                       for uri, kind in increment.kinds.items()}
+    return base, warehouse, indexes, increment
+
+
+def test_increment_extends_indexes(setup):
+    base, warehouse, indexes, increment = setup
+    before_bytes = [idx.stored_bytes() for idx in indexes]
+    reports = warehouse.ingest_increment(increment, indexes, instances=2)
+    assert len(reports) == 2
+    for report, built, before in zip(reports, indexes, before_bytes):
+        assert report.documents == len(increment)
+        assert built.stored_bytes() > before
+    assert len(warehouse.corpus) == len(base) + len(increment)
+
+
+def test_new_documents_immediately_queryable(setup):
+    base, warehouse, indexes, increment = setup
+    query = workload_query("q6")
+    before = warehouse.run_query(query, indexes[1])
+    warehouse.ingest_increment(increment, indexes, instances=2)
+    after = warehouse.run_query(query, indexes[1])
+    assert after.docs_from_index >= before.docs_from_index
+    # Some increment document must actually be retrieved (q6 matches
+    # item documents, which every generated corpus contains).
+    assert after.docs_from_index > before.docs_from_index, \
+        "increment items should enter the index"
+    assert after.result_rows > before.result_rows
+
+
+def test_results_match_direct_evaluation_after_increment(setup):
+    base, warehouse, indexes, increment = setup
+    warehouse.ingest_increment(increment, indexes, instances=2)
+    from repro.engine.evaluator import evaluate_query
+    for name in ("q2", "q6"):
+        query = workload_query(name)
+        execution = warehouse.run_query(query, indexes[0])
+        direct = evaluate_query(query, warehouse.corpus.documents)
+        assert execution.result_rows == len(direct), name
+
+
+def test_duplicate_uris_rejected(setup):
+    base, warehouse, indexes, increment = setup
+    with pytest.raises(WarehouseError):
+        warehouse.ingest_increment(base.prefix(0.2), indexes)
+
+
+def test_increment_phase_tagged(setup):
+    base, warehouse, indexes, increment = setup
+    warehouse.ingest_increment(increment, indexes, instances=2,
+                               tag="ingest:test")
+    records = warehouse.cloud.meter.records(tag_prefix="ingest:test")
+    assert records
+    tags = {phase.tag for phase in warehouse.phases}
+    assert any(tag.startswith("ingest:test:") for tag in tags)
+
+
+def test_drop_index_frees_storage(setup):
+    base, warehouse, indexes, increment = setup
+    built = indexes[0]
+    stored = built.stored_bytes()
+    assert stored > 0
+    freed = warehouse.drop_index(built)
+    assert freed == stored
+    with pytest.raises(NoSuchTable):
+        warehouse.cloud.dynamodb.table(built.physical_tables[0])
+
+
+def test_lui_exactness_survives_increment(setup):
+    """The LUI invariant holds across incremental loads (IDs of new
+    documents never interleave with old ones: per-URI payloads)."""
+    base, warehouse, indexes, increment = setup
+    warehouse.ingest_increment(increment, indexes, instances=2)
+    from repro.engine.evaluator import pattern_matches
+    pattern = parse_query("//person[/address/city][/profile]").patterns[0]
+    lookup = indexes[1].make_lookup()
+    outcome = warehouse.cloud.env.run_process(
+        lookup.lookup_pattern(pattern))
+    truth = sorted(d.uri for d in warehouse.corpus.documents
+                   if pattern_matches(pattern, d))
+    assert outcome.uris == truth

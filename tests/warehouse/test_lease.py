@@ -1,0 +1,100 @@
+"""Unit tests for the lease keep-alive heartbeat."""
+
+import pytest
+
+from repro.warehouse.lease import LeaseKeeper
+from repro.warehouse.messages import LOADER_QUEUE
+
+
+@pytest.fixture
+def queue(cloud):
+    cloud.sqs.create_queue(LOADER_QUEUE, visibility_timeout=6.0)
+    return cloud.sqs
+
+
+def test_long_task_survives_with_heartbeat(cloud, queue):
+    """A task three times the visibility timeout is never redelivered
+    while its keeper runs."""
+    env = cloud.env
+
+    def scenario():
+        yield from queue.send(LOADER_QUEUE, "job")
+        body, handle = yield from queue.receive(LOADER_QUEUE)
+        keeper = LeaseKeeper(cloud, LOADER_QUEUE, 6.0)
+        keeper.start([handle])
+        yield env.timeout(18.0)  # long task
+        keeper.stop()
+        yield from queue.delete(LOADER_QUEUE, handle)
+        return keeper.renewals
+    renewals = env.run_process(scenario())
+    assert renewals >= 3
+    assert queue.redelivered_count(LOADER_QUEUE) == 0
+    assert queue.approximate_depth(LOADER_QUEUE) == 0
+
+
+def test_without_heartbeat_long_task_is_redelivered(cloud, queue):
+    env = cloud.env
+
+    def scenario():
+        yield from queue.send(LOADER_QUEUE, "job")
+        body, handle = yield from queue.receive(LOADER_QUEUE)
+        yield env.timeout(18.0)  # no keeper
+    env.run_process(scenario())
+    assert queue.redelivered_count(LOADER_QUEUE) == 1
+    assert queue.approximate_depth(LOADER_QUEUE) == 1
+
+
+def test_stopped_keeper_stops_renewing(cloud, queue):
+    env = cloud.env
+
+    def scenario():
+        yield from queue.send(LOADER_QUEUE, "job")
+        body, handle = yield from queue.receive(LOADER_QUEUE)
+        keeper = LeaseKeeper(cloud, LOADER_QUEUE, 6.0)
+        keeper.start([handle])
+        yield env.timeout(3.0)
+        keeper.stop()
+        yield from queue.delete(LOADER_QUEUE, handle)
+        before = cloud.meter.request_count("sqs", "change_visibility")
+        yield env.timeout(30.0)
+        after = cloud.meter.request_count("sqs", "change_visibility")
+        return before, after
+    before, after = env.run_process(scenario())
+    assert before == after, "no renewals after stop()"
+
+
+def test_keeper_tolerates_lapsed_handle(cloud, queue):
+    """If the lease already lapsed (keeper started too late), the
+    heartbeat swallows the stale handle instead of crashing."""
+    env = cloud.env
+
+    def scenario():
+        yield from queue.send(LOADER_QUEUE, "job")
+        body, handle = yield from queue.receive(LOADER_QUEUE)
+        yield env.timeout(7.0)  # lease lapses before the keeper starts
+        keeper = LeaseKeeper(cloud, LOADER_QUEUE, 6.0)
+        keeper.start([handle])
+        yield env.timeout(5.0)
+        keeper.stop()
+    env.run_process(scenario())
+    assert queue.redelivered_count(LOADER_QUEUE) == 1
+
+
+def test_keeper_renews_multiple_handles(cloud, queue):
+    env = cloud.env
+
+    def scenario():
+        handles = []
+        for i in range(3):
+            yield from queue.send(LOADER_QUEUE, i)
+        for _ in range(3):
+            body, handle = yield from queue.receive(LOADER_QUEUE)
+            handles.append(handle)
+        keeper = LeaseKeeper(cloud, LOADER_QUEUE, 6.0)
+        keeper.start(handles)
+        yield env.timeout(10.0)
+        keeper.stop()
+        for handle in handles:
+            yield from queue.delete(LOADER_QUEUE, handle)
+    env.run_process(scenario())
+    assert queue.redelivered_count(LOADER_QUEUE) == 0

@@ -1,0 +1,114 @@
+"""Unit tests for the indexing module (loader workers)."""
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.indexing.mapper import DynamoIndexStore
+from repro.indexing.registry import strategy
+from repro.warehouse.loader import IndexerWorker, extraction_cpu_ecu_s
+from repro.warehouse.messages import LOADER_QUEUE, LoadRequest, StopWorker
+from repro.xmark import generate_corpus
+
+
+@pytest.fixture
+def setup(cloud):
+    corpus = generate_corpus(ScaleProfile(documents=12, seed=17))
+    cloud.s3.create_bucket("documents")
+    cloud.sqs.create_queue(LOADER_QUEUE, visibility_timeout=3600.0)
+    store = DynamoIndexStore(cloud.dynamodb, seed=1)
+    lu = strategy("LU")
+    tables = {"lu": "lu-table"}
+    store.create_table("lu-table")
+
+    def upload():
+        for document in corpus.documents:
+            yield from cloud.s3.put("documents", document.uri,
+                                    corpus.data[document.uri])
+    cloud.env.run_process(upload())
+    return corpus, store, lu, tables
+
+
+def _worker(cloud, store, lu, tables, batch_size=4):
+    instance = cloud.ec2.launch("l")
+    return IndexerWorker(cloud, instance, store, lu, tables,
+                         "documents", batch_size=batch_size)
+
+
+def _drive(cloud, corpus, workers):
+    def driver():
+        procs = [cloud.env.process(w.run()) for w in workers]
+        for document in corpus.documents:
+            yield from cloud.sqs.send(LOADER_QUEUE,
+                                      LoadRequest(uri=document.uri))
+        for _ in workers:
+            yield from cloud.sqs.send(LOADER_QUEUE, StopWorker())
+        stats = []
+        for proc in procs:
+            stats.append((yield proc))
+        return stats
+    return cloud.env.run_process(driver())
+
+
+def test_single_worker_indexes_everything(cloud, setup):
+    corpus, store, lu, tables = setup
+    stats = _drive(cloud, corpus, [_worker(cloud, store, lu, tables)])
+    assert stats[0].documents == len(corpus)
+    assert stats[0].writes.puts > 0
+    assert stats[0].first_receive is not None
+    assert stats[0].last_delete > stats[0].first_receive
+    # Every document's keys are in the table.
+    table = cloud.dynamodb.table("lu-table")
+    assert table.item_count() > 0
+
+
+def test_multiple_workers_split_the_work(cloud, setup):
+    corpus, store, lu, tables = setup
+    workers = [_worker(cloud, store, lu, tables) for _ in range(3)]
+    stats = _drive(cloud, corpus, workers)
+    assert sum(s.documents for s in stats) == len(corpus)
+    assert sum(1 for s in stats if s.documents) >= 2, \
+        "work should spread across workers"
+
+
+def test_batching_reduces_api_requests(cloud, setup):
+    corpus, store, lu, tables = setup
+    batched_stats = _drive(cloud, corpus,
+                           [_worker(cloud, store, lu, tables, batch_size=6)])
+    single_stats = _drive(cloud, corpus,
+                          [_worker(cloud, store, lu, tables, batch_size=1)])
+    assert batched_stats[0].batches < single_stats[0].batches
+
+
+def test_queue_drained_and_acknowledged(cloud, setup):
+    corpus, store, lu, tables = setup
+    _drive(cloud, corpus, [_worker(cloud, store, lu, tables)])
+    assert cloud.sqs.approximate_depth(LOADER_QUEUE) == 0
+    assert cloud.sqs.in_flight_count(LOADER_QUEUE) == 0
+
+
+def test_invalid_batch_size_rejected(cloud, setup):
+    corpus, store, lu, tables = setup
+    with pytest.raises(ValueError):
+        _worker(cloud, store, lu, tables, batch_size=0)
+
+
+def test_extraction_cpu_model_orders_strategies(cloud, setup):
+    """The Table 4 cost structure: LU < LUP < LUI < 2LUPI per document."""
+    from repro.indexing.base import ExtractionStats
+    corpus, _, _, _ = setup
+    document = corpus.documents[0]
+    data_len = document.size_bytes
+    costs = {}
+    for name in ("LU", "LUP", "LUI", "2LUPI"):
+        by_table = strategy(name).extract(document)
+        stats = ExtractionStats.of(by_table)
+        costs[name] = extraction_cpu_ecu_s(cloud.profile, data_len, stats)
+    assert costs["LU"] < costs["LUP"] < costs["LUI"] < costs["2LUPI"]
+
+
+def test_extraction_time_measured(cloud, setup):
+    corpus, store, lu, tables = setup
+    stats = _drive(cloud, corpus, [_worker(cloud, store, lu, tables)])
+    assert stats[0].extraction_s > 0
+    assert stats[0].upload_s > 0
+    assert stats[0].extraction.entries > 0

@@ -1,0 +1,91 @@
+"""Unit tests for corpus assembly and slicing."""
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.errors import ConfigError
+from repro.xmark import generate_corpus
+from repro.xmldb.parser import parse_document
+
+
+def test_corpus_consistency(small_corpus):
+    assert len(small_corpus) == len(small_corpus.documents)
+    assert set(small_corpus.data) == \
+        {d.uri for d in small_corpus.documents}
+    assert small_corpus.total_bytes == \
+        sum(len(v) for v in small_corpus.data.values())
+
+
+def test_modified_fractions_applied(small_corpus):
+    assert small_corpus.restructured > 0
+    assert small_corpus.heterogenized > 0
+
+
+def test_data_matches_documents(small_corpus):
+    for document in small_corpus.documents[:10]:
+        reparsed = parse_document(small_corpus.data[document.uri],
+                                  document.uri)
+        assert reparsed.node_count() == document.node_count()
+
+
+def test_document_lookup(small_corpus):
+    uri = small_corpus.documents[3].uri
+    assert small_corpus.document(uri).uri == uri
+    with pytest.raises(KeyError):
+        small_corpus.document("missing.xml")
+
+
+def test_deterministic_generation():
+    scale = ScaleProfile(documents=25, seed=99)
+    first = generate_corpus(scale)
+    second = generate_corpus(scale)
+    assert first.data == second.data
+
+
+class TestPrefix:
+    def test_fraction_bounds(self, small_corpus):
+        with pytest.raises(ConfigError):
+            small_corpus.prefix(0.0)
+        with pytest.raises(ConfigError):
+            small_corpus.prefix(1.5)
+
+    def test_full_prefix_is_whole_corpus(self, small_corpus):
+        assert len(small_corpus.prefix(1.0)) == len(small_corpus)
+
+    def test_half_prefix_size(self, small_corpus):
+        half = small_corpus.prefix(0.5)
+        assert len(half) == len(small_corpus) // 2
+
+    def test_prefix_is_stratified(self, small_corpus):
+        """Slices sample every document kind, not just the head block."""
+        half = small_corpus.prefix(0.5)
+        kinds = {half.kinds[uri] for uri in half.data}
+        assert len(kinds) >= 3
+
+    def test_prefix_bytes_roughly_proportional(self, small_corpus):
+        half = small_corpus.prefix(0.5)
+        ratio = half.total_bytes / small_corpus.total_bytes
+        assert 0.3 < ratio < 0.7
+
+    def test_prefix_documents_come_from_parent(self, small_corpus):
+        quarter = small_corpus.prefix(0.25)
+        for document in quarter.documents:
+            assert small_corpus.data[document.uri] == \
+                quarter.data[document.uri]
+
+
+def test_restructured_and_heterogeneous_fractions_disjoint():
+    """A document gets at most one §8.1 modification."""
+    scale = ScaleProfile(documents=50, restructured_fraction=0.5,
+                         heterogeneous_fraction=0.5, seed=5)
+    corpus = generate_corpus(scale)
+    assert corpus.restructured + corpus.heterogenized <= 50
+
+
+def test_fractions_validation():
+    with pytest.raises(ConfigError):
+        ScaleProfile(restructured_fraction=0.7, heterogeneous_fraction=0.7)
+    with pytest.raises(ConfigError):
+        ScaleProfile(documents=0)
+    with pytest.raises(ConfigError):
+        ScaleProfile(restructured_fraction=-0.1)

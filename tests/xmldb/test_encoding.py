@@ -1,0 +1,72 @@
+"""Unit tests for the compact structural-ID codecs."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.xmldb.encoding import (decode_ids, decode_ids_text, encode_ids,
+                                  encode_ids_text)
+from repro.xmldb.ids import NodeID
+
+SAMPLE = [NodeID(3, 3, 2), NodeID(6, 8, 3), NodeID(100, 4, 7)]
+
+
+class TestBinaryCodec:
+    def test_round_trip(self):
+        assert decode_ids(encode_ids(SAMPLE)) == SAMPLE
+
+    def test_empty_list(self):
+        assert decode_ids(encode_ids([])) == []
+
+    def test_single_id(self):
+        assert decode_ids(encode_ids([NodeID(1, 1, 1)])) == [NodeID(1, 1, 1)]
+
+    def test_large_components(self):
+        ids = [NodeID(10 ** 9, 10 ** 9 + 1, 255)]
+        assert decode_ids(encode_ids(ids)) == ids
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_ids([NodeID(5, 1, 1), NodeID(3, 2, 1)])
+
+    def test_duplicate_pre_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_ids([NodeID(3, 1, 1), NodeID(3, 2, 1)])
+
+    def test_truncated_data_rejected(self):
+        data = encode_ids(SAMPLE)
+        with pytest.raises(EncodingError):
+            decode_ids(data[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_ids(SAMPLE)
+        with pytest.raises(EncodingError):
+            decode_ids(data + b"\x00")
+
+    def test_delta_compression_helps_dense_ids(self):
+        dense = [NodeID(i, i, 3) for i in range(1, 401)]
+        sparse_text = encode_ids_text(dense).encode("utf-8")
+        assert len(encode_ids(dense)) < len(sparse_text) / 3
+
+
+class TestTextCodec:
+    def test_matches_paper_format(self):
+        assert encode_ids_text([NodeID(3, 3, 2), NodeID(6, 8, 3)]) == \
+            "(3, 3, 2)(6, 8, 3)"
+
+    def test_round_trip(self):
+        assert decode_ids_text(encode_ids_text(SAMPLE)) == SAMPLE
+
+    def test_whitespace_tolerated_between_ids(self):
+        assert decode_ids_text("(1, 2, 3) (4, 5, 6)") == \
+            [NodeID(1, 2, 3), NodeID(4, 5, 6)]
+
+    def test_garbage_between_ids_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_ids_text("(1, 2, 3)junk(4, 5, 6)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_ids_text("(1, 2, 3)oops")
+
+    def test_empty_string(self):
+        assert decode_ids_text("") == []

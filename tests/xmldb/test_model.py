@@ -1,0 +1,128 @@
+"""Unit tests for the XML tree model and identifier assignment.
+
+The identifier expectations are the exact tuples printed in the paper's
+§5 index examples (Figure 3's documents).
+"""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmldb.ids import NodeID
+from repro.xmldb.model import (Attribute, Document, Element, Text,
+                               assign_identifiers)
+
+
+class TestPaperIdentifiers:
+    """Figure 3 / §5 printed IDs, checked one by one."""
+
+    def test_root_painting(self, manet):
+        assert manet.root.node_id == NodeID(1, 10, 1)
+
+    def test_attribute_id(self, manet):
+        # "aid 1863-1" -> (2, 1, 2) in the LUI example.
+        assert manet.root.attributes[0].node_id == NodeID(2, 1, 2)
+
+    def test_painting_name(self, manet):
+        # "ename" -> (3, 3, 2)(6, 8, 3).
+        names = manet.elements_by_label("name")
+        assert [n.node_id for n in names] == [NodeID(3, 3, 2),
+                                              NodeID(6, 8, 3)]
+
+    def test_word_gets_text_node_id(self, manet):
+        # "wOlympia" -> (4, 2, 3).
+        name = manet.elements_by_label("name")[0]
+        assert name.text_children()[0].node_id == NodeID(4, 2, 3)
+
+    def test_both_documents_same_structure_same_ids(self, delacroix, manet):
+        assert [n.node_id for n in delacroix.iter_nodes()] == \
+            [n.node_id for n in manet.iter_nodes()]
+
+
+class TestPaths:
+    def test_element_paths(self, manet):
+        names = manet.elements_by_label("name")
+        assert names[0].path == "/epainting/ename"
+        assert names[1].path == "/epainting/epainter/ename"
+
+    def test_attribute_path(self, manet):
+        assert manet.root.attributes[0].path == "/epainting/aid"
+
+    def test_text_parent_path(self, manet):
+        name = manet.elements_by_label("name")[0]
+        assert name.text_children()[0].parent_path == "/epainting/ename"
+
+
+class TestStringValue:
+    def test_leaf_value(self, manet):
+        assert manet.elements_by_label("name")[0].string_value() == "Olympia"
+
+    def test_concatenates_descendant_text(self, manet):
+        # painter/name has first + last text descendants.
+        painter_name = manet.elements_by_label("name")[1]
+        assert painter_name.string_value() == "EdouardManet"
+
+    def test_mixed_content(self):
+        root = Element(label="p")
+        root.add(Text(value="before "))
+        bold = Element(label="b")
+        bold.add(Text(value="middle"))
+        root.add(bold)
+        root.add(Text(value=" after"))
+        assert root.string_value() == "before middle after"
+
+
+class TestNavigation:
+    def test_child_elements_and_texts(self, manet):
+        children = manet.root.child_elements()
+        assert [c.label for c in children] == ["name", "painter"]
+        assert manet.root.text_children() == []
+
+    def test_attribute_lookup(self, manet):
+        assert manet.root.attribute("id").value == "1863-1"
+        assert manet.root.attribute("missing") is None
+
+    def test_node_count(self, manet):
+        # painting, @id, name, text, painter, name, first, text,
+        # last, text = 10 nodes.
+        assert manet.node_count() == 10
+
+    def test_iter_subtree_order(self, manet):
+        pres = [n.node_id.pre for n in manet.iter_nodes()]
+        assert pres == sorted(pres)
+        assert pres == list(range(1, 11))
+
+    def test_elements_by_label(self, manet):
+        assert len(manet.elements_by_label("name")) == 2
+        assert len(manet.elements_by_label("museum")) == 0
+
+
+class TestBuilders:
+    def test_add_returns_child(self):
+        root = Element(label="a")
+        child = root.add(Element(label="b"))
+        assert child in root.children
+
+    def test_set_attribute_returns_attribute(self):
+        root = Element(label="a")
+        attr = root.set_attribute("k", "v")
+        assert attr.name == "k"
+        assert root.attribute("k") is attr
+
+    def test_assign_rejects_foreign_children(self):
+        root = Element(label="a")
+        root.children.append(object())
+        with pytest.raises(XMLError):
+            assign_identifiers(Document(uri="x", root=root))
+
+
+def test_post_order_completion():
+    """post increases in completion order: deepest-first."""
+    root = Element(label="a")
+    b = root.add(Element(label="b"))
+    b.add(Element(label="c"))
+    root.add(Element(label="d"))
+    document = Document(uri="t", root=root)
+    assign_identifiers(document)
+    by_label = {e.label: e.node_id for e in document.iter_elements()}
+    assert by_label["c"].post < by_label["b"].post < by_label["d"].post \
+        < by_label["a"].post

@@ -1,0 +1,64 @@
+"""Unit tests for document / corpus statistics."""
+
+from repro.xmldb.stats import CorpusStats, corpus_stats, document_stats
+
+
+def test_document_stats_counts(manet):
+    stats = document_stats(manet)
+    assert stats.element_count == 6
+    assert stats.attribute_count == 1
+    assert stats.text_count == 3
+    assert stats.node_count == 10
+    assert stats.max_depth == 4  # deepest *elements* (first/last)
+    assert stats.label_counts["name"] == 2
+
+
+def test_document_stats_paths(manet):
+    stats = document_stats(manet)
+    assert "/epainting/ename" in stats.distinct_paths
+    assert "/epainting/aid" in stats.distinct_paths
+    assert "/epainting/epainter/ename" in stats.distinct_paths
+
+
+def test_document_stats_words(manet):
+    stats = document_stats(manet)
+    assert "olympia" in stats.distinct_words
+    assert "manet" in stats.distinct_words
+
+
+def test_corpus_stats_aggregation(paper_documents):
+    corpus = corpus_stats(paper_documents)
+    assert corpus.document_count == 2
+    assert corpus.element_count == 12
+    assert corpus.label_document_frequency["painting"] == 2
+    assert corpus.word_document_frequency["olympia"] == 1
+    assert corpus.word_document_frequency["eugene"] == 1
+    assert corpus.attribute_document_frequency["id"] == 2
+
+
+def test_selectivities(paper_documents):
+    corpus = corpus_stats(paper_documents)
+    assert corpus.label_selectivity("painting") == 1.0
+    assert corpus.word_selectivity("olympia") == 0.5
+    assert corpus.word_selectivity("absent") == 0.0
+    assert corpus.path_selectivity("/epainting/ename") == 1.0
+    assert corpus.attribute_selectivity("id") == 1.0
+
+
+def test_empty_corpus_selectivities():
+    corpus = CorpusStats()
+    assert corpus.label_selectivity("x") == 0.0
+    assert corpus.word_selectivity("x") == 0.0
+    assert corpus.path_selectivity("x") == 0.0
+    assert corpus.mean_document_bytes == 0.0
+
+
+def test_generated_corpus_stats(small_corpus):
+    stats = small_corpus.stats()
+    assert stats.document_count == len(small_corpus)
+    assert stats.total_bytes == sum(
+        d.size_bytes for d in small_corpus.documents)
+    assert stats.mean_document_bytes > 0
+    # The auction schema's core labels exist.
+    for label in ("item", "person", "open_auction"):
+        assert stats.label_document_frequency[label] > 0
