@@ -7,6 +7,7 @@ monetary cost.  This CLI does the same over the simulated substrate::
     repro-warehouse generate --documents 200 --out /tmp/corpus
     repro-warehouse demo --documents 200 --strategy LUP --queries q1,q5
     repro-warehouse advise --documents 200 --runs 25
+    repro-warehouse chaos --scenario loader-crash --documents 24
     repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
     repro-warehouse prices --provider google
 
@@ -27,6 +28,7 @@ from repro.config import ScaleProfile
 from repro.costs.estimator import build_phase_cost, query_cost
 from repro.costs.metrics import DatasetMetrics
 from repro.costs.pricing import price_book, render_table3
+from repro.faults.scenarios import SCENARIO_NAMES, run_scenario
 from repro.indexing.registry import ALL_STRATEGY_NAMES
 from repro.query.parser import parse_query
 from repro.query.workload import WORKLOAD_ORDER, workload, workload_query
@@ -132,6 +134,23 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a chaos scenario: same workload with and without faults.
+
+    Exit status 0 iff the recovery invariants hold — identical index,
+    identical answers, bounded cost overhead.
+    """
+    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
+        raise SystemExit("unknown strategy {!r}; choose from {}".format(
+            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    report = run_scenario(
+        args.scenario, documents=args.documents, seed=args.seed,
+        strategy=args.strategy.upper(), instances=args.instances,
+        error_rate=args.error_rate, crash_after_s=args.crash_after)
+    print(report.render())
+    return 0 if report.invariant_holds else 1
+
+
 def cmd_xquery(args) -> int:
     """Translate a tree-pattern query into XQuery (§4)."""
     query = parse_query(args.query)
@@ -180,6 +199,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_advise.add_argument("--runs", type=int, default=10,
                           help="expected workload runs")
     p_advise.set_defaults(func=cmd_advise)
+
+    p_chaos = sub.add_parser("chaos", help=cmd_chaos.__doc__)
+    p_chaos.add_argument("--scenario", default="loader-crash",
+                         choices=SCENARIO_NAMES)
+    p_chaos.add_argument("--documents", type=int, default=16)
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument("--strategy", default="LU")
+    p_chaos.add_argument("--instances", type=int, default=2,
+                         help="loader instances")
+    p_chaos.add_argument("--error-rate", type=float, default=0.08,
+                         help="per-request fault probability")
+    p_chaos.add_argument("--crash-after", type=float, default=0.5,
+                         help="seconds into the build the loader dies")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
     p_xquery.add_argument("query", help="tree-pattern query text")

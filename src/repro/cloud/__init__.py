@@ -27,7 +27,7 @@ from repro.cloud.ec2 import EC2, Instance
 from repro.cloud.provider import CloudProvider
 from repro.cloud.s3 import S3, S3Object
 from repro.cloud.simpledb import SimpleDB
-from repro.cloud.sqs import SQS, Message
+from repro.cloud.sqs import SQS, Message, RedrivePolicy
 
 __all__ = [
     "CloudProvider",
@@ -37,6 +37,7 @@ __all__ = [
     "EC2",
     "Instance",
     "Message",
+    "RedrivePolicy",
     "S3",
     "S3Object",
     "SQS",

@@ -26,7 +26,8 @@ from typing import (Any, Callable, Dict, Generator, Iterable, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
 from repro.config import PerformanceProfile
-from repro.errors import (ItemTooLarge, NoSuchTable, TableAlreadyExists,
+from repro.errors import (ConfigError, ItemTooLarge, NoSuchTable,
+                          TableAlreadyExists, ThroughputExceeded,
                           ValidationError)
 from repro.sim import Environment, Meter, ThroughputLimiter
 
@@ -98,6 +99,13 @@ class DynamoTable:
         """All hash keys present in the table, sorted."""
         return sorted(self._items)
 
+    def all_items(self) -> List[DynamoItem]:
+        """Every item, sorted by (hash, range) key — meter-free
+        inspection (the simulation analogue of a console scan)."""
+        return [self._items[hash_key][range_key]
+                for hash_key in sorted(self._items)
+                for range_key in sorted(self._items[hash_key])]
+
 
 class DynamoDB:
     """The simulated key-value store holding the warehouse indexes."""
@@ -112,6 +120,57 @@ class DynamoDB:
             env, profile.dynamodb_write_rate_bps, name="dynamodb-write")
         self._read_limiter = ThroughputLimiter(
             env, profile.dynamodb_read_rate_bps, name="dynamodb-read")
+        self._faults: Optional[Any] = None
+        self._throttle_max_backlog_s: Optional[float] = None
+        #: Requests rejected with ``ProvisionedThroughputExceeded`` by
+        #: the opt-in throttle mode (monitoring).
+        self.throttled_total = 0
+
+    def attach_faults(self, injector: Any) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to the data path."""
+        self._faults = injector
+
+    # -- throttle mode -----------------------------------------------------
+
+    def enable_throttle_mode(self, max_backlog_s: float = 0.5) -> None:
+        """Reject instead of queue once capacity is saturated.
+
+        By default the capacity limiters behave as fluid queues: an
+        over-driven table simply accrues latency, as in Table 4.  Real
+        DynamoDB rejects requests with ``ProvisionedThroughputExceeded``
+        once its burst credits run out; this mode reproduces that by
+        rejecting any request that would wait more than
+        ``max_backlog_s`` seconds on the capacity server, leaving the
+        retry/backoff path to spread the load out.
+        """
+        if max_backlog_s < 0:
+            raise ConfigError("max_backlog_s must be non-negative")
+        self._throttle_max_backlog_s = max_backlog_s
+
+    def disable_throttle_mode(self) -> None:
+        """Restore the default fluid-queueing behaviour."""
+        self._throttle_max_backlog_s = None
+
+    @property
+    def throttle_mode(self) -> bool:
+        """Whether throttle mode is active."""
+        return self._throttle_max_backlog_s is not None
+
+    def _check_throttle(self, limiter: ThroughputLimiter) -> None:
+        """Raise if throttle mode is on and the backlog is past bound.
+
+        Called after the request latency but *before* the capacity
+        consume, so a rejected request leaves no trace on the limiter —
+        exactly like a real throttled request that never executes.
+        """
+        if self._throttle_max_backlog_s is None:
+            return
+        if limiter.backlog_seconds > self._throttle_max_backlog_s:
+            self.throttled_total += 1
+            self._meter.record(self._env.now, "faults", "dynamodb:throttle")
+            raise ThroughputExceeded(
+                "capacity backlog {:.3f}s exceeds {:.3f}s".format(
+                    limiter.backlog_seconds, self._throttle_max_backlog_s))
 
     # -- administration -------------------------------------------------------
 
@@ -174,7 +233,10 @@ class DynamoDB:
         """Insert ``item``, replacing any item with the same primary key."""
         table = self.table(table_name)
         self._validate_item(table, item)
+        if self._faults is not None:
+            yield from self._faults.perturb("put")
         yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        self._check_throttle(self._write_limiter)
         yield self._write_limiter.consume(item.size_bytes)
         self._store(table, item)
         self._meter.record(self._env.now, SERVICE, "put",
@@ -199,7 +261,10 @@ class DynamoDB:
         for item in items:
             self._validate_item(table, item)
             total += item.size_bytes
+        if self._faults is not None:
+            yield from self._faults.perturb("batch_put")
         yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        self._check_throttle(self._write_limiter)
         yield self._write_limiter.consume(total)
         for item in items:
             self._store(table, item)
@@ -225,9 +290,12 @@ class DynamoDB:
         Returns an empty list for unknown keys, like a real query.
         """
         table = self.table(table_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("get")
         items = self._collect(table, hash_key, condition)
         nbytes = sum(item.size_bytes for item in items)
         yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        self._check_throttle(self._read_limiter)
         yield self._read_limiter.consume(nbytes)
         self._meter.record(self._env.now, SERVICE, "get", bytes_out=nbytes)
         return items
@@ -242,6 +310,8 @@ class DynamoDB:
                 "batch_get accepts at most {} keys, got {}".format(
                     BATCH_GET_LIMIT, len(hash_keys)))
         table = self.table(table_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("batch_get")
         result: Dict[str, List[DynamoItem]] = {}
         nbytes = 0
         for key in hash_keys:
@@ -249,6 +319,7 @@ class DynamoDB:
             result[key] = items
             nbytes += sum(item.size_bytes for item in items)
         yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        self._check_throttle(self._read_limiter)
         yield self._read_limiter.consume(nbytes)
         self._meter.record(self._env.now, SERVICE, "get",
                            count=len(hash_keys), bytes_out=nbytes)

@@ -32,6 +32,9 @@ class Instance:
         self.itype = itype
         self.launched_at = env.now
         self.stopped_at: Optional[float] = None
+        #: True when the instance was killed by EC2.crash rather than
+        #: stopped cleanly.
+        self.crashed = False
         self._cores = Resource(env, itype.cores)
         self.busy_ecu_seconds = 0.0
 
@@ -124,6 +127,24 @@ class EC2:
                 "instance {} already stopped".format(instance.instance_id))
         instance.stopped_at = self._env.now
         self._meter.record(self._env.now, SERVICE, "stop")
+
+    def crash(self, instance: Instance) -> None:
+        """Kill an instance abruptly (chaos injection).
+
+        Billing still runs to the crash instant — a machine that died
+        mid-task was rented until it died.  The caller is responsible
+        for interrupting any simulated process that was "running on"
+        the instance (the kernel has no notion of placement); the
+        warehouse's chaos monkey does both in one step.
+        """
+        if instance.instance_id not in self._instances:
+            raise NoSuchInstance(instance.instance_id)
+        if not instance.running:
+            raise InstanceStateError(
+                "instance {} already stopped".format(instance.instance_id))
+        instance.stopped_at = self._env.now
+        instance.crashed = True
+        self._meter.record(self._env.now, SERVICE, "crash")
 
     def stop_all(self) -> None:
         """Stop every running instance."""

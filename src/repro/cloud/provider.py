@@ -17,6 +17,9 @@ from repro.cloud.s3 import S3
 from repro.cloud.simpledb import SimpleDB
 from repro.cloud.sqs import SQS
 from repro.config import DEFAULT_PROFILE, PerformanceProfile
+from repro.faults import FaultDomain, FaultPlan
+from repro.resilience import (ResilientClient, ResilientServices,
+                              RetryPolicy)
 from repro.sim import Environment, Meter
 
 
@@ -32,13 +35,25 @@ class CloudProvider:
     env, meter:
         Optional pre-built environment/meter (e.g. to share a simulation
         across several providers); fresh ones are created by default.
+    fault_plan:
+        Optional chaos plan.  When given, every service gets a seeded
+        fault injector and :attr:`resilient` wraps the services in the
+        retry/breaker layer.  When omitted, nothing changes: the
+        services carry no injector and :attr:`resilient` exposes the
+        raw services themselves.
+    retry_policy:
+        Retry behaviour for :attr:`resilient`.  Defaults to a
+        :class:`RetryPolicy` seeded from the fault plan; pass one
+        explicitly to enable retries without any injected faults.
     """
 
     def __init__(self,
                  profile: Optional[PerformanceProfile] = None,
                  price_book: Optional[PriceBook] = None,
                  env: Optional[Environment] = None,
-                 meter: Optional[Meter] = None) -> None:
+                 meter: Optional[Meter] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.profile = profile or DEFAULT_PROFILE
         self.price_book = price_book or AWS_SINGAPORE
         self.env = env or Environment()
@@ -48,6 +63,24 @@ class CloudProvider:
         self.simpledb = SimpleDB(self.env, self.meter, self.profile)
         self.ec2 = EC2(self.env, self.meter)
         self.sqs = SQS(self.env, self.meter, self.profile)
+
+        self.faults: Optional[FaultDomain] = None
+        if fault_plan is not None:
+            self.faults = FaultDomain(fault_plan, self.env, self.meter)
+            for name in ("s3", "dynamodb", "simpledb", "sqs"):
+                injector = self.faults.injector_for(name)
+                if injector is not None:
+                    getattr(self, name).attach_faults(injector)
+            if retry_policy is None:
+                retry_policy = RetryPolicy(seed=fault_plan.seed)
+
+        if retry_policy is not None:
+            client = ResilientClient(self.env, self.meter, retry_policy)
+            self.resilient = ResilientServices.wrapping(
+                client, self.s3, self.dynamodb, self.simpledb, self.sqs)
+        else:
+            self.resilient = ResilientServices(
+                self.s3, self.dynamodb, self.simpledb, self.sqs)
 
     @property
     def now(self) -> float:

@@ -64,6 +64,11 @@ class S3:
         self._meter = meter
         self._profile = profile
         self._buckets: Dict[str, _Bucket] = {}
+        self._faults: Optional[Any] = None
+
+    def attach_faults(self, injector: Any) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to the data path."""
+        self._faults = injector
 
     # -- bucket administration (immediate, unmetered) -----------------------
 
@@ -103,6 +108,8 @@ class S3:
         target = self._bucket(bucket)
         if not isinstance(data, bytes):
             raise TypeError("S3 stores bytes, got {!r}".format(type(data)))
+        if self._faults is not None:
+            yield from self._faults.perturb("put")
         yield self._env.timeout(self._transfer_delay(len(data)))
         previous = target.objects.get(key)
         version = previous.version_id + 1 if previous else 1
@@ -116,6 +123,8 @@ class S3:
     def get(self, bucket: str, key: str) -> Generator[Any, Any, bytes]:
         """Retrieve the payload stored under ``key``."""
         target = self._bucket(bucket)
+        if self._faults is not None:
+            yield from self._faults.perturb("get")
         try:
             obj = target.objects[key]
         except KeyError:
@@ -128,6 +137,8 @@ class S3:
     def head(self, bucket: str, key: str) -> Generator[Any, Any, S3Object]:
         """Retrieve object metadata without the payload."""
         target = self._bucket(bucket)
+        if self._faults is not None:
+            yield from self._faults.perturb("head")
         try:
             obj = target.objects[key]
         except KeyError:
@@ -139,6 +150,8 @@ class S3:
     def delete(self, bucket: str, key: str) -> Generator[Any, Any, None]:
         """Delete an object (idempotent, as in real S3)."""
         target = self._bucket(bucket)
+        if self._faults is not None:
+            yield from self._faults.perturb("delete")
         yield self._env.timeout(self._profile.s3_request_latency_s)
         target.objects.pop(key, None)
         self._meter.record(self._env.now, SERVICE, "delete")
@@ -147,6 +160,8 @@ class S3:
                   ) -> Generator[Any, Any, List[str]]:
         """List object keys (sorted) with the given prefix."""
         target = self._bucket(bucket)
+        if self._faults is not None:
+            yield from self._faults.perturb("list_keys")
         yield self._env.timeout(self._profile.s3_request_latency_s)
         keys = sorted(k for k in target.objects if k.startswith(prefix))
         self._meter.record(self._env.now, SERVICE, "list")

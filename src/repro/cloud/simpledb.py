@@ -69,6 +69,10 @@ class SimpleDBDomain:
         """User-data bytes stored across the given domains."""
         return sum(item.size_bytes for item in self._items.values())
 
+    def all_items(self) -> List[SimpleDBItem]:
+        """Every item, sorted by name — meter-free inspection."""
+        return [self._items[name] for name in sorted(self._items)]
+
 
 class SimpleDB:
     """The simulated legacy key-value store."""
@@ -83,6 +87,11 @@ class SimpleDB:
             env, profile.simpledb_write_rate_bps, name="simpledb-write")
         self._read_limiter = ThroughputLimiter(
             env, profile.simpledb_read_rate_bps, name="simpledb-read")
+        self._faults: Optional[Any] = None
+
+    def attach_faults(self, injector: Any) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to the data path."""
+        self._faults = injector
 
     # -- administration --------------------------------------------------------
 
@@ -147,6 +156,8 @@ class SimpleDB:
         """Insert ``item``; by default new attributes merge into the item."""
         domain = self.domain(domain_name)
         self._validate(item)
+        if self._faults is not None:
+            yield from self._faults.perturb("put")
         yield self._env.timeout(self._profile.simpledb_request_latency_s)
         yield self._write_limiter.consume(
             item.size_bytes * self._profile.simpledb_text_expansion)
@@ -168,6 +179,8 @@ class SimpleDB:
         for item in items:
             self._validate(item)
             total += item.size_bytes
+        if self._faults is not None:
+            yield from self._faults.perturb("batch_put")
         yield self._env.timeout(self._profile.simpledb_request_latency_s)
         yield self._write_limiter.consume(
             total * self._profile.simpledb_text_expansion)
@@ -182,6 +195,8 @@ class SimpleDB:
             ) -> Generator[Any, Any, Optional[SimpleDBItem]]:
         """Retrieve one item by name (None when absent)."""
         domain = self.domain(domain_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("get")
         item = domain._items.get(item_name)
         nbytes = item.size_bytes if item else 0
         yield self._env.timeout(self._profile.simpledb_request_latency_s)
@@ -198,6 +213,8 @@ class SimpleDB:
         items named ``key#0``, ``key#1``...
         """
         domain = self.domain(domain_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("select_prefix")
         items = [domain._items[name] for name in sorted(domain._items)
                  if name.startswith(prefix)]
         nbytes = sum(item.size_bytes for item in items)

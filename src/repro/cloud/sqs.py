@@ -50,14 +50,31 @@ class _InFlight:
     deadline: float
 
 
+@dataclass(frozen=True)
+class RedrivePolicy:
+    """Dead-letter configuration for a queue.
+
+    After a message's lease lapses for the ``max_receive_count``-th
+    time it is moved to ``dead_letter_queue`` instead of being made
+    visible again, so a poison message (or a repeatedly crashing
+    consumer) cannot loop forever.  Mirrors the SQS ``RedrivePolicy``
+    attribute.
+    """
+
+    dead_letter_queue: str
+    max_receive_count: int = 5
+
+
 @dataclass
 class _Queue:
     name: str
     visibility_timeout: float
     store: Store
+    redrive: Optional[RedrivePolicy] = None
     in_flight: Dict[str, _InFlight] = field(default_factory=dict)
     sent_total: int = 0
     redelivered_total: int = 0
+    dead_lettered_total: int = 0
 
 
 class SQS:
@@ -71,19 +88,38 @@ class SQS:
         self._queues: Dict[str, _Queue] = {}
         self._handle_ids = itertools.count(1)
         self._message_ids = itertools.count(1)
+        self._faults: Optional[Any] = None
+
+    def attach_faults(self, injector: Any) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to the data path."""
+        self._faults = injector
 
     # -- administration ---------------------------------------------------
 
     def create_queue(self, name: str, visibility_timeout: float = 30.0,
+                     redrive_policy: Optional[RedrivePolicy] = None,
                      ) -> None:
-        """Create a queue with the given default visibility timeout."""
+        """Create a queue with the given default visibility timeout.
+
+        ``redrive_policy`` points at an *existing* queue that receives
+        messages whose receive count reaches ``max_receive_count``.
+        """
         if name in self._queues:
             raise QueueError("queue {!r} already exists".format(name))
         if visibility_timeout <= 0:
             raise QueueError("visibility timeout must be positive")
+        if redrive_policy is not None:
+            if redrive_policy.dead_letter_queue not in self._queues:
+                raise NoSuchQueue(redrive_policy.dead_letter_queue)
+            if redrive_policy.dead_letter_queue == name:
+                raise QueueError(
+                    "queue {!r} cannot be its own dead-letter queue".format(
+                        name))
+            if redrive_policy.max_receive_count < 1:
+                raise QueueError("max_receive_count must be >= 1")
         self._queues[name] = _Queue(
             name=name, visibility_timeout=visibility_timeout,
-            store=Store(self._env))
+            store=Store(self._env), redrive=redrive_policy)
 
     def queue_names(self) -> List[str]:
         """Names of all queues, sorted."""
@@ -100,6 +136,8 @@ class SQS:
     def send(self, queue_name: str, body: Any) -> Generator[Any, Any, str]:
         """Enqueue a message; returns its message id."""
         queue = self._queue(queue_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("send")
         yield self._env.timeout(self._profile.sqs_request_latency_s)
         message = Message(
             message_id="m-{:08d}".format(next(self._message_ids)),
@@ -119,6 +157,8 @@ class SQS:
         it will be redelivered to another receiver.
         """
         queue = self._queue(queue_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("receive")
         yield self._env.timeout(self._profile.sqs_request_latency_s)
         message: Message = yield queue.store.get()
         message.receive_count += 1
@@ -144,6 +184,8 @@ class SQS:
         several pending messages without blocking on an empty queue.
         """
         queue = self._queue(queue_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("receive_if_available")
         yield self._env.timeout(self._profile.sqs_request_latency_s)
         available, message = queue.store.try_get()
         self._meter.record(self._env.now, SERVICE, "receive_message")
@@ -162,6 +204,8 @@ class SQS:
     def delete(self, queue_name: str, handle: str) -> Generator[Any, Any, None]:
         """Acknowledge a message, removing it permanently."""
         queue = self._queue(queue_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("delete")
         yield self._env.timeout(self._profile.sqs_request_latency_s)
         if handle not in queue.in_flight:
             raise ReceiptHandleInvalid(handle)
@@ -172,6 +216,8 @@ class SQS:
               ) -> Generator[Any, Any, None]:
         """Extend a message lease by ``extension`` seconds from now."""
         queue = self._queue(queue_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("renew")
         yield self._env.timeout(self._profile.sqs_request_latency_s)
         record = queue.in_flight.get(handle)
         if record is None:
@@ -201,8 +247,19 @@ class SQS:
                 yield self._env.timeout(remaining)
                 continue
             # Lease expired: the message becomes visible again and
-            # another instance will take over the job (§3).
+            # another instance will take over the job (§3) — unless the
+            # redrive policy says it has failed too many times already.
             del queue.in_flight[handle]
+            redrive = queue.redrive
+            if (redrive is not None
+                    and record.message.receive_count
+                    >= redrive.max_receive_count):
+                self._queue(redrive.dead_letter_queue).store.put(
+                    record.message)
+                queue.dead_lettered_total += 1
+                self._meter.record(self._env.now, "faults",
+                                   "sqs:dead_letter")
+                return
             queue.store.put(record.message)
             queue.redelivered_total += 1
             return
@@ -220,3 +277,11 @@ class SQS:
     def redelivered_count(self, queue_name: str) -> int:
         """How many lease expiries caused redelivery (fault-tolerance)."""
         return self._queue(queue_name).redelivered_total
+
+    def dead_lettered_count(self, queue_name: str) -> int:
+        """How many of this queue's messages were moved to its DLQ."""
+        return self._queue(queue_name).dead_lettered_total
+
+    def redrive_policy(self, queue_name: str) -> Optional[RedrivePolicy]:
+        """The queue's redrive policy, if any."""
+        return self._queue(queue_name).redrive

@@ -91,10 +91,31 @@ class ValidationError(TableError):
 class ThroughputExceeded(TableError):
     """Provisioned throughput was exceeded and the request was throttled.
 
-    The simulated DynamoDB raises this only when a client disables
-    automatic retry/backoff; by default requests queue on the capacity
-    token bucket instead, accruing simulated latency.
+    Raised by the simulated DynamoDB in the opt-in *throttle mode*
+    (``DynamoDB.enable_throttle_mode``) when the capacity backlog grows
+    past the configured bound, and by the fault injector during
+    throttling bursts.  By default requests queue on the capacity
+    token bucket instead, accruing simulated latency.  The AWS SDK name
+    is kept as the :data:`ProvisionedThroughputExceeded` alias.
     """
+
+
+#: AWS SDK spelling of the DynamoDB throttling error.
+ProvisionedThroughputExceeded = ThroughputExceeded
+
+
+class TransientServiceError(CloudServiceError):
+    """A request failed transiently (the 500/503 class of AWS errors).
+
+    Injected by :mod:`repro.faults`; never raised by a healthy service.
+    Clients are expected to retry with backoff — exactly how the AWS
+    SDKs classify ``InternalError`` / ``ServiceUnavailable`` responses.
+    """
+
+    def __init__(self, service: str, operation: str) -> None:
+        super().__init__("{}.{} failed transiently".format(service, operation))
+        self.service = service
+        self.operation = operation
 
 
 class QueueError(CloudServiceError):
@@ -119,6 +140,28 @@ class NoSuchInstance(InstanceError):
 
 class InstanceStateError(InstanceError):
     """An operation was invalid for the instance's current state."""
+
+
+class InstanceCrashed(InstanceError):
+    """A virtual instance died mid-task (chaos-injected worker crash).
+
+    Thrown into the worker's simulated process; everything the worker
+    held (message leases, half-written batches) is abandoned, and the
+    §3 fault-tolerance path — lease lapse, SQS redelivery — takes over.
+    """
+
+
+# --------------------------------------------------------------------------
+# Client-side resilience errors
+# --------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for client-side resilience-layer errors."""
+
+
+class CircuitOpen(ResilienceError):
+    """A call was rejected because the service's circuit breaker is open."""
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Deterministic fault injection ("chaos") for the simulated cloud.
+
+The subsystem splits into inert plans (:mod:`repro.faults.plan`),
+runtime injectors (:mod:`repro.faults.injector`) and packaged
+end-to-end scenarios (:mod:`repro.faults.scenarios`).  Scenarios import
+the warehouse, so they are deliberately *not* re-exported here — import
+them directly to keep ``repro.cloud`` → ``repro.faults`` acyclic.
+"""
+
+from repro.faults.injector import (FAULT_SERVICE, FaultDomain, FaultEvent,
+                                   FaultInjector)
+from repro.faults.plan import (CRASH_ROLES, FAULT_KINDS, FAULT_SERVICES,
+                               KIND_ERROR, KIND_LATENCY, KIND_THROTTLE,
+                               CrashSpec, FaultPlan, FaultSpec)
+
+__all__ = [
+    "CRASH_ROLES",
+    "CrashSpec",
+    "FAULT_KINDS",
+    "FAULT_SERVICE",
+    "FAULT_SERVICES",
+    "FaultDomain",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KIND_ERROR",
+    "KIND_LATENCY",
+    "KIND_THROTTLE",
+]

@@ -1,0 +1,199 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` describes *what goes wrong* in a simulated cloud
+run: transient request errors at a configurable rate or inside scheduled
+windows, DynamoDB throttling bursts, added latency spikes, and
+whole-instance crashes.  The plan itself is inert data — the
+:class:`~repro.faults.injector.FaultInjector` attached to each service
+interprets it, and the warehouse's chaos monkey interprets the crash
+specs.  Everything is derived from one integer seed, so two runs of the
+same plan produce byte-identical event orderings, simulated times and
+meter records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Services a fault spec may target.
+FAULT_SERVICES = ("s3", "dynamodb", "simpledb", "sqs", "ec2")
+
+#: Fault kinds interpreted by the injector.
+KIND_ERROR = "error"        # transient request error (500/503 class)
+KIND_THROTTLE = "throttle"  # ProvisionedThroughputExceeded burst
+KIND_LATENCY = "latency"    # added request latency
+FAULT_KINDS = (KIND_ERROR, KIND_THROTTLE, KIND_LATENCY)
+
+#: Worker roles a crash spec may target.
+CRASH_ROLES = ("loader",)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One request-level fault rule.
+
+    Attributes
+    ----------
+    service:
+        Target service name (``"s3"``, ``"dynamodb"``, ...).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Probability in ``[0, 1]`` that a matching request is affected.
+    start_s / end_s:
+        Optional simulated-time window; outside it the rule is dormant.
+        ``end_s=None`` means "until the end of the run".
+    operations:
+        Optional operation-name filter (e.g. ``("get",)``); ``None``
+        matches every data-path operation of the service.
+    latency_s:
+        Extra latency added by :data:`KIND_LATENCY` rules.
+    """
+
+    service: str
+    kind: str
+    rate: float
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    operations: Optional[Tuple[str, ...]] = None
+    latency_s: float = 0.0
+
+    def active_at(self, now: float) -> bool:
+        """Whether the rule's time window covers simulated time ``now``."""
+        if now < self.start_s:
+            return False
+        return self.end_s is None or now < self.end_s
+
+    def matches(self, operation: str, now: float) -> bool:
+        """Whether the rule applies to ``operation`` at time ``now``."""
+        if not self.active_at(now):
+            return False
+        return self.operations is None or operation in self.operations
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One scheduled whole-instance crash.
+
+    ``after_s`` is measured from the start of the targeted phase (the
+    plan cannot know absolute build times in advance), ``worker`` is the
+    index of the victim within the phase's fleet.
+    """
+
+    role: str
+    after_s: float
+    worker: int = 0
+
+
+class FaultPlan:
+    """A seeded collection of fault rules and crash schedules.
+
+    Builder methods return ``self`` so plans read as one chained
+    expression::
+
+        plan = (FaultPlan(seed=7)
+                .transient_errors("s3", rate=0.05)
+                .transient_errors("sqs", rate=0.05)
+                .crash(role="loader", after_s=3.0, worker=0))
+    """
+
+    def __init__(self, seed: int = 0, max_receive_count: int = 5) -> None:
+        if max_receive_count < 1:
+            raise ConfigError("max_receive_count must be >= 1")
+        self.seed = int(seed)
+        #: Redrive bound for the warehouse's dead-letter queues.
+        self.max_receive_count = max_receive_count
+        self._specs: List[FaultSpec] = []
+        self._crashes: List[CrashSpec] = []
+
+    # -- builders ----------------------------------------------------------
+
+    def _add(self, spec: FaultSpec) -> "FaultPlan":
+        if spec.service not in FAULT_SERVICES:
+            raise ConfigError(
+                "unknown fault service {!r}; known: {}".format(
+                    spec.service, ", ".join(FAULT_SERVICES)))
+        if spec.kind not in FAULT_KINDS:
+            raise ConfigError("unknown fault kind {!r}".format(spec.kind))
+        if not 0.0 <= spec.rate <= 1.0:
+            raise ConfigError("fault rate must be in [0, 1]")
+        if spec.end_s is not None and spec.end_s <= spec.start_s:
+            raise ConfigError("fault window must end after it starts")
+        if spec.latency_s < 0:
+            raise ConfigError("latency_s must be non-negative")
+        self._specs.append(spec)
+        return self
+
+    def transient_errors(self, service: str, rate: float,
+                         operations: Optional[Tuple[str, ...]] = None,
+                         start_s: float = 0.0,
+                         end_s: Optional[float] = None) -> "FaultPlan":
+        """Fail a fraction of ``service`` requests transiently."""
+        return self._add(FaultSpec(service=service, kind=KIND_ERROR,
+                                   rate=rate, operations=operations,
+                                   start_s=start_s, end_s=end_s))
+
+    def throttle(self, rate: float, service: str = "dynamodb",
+                 operations: Optional[Tuple[str, ...]] = None,
+                 start_s: float = 0.0,
+                 end_s: Optional[float] = None) -> "FaultPlan":
+        """Reject a fraction of key-value requests as throttled."""
+        if service not in ("dynamodb", "simpledb"):
+            raise ConfigError(
+                "throttle faults target key-value stores, not {!r}".format(
+                    service))
+        return self._add(FaultSpec(service=service, kind=KIND_THROTTLE,
+                                   rate=rate, operations=operations,
+                                   start_s=start_s, end_s=end_s))
+
+    def latency_spike(self, service: str, extra_s: float, rate: float = 1.0,
+                      operations: Optional[Tuple[str, ...]] = None,
+                      start_s: float = 0.0,
+                      end_s: Optional[float] = None) -> "FaultPlan":
+        """Add ``extra_s`` seconds to a fraction of requests."""
+        return self._add(FaultSpec(service=service, kind=KIND_LATENCY,
+                                   rate=rate, latency_s=extra_s,
+                                   operations=operations,
+                                   start_s=start_s, end_s=end_s))
+
+    def crash(self, role: str = "loader", after_s: float = 1.0,
+              worker: int = 0) -> "FaultPlan":
+        """Kill one worker instance ``after_s`` into its phase."""
+        if role not in CRASH_ROLES:
+            raise ConfigError(
+                "unknown crash role {!r}; known: {}".format(
+                    role, ", ".join(CRASH_ROLES)))
+        if after_s < 0:
+            raise ConfigError("crash after_s must be non-negative")
+        if worker < 0:
+            raise ConfigError("crash worker index must be non-negative")
+        self._crashes.append(CrashSpec(role=role, after_s=after_s,
+                                       worker=worker))
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def specs(self) -> List[FaultSpec]:
+        """All request-level rules, in insertion order."""
+        return list(self._specs)
+
+    @property
+    def crashes(self) -> List[CrashSpec]:
+        """All crash schedules, in insertion order."""
+        return list(self._crashes)
+
+    def specs_for(self, service: str) -> List[FaultSpec]:
+        """Rules targeting ``service``."""
+        return [s for s in self._specs if s.service == service]
+
+    def crashes_for(self, role: str) -> List[CrashSpec]:
+        """Crash schedules targeting worker ``role``."""
+        return [c for c in self._crashes if c.role == role]
+
+    def __repr__(self) -> str:
+        return "<FaultPlan seed={} specs={} crashes={}>".format(
+            self.seed, len(self._specs), len(self._crashes))

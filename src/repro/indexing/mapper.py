@@ -270,10 +270,11 @@ class DynamoIndexStore(IndexStore):
                     merged[base_uri] = decoded
         if kind == "ids":
             for base_uri, ids in merged.items():
-                # Chunks from split items may arrive out of order; each
-                # chunk is internally sorted, so a final merge-sort over
-                # chunk boundaries restores the LUI invariant.
-                merged[base_uri] = sorted(ids, key=lambda nid: nid.pre)
+                # Chunks from split items may arrive out of order, and a
+                # redelivered loader batch (chaos recovery) may have
+                # written the same IDs twice; dedup + sort restores the
+                # LUI invariant either way.
+                merged[base_uri] = sorted(set(ids), key=lambda nid: nid.pre)
         return merged
 
     def read_key(self, physical_name: str, key: str, kind: str,
@@ -409,8 +410,11 @@ class SimpleDBIndexStore(IndexStore):
                     chunks.setdefault(attr_uri, []).append(value)
         if kind == "ids":
             for attr_uri, parts in chunks.items():
-                parts.sort(key=lambda chunk: int(chunk.split("|", 1)[0]))
-                text = "".join(part.split("|", 1)[1] for part in parts)
+                # A redelivered loader batch re-shards identical chunks
+                # under fresh item names; dedup before reassembly.
+                unique = list(dict.fromkeys(parts))
+                unique.sort(key=lambda chunk: int(chunk.split("|", 1)[0]))
+                text = "".join(part.split("|", 1)[1] for part in unique)
                 merged[attr_uri] = decode_ids_text(text)
         return merged
 

@@ -1,0 +1,28 @@
+"""Client-side resilience: retries, backoff, circuit breaking.
+
+The counterpart of :mod:`repro.faults` — faults break the simulated
+cloud, resilience keeps the warehouse correct (and the cost model
+honest) anyway.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.client import (DATA_OPERATIONS, RESILIENCE_SERVICE,
+                                     ResilientClient, ResilientServices,
+                                     ServiceProxy)
+from repro.resilience.retry import (RETRYABLE_ERRORS, RetryPolicy,
+                                    is_retryable)
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "DATA_OPERATIONS",
+    "HALF_OPEN",
+    "OPEN",
+    "RESILIENCE_SERVICE",
+    "RETRYABLE_ERRORS",
+    "ResilientClient",
+    "ResilientServices",
+    "RetryPolicy",
+    "ServiceProxy",
+    "is_retryable",
+]

@@ -1,0 +1,74 @@
+"""Retry policies mirroring the AWS SDK retry behaviour.
+
+The policy is pure data plus pure functions: which errors are worth
+retrying, how many attempts to make, and how long to back off.  Delays
+use *decorrelated jitter* (the variant AWS recommends for thundering-
+herd avoidance): each delay is drawn uniformly from ``[base, prev * 3]``
+and capped, so consecutive retries spread out without synchronising
+across clients.  All randomness comes from a caller-supplied seeded RNG,
+keeping chaos runs deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import (ConfigError, ThroughputExceeded,
+                          TransientServiceError)
+
+#: Error classes the AWS SDKs retry: 500/503-style transient failures
+#: and throttling rejections.  Validation errors, missing keys and
+#: stale receipt handles are *not* retryable — repeating them cannot
+#: succeed.
+RETRYABLE_ERRORS = (TransientServiceError, ThroughputExceeded)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failed cloud call is worth retrying."""
+    return isinstance(exc, RETRYABLE_ERRORS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (AWS SDK "standard" mode
+        defaults to 3; the simulated default is higher because chaos
+        scenarios push error rates far beyond production).
+    base_delay_s:
+        Floor of every backoff delay.
+    max_delay_s:
+        Cap on any single backoff delay.
+    seed:
+        Seed for the per-client jitter stream.
+    """
+
+    max_attempts: int = 6
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_delay_s <= 0:
+            raise ConfigError("base_delay_s must be positive")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigError("max_delay_s must be >= base_delay_s")
+
+    def make_rng(self, stream: str) -> random.Random:
+        """A deterministic jitter RNG for one client stream."""
+        return random.Random("{}:retry:{}".format(self.seed, stream))
+
+    def next_delay(self, rng: random.Random, previous: float) -> float:
+        """The next backoff delay after sleeping ``previous`` seconds.
+
+        Pass ``previous=0.0`` for the first retry.
+        """
+        anchor = max(previous, self.base_delay_s)
+        return min(self.max_delay_s,
+                   rng.uniform(self.base_delay_s, anchor * 3.0))

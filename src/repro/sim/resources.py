@@ -97,12 +97,19 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Deposit ``item``; wakes the oldest blocked getter if any."""
-        if self._getters:
+        """Deposit ``item``; wakes the oldest blocked getter if any.
+
+        Getters whose process was interrupted while waiting (chaos
+        worker crashes) are detached corpses — their event has no
+        callbacks left.  They are skipped, not fed, so an item can
+        never be delivered to a dead process and silently lost.
+        """
+        while self._getters:
             getter = self._getters.popleft()
-            getter.succeed(item)
-        else:
-            self._items.append(item)
+            if getter.callbacks:
+                getter.succeed(item)
+                return
+        self._items.append(item)
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""

@@ -42,11 +42,11 @@ class Frontend:
     def store_document(self, uri: str, data: bytes,
                        ) -> Generator[Any, Any, None]:
         """Steps 1-2: store an arriving document in the file store."""
-        yield from self._cloud.s3.put(self._document_bucket, uri, data)
+        yield from self._cloud.resilient.s3.put(self._document_bucket, uri, data)
 
     def request_load(self, uri: str) -> Generator[Any, Any, None]:
         """Step 3: post a load request referencing a stored document."""
-        yield from self._cloud.sqs.send(LOADER_QUEUE, LoadRequest(uri=uri))
+        yield from self._cloud.resilient.sqs.send(LOADER_QUEUE, LoadRequest(uri=uri))
 
     def ingest(self, uri: str, data: bytes) -> Generator[Any, Any, None]:
         """Store a document and request its indexing (steps 1-3)."""
@@ -59,16 +59,16 @@ class Frontend:
                      ) -> Generator[Any, Any, int]:
         """Steps 7-8: post a query; returns its query id."""
         query_id = next(self._query_ids)
-        yield from self._cloud.sqs.send(
+        yield from self._cloud.resilient.sqs.send(
             QUERY_QUEUE, QueryRequest(query_id=query_id, text=text, name=name))
         return query_id
 
     def await_response(self) -> Generator[Any, Any, FetchedResult]:
         """Steps 16-18: take the next response, fetch its results."""
-        body, handle = yield from self._cloud.sqs.receive(RESPONSE_QUEUE)
+        body, handle = yield from self._cloud.resilient.sqs.receive(RESPONSE_QUEUE)
         assert isinstance(body, QueryResponse)
-        payload = yield from self._cloud.s3.get(
+        payload = yield from self._cloud.resilient.s3.get(
             self._results_bucket, body.result_key)
-        yield from self._cloud.sqs.delete(RESPONSE_QUEUE, handle)
+        yield from self._cloud.resilient.sqs.delete(RESPONSE_QUEUE, handle)
         return FetchedResult(query_id=body.query_id, payload=payload,
                              fetched_at=self._cloud.env.now)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator, List
 
 from repro.cloud.provider import CloudProvider
-from repro.errors import ReceiptHandleInvalid
+from repro.errors import ReceiptHandleInvalid, TransientServiceError
 
 #: Renew when a third of the visibility window has elapsed.
 HEARTBEAT_FRACTION = 3.0
@@ -60,7 +60,7 @@ class LeaseKeeper:
                 return
             for handle in list(self._handles):
                 try:
-                    yield from self._cloud.sqs.renew(
+                    yield from self._cloud.resilient.sqs.renew(
                         self._queue_name, handle, self._visibility)
                     self.renewals += 1
                 except ReceiptHandleInvalid:
@@ -68,5 +68,10 @@ class LeaseKeeper:
                     # previous gap); nothing left to keep alive.
                     if handle in self._handles:
                         self._handles.remove(handle)
+                except TransientServiceError:
+                    # Retries exhausted on a renew: skip this beat and
+                    # try again next interval; worst case the lease
+                    # lapses and the message is redelivered (§3).
+                    pass
             if not self._handles and not self._running:
                 return

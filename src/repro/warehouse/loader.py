@@ -24,6 +24,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.cloud.ec2 import Instance
 from repro.cloud.provider import CloudProvider
 from repro.config import MB, PerformanceProfile
+from repro.errors import ReceiptHandleInvalid
 from repro.indexing.base import ExtractionStats, IndexingStrategy
 from repro.indexing.entries import IndexEntry
 from repro.indexing.mapper import IndexStore, WriteStats
@@ -92,11 +93,11 @@ class IndexerWorker:
 
     def run(self) -> Generator[Any, Any, LoaderWorkerStats]:
         """Worker process: consume load requests until a poison pill."""
-        sqs = self._cloud.sqs
+        sqs = self._cloud.resilient.sqs
         while True:
             body, handle = yield from sqs.receive(LOADER_QUEUE)
             if isinstance(body, StopWorker):
-                yield from sqs.delete(LOADER_QUEUE, handle)
+                yield from self._delete_quietly(handle)
                 return self.stats
             if self.stats.first_receive is None:
                 self.stats.first_receive = self._cloud.env.now
@@ -108,7 +109,11 @@ class IndexerWorker:
                     if extra is not None:
                         # Put the pill back for the other workers by
                         # releasing our lease immediately.
-                        yield from sqs.renew(LOADER_QUEUE, extra[1], 1e-9)
+                        try:
+                            yield from sqs.renew(LOADER_QUEUE, extra[1],
+                                                 1e-9)
+                        except ReceiptHandleInvalid:
+                            pass  # lease already lapsed; pill is back
                     break
                 batch.append(extra)
             # Keep the batch's leases alive while it processes (§3):
@@ -122,8 +127,21 @@ class IndexerWorker:
             finally:
                 keeper.stop()
             for _, batch_handle in batch:
-                yield from sqs.delete(LOADER_QUEUE, batch_handle)
+                yield from self._delete_quietly(batch_handle)
                 self.stats.last_delete = self._cloud.env.now
+
+    def _delete_quietly(self, handle: str) -> Generator[Any, Any, None]:
+        """Delete a message, tolerating an already-lapsed lease.
+
+        Under chaos a batch can take long enough (retry backoff, latency
+        spikes) for a lease to lapse despite the heartbeat; the message
+        was then redelivered and another worker will index it again —
+        the index mapping is idempotent, so correctness is unaffected.
+        """
+        try:
+            yield from self._cloud.resilient.sqs.delete(LOADER_QUEUE, handle)
+        except ReceiptHandleInvalid:
+            pass
 
     # -- batch processing -------------------------------------------------------
 
@@ -159,7 +177,7 @@ class IndexerWorker:
     def _extract_one(self, uri: str,
                      sink: Dict[str, List[IndexEntry]],
                      ) -> Generator[Any, Any, None]:
-        data = yield from self._cloud.s3.get(self._bucket, uri)
+        data = yield from self._cloud.resilient.s3.get(self._bucket, uri)
         document = parse_document(data, uri)
         by_table = self._strategy.extract(document)
         stats = ExtractionStats.of(by_table)

@@ -14,9 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
-                                      RESPONSE_QUEUE)
-
 
 @dataclass(frozen=True)
 class ThroughputUtilization:
@@ -63,6 +60,8 @@ class QueueHealth:
     visible: int
     in_flight: int
     redelivered: int
+    #: Messages moved to this queue's DLQ (0 without a redrive policy).
+    dead_lettered: int = 0
 
     @property
     def drained(self) -> bool:
@@ -80,6 +79,10 @@ class ResourceReport:
     queues: List[QueueHealth] = field(default_factory=list)
     #: (service, operation) -> billable request count.
     request_counts: Dict[str, int] = field(default_factory=dict)
+    #: "service:kind" -> injected fault count (empty without a plan).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: service -> retried calls (empty without a retry layer engaged).
+    retry_counts: Dict[str, int] = field(default_factory=dict)
 
     def store(self, name: str) -> ThroughputUtilization:
         """Look a store's utilisation up by name."""
@@ -115,9 +118,19 @@ class ResourceReport:
         for entry in self.queues:
             lines.append(
                 "    {:<18} visible {:>4}  in-flight {:>3}  "
-                "redelivered {:>3}".format(entry.name, entry.visible,
-                                           entry.in_flight,
-                                           entry.redelivered))
+                "redelivered {:>3}  dead-lettered {:>3}".format(
+                    entry.name, entry.visible, entry.in_flight,
+                    entry.redelivered, entry.dead_lettered))
+        if self.fault_counts:
+            lines.append("  faults injected:")
+            for key in sorted(self.fault_counts):
+                lines.append("    {:<28} {}".format(
+                    key, self.fault_counts[key]))
+        if self.retry_counts:
+            lines.append("  retries:")
+            for key in sorted(self.retry_counts):
+                lines.append("    {:<28} {}".format(
+                    key, self.retry_counts[key]))
         lines.append("  requests:")
         for key in sorted(self.request_counts):
             lines.append("    {:<28} {}".format(key,
@@ -152,14 +165,21 @@ def resource_report(warehouse) -> ResourceReport:
             uptime_s=instance.uptime_seconds,
             busy_ecu_s=instance.busy_ecu_seconds)
         for instance in cloud.ec2.instances()]
-    for queue_name in (LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE):
+    # Every queue the deployment actually has — on a chaos deployment
+    # that includes the dead-letter queues next to the work queues.
+    for queue_name in cloud.sqs.queue_names():
         report.queues.append(QueueHealth(
             name=queue_name,
             visible=cloud.sqs.approximate_depth(queue_name),
             in_flight=cloud.sqs.in_flight_count(queue_name),
-            redelivered=cloud.sqs.redelivered_count(queue_name)))
+            redelivered=cloud.sqs.redelivered_count(queue_name),
+            dead_lettered=cloud.sqs.dead_lettered_count(queue_name)))
     totals = cloud.meter.totals()
     report.request_counts = {
         "{}:{}".format(service, operation): count
         for (service, operation), count in sorted(totals.requests.items())}
+    if cloud.faults is not None:
+        report.fault_counts = cloud.faults.fault_counts()
+    if cloud.resilient.client is not None:
+        report.retry_counts = cloud.resilient.client.retry_counts()
     return report

@@ -26,6 +26,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Set
 from repro.cloud.ec2 import Instance
 from repro.cloud.provider import CloudProvider
 from repro.config import MB
+from repro.errors import ReceiptHandleInvalid
 from repro.engine.evaluator import (EvalRow, evaluate_pattern,
                                     result_size_bytes)
 from repro.engine.value_join import join_query_rows
@@ -101,12 +102,15 @@ class QueryWorker:
 
         Returns the number of queries served.
         """
-        sqs = self._cloud.sqs
+        sqs = self._cloud.resilient.sqs
         served = 0
         while True:
             body, handle = yield from sqs.receive(QUERY_QUEUE)
             if isinstance(body, StopWorker):
-                yield from sqs.delete(QUERY_QUEUE, handle)
+                try:
+                    yield from sqs.delete(QUERY_QUEUE, handle)
+                except ReceiptHandleInvalid:
+                    pass  # pill redelivered; another worker will take it
                 return served
             # §3: keep the lease alive while the query runs, so long
             # queries are not redelivered — unless this worker dies.
@@ -121,7 +125,14 @@ class QueryWorker:
             yield from sqs.send(RESPONSE_QUEUE, QueryResponse(
                 query_id=body.query_id,
                 result_key="results/{}.txt".format(body.query_id)))
-            yield from sqs.delete(QUERY_QUEUE, handle)
+            try:
+                yield from sqs.delete(QUERY_QUEUE, handle)
+            except ReceiptHandleInvalid:
+                # The lease lapsed under chaos: the query was redelivered
+                # and will be answered again.  Results are written to a
+                # deterministic key, so the duplicate is indistinguishable
+                # and the front end dedups responses by query id.
+                pass
             stats.deleted_at = self._cloud.env.now
             self._stats_sink[body.query_id] = stats
             served += 1
@@ -185,7 +196,7 @@ class QueryWorker:
         # Step 14: write the results to the file store.
         payload = "\n".join(
             "\t".join(row.projections) for row in final_rows).encode("utf-8")
-        yield from self._cloud.s3.put(
+        yield from self._cloud.resilient.s3.put(
             self._results_bucket,
             "results/{}.txt".format(request.query_id), payload)
         return stats
@@ -196,7 +207,8 @@ class QueryWorker:
                            ) -> Generator[Any, Any, None]:
         """Core task: fetch one document and evaluate relevant patterns."""
         profile = self._cloud.profile
-        data = yield from self._cloud.s3.get(self._document_bucket, uri)
+        data = yield from self._cloud.resilient.s3.get(
+            self._document_bucket, uri)
         document = self._parsed_documents.get(uri)
         if document is None:
             document = parse_document(data, uri)

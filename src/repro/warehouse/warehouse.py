@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Sequence, Union
 
 from repro.cloud.provider import CloudProvider
-from repro.errors import WarehouseError
+from repro.cloud.sqs import RedrivePolicy
+from repro.errors import InstanceCrashed, WarehouseError
 from repro.indexing.base import IndexingStrategy
 from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
                                    SimpleDBIndexStore)
@@ -45,6 +46,14 @@ RESULTS_BUCKET = "results"
 #: Realistic lease: long tasks survive through the workers' heartbeat
 #: renewals (``repro.warehouse.lease``), not an oversized timeout.
 QUEUE_VISIBILITY_TIMEOUT = 120.0
+
+#: Suffix of the dead-letter queues created alongside the work queues
+#: when the cloud carries a fault plan.
+DLQ_SUFFIX = "-dlq"
+
+#: How often a chaos build polls the loader queue for drain before
+#: sending the poison pills (simulated seconds).
+DRAIN_POLL_INTERVAL_S = 0.25
 
 
 @dataclass
@@ -150,6 +159,8 @@ class QueryExecution:
     #: ``|op(q, D, I)|`` — billable index get operations.
     index_gets: int
     rows_processed: int
+    #: Front-end query id (keys the stored result object).
+    query_id: int = 0
 
 
 @dataclass
@@ -175,13 +186,29 @@ class WorkloadReport:
 class Warehouse:
     """A deployed warehouse on one simulated cloud."""
 
-    def __init__(self, cloud: Optional[CloudProvider] = None) -> None:
+    def __init__(self, cloud: Optional[CloudProvider] = None,
+                 visibility_timeout: float = QUEUE_VISIBILITY_TIMEOUT,
+                 ) -> None:
         self.cloud = cloud or CloudProvider()
+        self.visibility_timeout = visibility_timeout
         self.cloud.s3.create_bucket(DOCUMENT_BUCKET)
         self.cloud.s3.create_bucket(RESULTS_BUCKET)
+        # Dead-letter queues exist only on chaos deployments, so a
+        # fault-free warehouse is physically identical to the seed.
+        chaotic = self.cloud.faults is not None
         for queue in (LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE):
+            redrive = None
+            if chaotic and queue in (LOADER_QUEUE, QUERY_QUEUE):
+                dlq = queue + DLQ_SUFFIX
+                self.cloud.sqs.create_queue(
+                    dlq, visibility_timeout=visibility_timeout)
+                redrive = RedrivePolicy(
+                    dead_letter_queue=dlq,
+                    max_receive_count=(
+                        self.cloud.faults.plan.max_receive_count))
             self.cloud.sqs.create_queue(
-                queue, visibility_timeout=QUEUE_VISIBILITY_TIMEOUT)
+                queue, visibility_timeout=visibility_timeout,
+                redrive_policy=redrive)
         self.frontend = Frontend(self.cloud, DOCUMENT_BUCKET, RESULTS_BUCKET)
         self.phases: List[PhaseRecord] = []
         self.corpus: Optional[Corpus] = None
@@ -241,11 +268,40 @@ class Warehouse:
                                  table_names, DOCUMENT_BUCKET,
                                  batch_size=batch_size)
                    for instance in fleet]
+        crashes = (self.cloud.faults.plan.crashes_for("loader")
+                   if self.cloud.faults is not None else [])
 
         def driver() -> Generator[Any, Any, List[LoaderWorkerStats]]:
             procs = [self.cloud.env.process(worker.run(),
                                             name="loader-{}".format(i))
                      for i, worker in enumerate(workers)]
+
+            def chaos_monkey(spec) -> Generator[Any, Any, None]:
+                # Kill one worker instance mid-build: the §3 recovery
+                # path (lease lapse → SQS redelivery) must finish the
+                # job on a freshly launched replacement.
+                yield self.cloud.env.timeout(spec.after_s)
+                victim = spec.worker
+                if victim >= len(fleet) or not procs[victim].is_alive:
+                    return
+                if not fleet[victim].running:
+                    return
+                self.cloud.ec2.crash(fleet[victim])
+                procs[victim].interrupt(InstanceCrashed(
+                    fleet[victim].instance_id))
+                replacement = self.cloud.ec2.launch(instance_type)
+                worker = IndexerWorker(self.cloud, replacement, store,
+                                       strategy, table_names,
+                                       DOCUMENT_BUCKET,
+                                       batch_size=batch_size)
+                workers.append(worker)
+                procs.append(self.cloud.env.process(
+                    worker.run(),
+                    name="loader-replacement-{}".format(victim)))
+
+            for index, spec in enumerate(crashes):
+                self.cloud.env.process(chaos_monkey(spec),
+                                       name="chaos-monkey-{}".format(index))
             # Load requests are posted concurrently (documents "arrive"
             # independently at the scalable front end) so the loader
             # fleet — not the request rate — bounds indexing time.
@@ -254,17 +310,39 @@ class Warehouse:
                      for uri in self._all_uris]
             for send in sends:
                 yield send
-            for _ in workers:
-                yield from self.cloud.sqs.send(LOADER_QUEUE, StopWorker())
+            if self.cloud.faults is not None:
+                # A crashed worker's messages sit in flight until its
+                # lease lapses; declaring the build done (pills) before
+                # the queue fully drains would lose them.  Fault-free
+                # builds skip this — workers always drain the queue
+                # before their pill, so timing stays seed-identical.
+                while (self.cloud.sqs.approximate_depth(LOADER_QUEUE)
+                       + self.cloud.sqs.in_flight_count(LOADER_QUEUE)) > 0:
+                    yield self.cloud.env.timeout(DRAIN_POLL_INTERVAL_S)
+            pills = sum(1 for proc in procs if proc.is_alive)
+            for _ in range(pills):
+                yield from self.cloud.resilient.sqs.send(
+                    LOADER_QUEUE, StopWorker())
             results: List[LoaderWorkerStats] = []
-            for proc in procs:
-                results.append((yield proc))
+            index = 0
+            # procs can grow while we wait (replacements for crashed
+            # workers), hence the index loop.
+            while index < len(procs):
+                try:
+                    results.append((yield procs[index]))
+                except InstanceCrashed:
+                    pass  # its replacement finishes the work
+                index += 1
             return results
 
         started_at = self.cloud.env.now
         with self.cloud.meter.tagged(tag):
-            stats: List[LoaderWorkerStats] = self.cloud.env.run_process(
+            self.cloud.env.run_process(
                 driver(), name="build-{}".format(strategy.name))
+        # Aggregate over every worker that ran, including crashed ones
+        # and their replacements: redone work is real work (and real
+        # cost), and a crashed worker's partial stats describe it.
+        stats: List[LoaderWorkerStats] = [w.stats for w in workers]
         self.cloud.ec2.stop_all()
         ended_at = self.cloud.env.now
         phase = PhaseRecord(tag=tag, instance_type=instance_type,
@@ -375,7 +453,8 @@ class Warehouse:
             for send in sends:
                 yield send
             for _ in workers:
-                yield from self.cloud.sqs.send(LOADER_QUEUE, StopWorker())
+                yield from self.cloud.resilient.sqs.send(
+                    LOADER_QUEUE, StopWorker())
             results: List[LoaderWorkerStats] = []
             for proc in procs:
                 results.append((yield proc))
@@ -441,10 +520,13 @@ class Warehouse:
         return freed
 
     def _make_store(self, backend: str, seed: int) -> IndexStore:
+        # Stores talk to the resilient facade: the raw service on a
+        # fault-free cloud, the retry/breaker proxy under chaos.
         if backend == "dynamodb":
-            return DynamoIndexStore(self.cloud.dynamodb, seed=seed)
+            return DynamoIndexStore(self.cloud.resilient.dynamodb, seed=seed)
         if backend == "simpledb":
-            return SimpleDBIndexStore(self.cloud.simpledb, seed=seed)
+            return SimpleDBIndexStore(self.cloud.resilient.simpledb,
+                                      seed=seed)
         raise WarehouseError(
             "unknown index backend {!r} (dynamodb or simpledb)".format(backend))
 
@@ -493,6 +575,15 @@ class Warehouse:
             submitted[query_id] = self.cloud.env.now
             names[query_id] = query.name
 
+        def collect() -> Generator[Any, Any, None]:
+            # Dedup by query id: under chaos a lapsed lease makes two
+            # workers answer the same query, so the response queue can
+            # carry duplicates.  The first response fixes the fetch
+            # time; repeats are consumed and dropped.  Fault-free this
+            # performs exactly one await per call, as before.
+            result = yield from self.frontend.await_response()
+            fetched.setdefault(result.query_id, result.fetched_at)
+
         def driver() -> Generator[Any, Any, None]:
             procs = [self.cloud.env.process(worker.run(),
                                             name="qworker-{}".format(i))
@@ -501,16 +592,17 @@ class Warehouse:
             if pipeline:
                 for query in plan:
                     yield from submit_one(query)
-                for _ in plan:
-                    result = yield from self.frontend.await_response()
-                    fetched[result.query_id] = result.fetched_at
+                while not all(qid in fetched for qid in submitted):
+                    yield from collect()
             else:
                 for query in plan:
                     yield from submit_one(query)
-                    result = yield from self.frontend.await_response()
-                    fetched[result.query_id] = result.fetched_at
+                    pending = [q for q in submitted if q not in fetched]
+                    while any(qid not in fetched for qid in pending):
+                        yield from collect()
             for _ in workers:
-                yield from self.cloud.sqs.send(QUERY_QUEUE, StopWorker())
+                yield from self.cloud.resilient.sqs.send(
+                    QUERY_QUEUE, StopWorker())
             for proc in procs:
                 yield proc
 
@@ -544,6 +636,7 @@ class Warehouse:
                 result_bytes=work.result_bytes,
                 index_gets=work.index_gets,
                 rows_processed=work.rows_processed,
+                query_id=query_id,
             ))
         makespan = (max(fetched.values()) - min(submitted.values())
                     if fetched else 0.0)

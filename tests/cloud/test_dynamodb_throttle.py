@@ -1,0 +1,100 @@
+"""Opt-in DynamoDB throttle mode (ProvisionedThroughputExceeded)."""
+
+import pytest
+
+from repro.cloud.dynamodb import DynamoItem
+from repro.errors import ConfigError, ThroughputExceeded
+
+
+@pytest.fixture
+def db(cloud):
+    cloud.dynamodb.create_table("idx")
+    return cloud.dynamodb
+
+
+def _item(hash_key, range_key="r1"):
+    return DynamoItem(hash_key=hash_key, range_key=range_key,
+                      attributes={"doc.xml": ("",)})
+
+
+def _backlog(db, seconds):
+    """Pile queued work onto the write/read servers directly."""
+    db.write_limiter.consume(db.write_limiter.rate * seconds)
+    db.read_limiter.consume(db.read_limiter.rate * seconds)
+
+
+def test_throttle_mode_is_off_by_default(cloud, db):
+    assert not db.throttle_mode
+    _backlog(db, 60.0)  # a saturated table merely queues (fluid model)
+
+    def scenario():
+        yield from db.put("idx", _item("k"))
+        return (yield from db.get("idx", "k"))
+
+    items = cloud.env.run_process(scenario())
+    assert len(items) == 1
+    assert db.throttled_total == 0
+
+
+def test_negative_backlog_bound_rejected(db):
+    with pytest.raises(ConfigError):
+        db.enable_throttle_mode(max_backlog_s=-1.0)
+
+
+def test_writes_throttle_past_the_backlog_bound(cloud, db):
+    db.enable_throttle_mode(max_backlog_s=0.5)
+    assert db.throttle_mode
+    _backlog(db, 1.0)
+
+    def scenario():
+        yield from db.put("idx", _item("k"))
+
+    with pytest.raises(ThroughputExceeded):
+        cloud.env.run_process(scenario())
+    assert db.throttled_total == 1
+    # A throttled request never executes: nothing stored, nothing
+    # billed — only the fault event is recorded (throttles are free
+    # on AWS).
+    assert db.table("idx").item_count() == 0
+    assert cloud.meter.request_count("dynamodb") == 0
+    assert cloud.meter.request_count("faults", "dynamodb:throttle") == 1
+
+
+def test_reads_throttle_too(cloud, db):
+    def put_one():
+        yield from db.put("idx", _item("k"))
+    cloud.env.run_process(put_one())
+
+    db.enable_throttle_mode(max_backlog_s=0.1)
+    _backlog(db, 1.0)
+
+    def scenario():
+        return (yield from db.get("idx", "k"))
+
+    with pytest.raises(ThroughputExceeded):
+        cloud.env.run_process(scenario())
+
+
+def test_requests_under_the_bound_pass(cloud, db):
+    db.enable_throttle_mode(max_backlog_s=5.0)
+    _backlog(db, 1.0)
+
+    def scenario():
+        yield from db.put("idx", _item("k"))
+
+    cloud.env.run_process(scenario())
+    assert db.throttled_total == 0
+    assert db.table("idx").item_count() == 1
+
+
+def test_disable_restores_fluid_queueing(cloud, db):
+    db.enable_throttle_mode(max_backlog_s=0.0)
+    db.disable_throttle_mode()
+    assert not db.throttle_mode
+    _backlog(db, 10.0)
+
+    def scenario():
+        yield from db.put("idx", _item("k"))
+
+    cloud.env.run_process(scenario())
+    assert db.throttled_total == 0

@@ -1,0 +1,90 @@
+"""Dead-letter queue (RedrivePolicy) behaviour of the simulated SQS."""
+
+import pytest
+
+from repro.cloud.sqs import RedrivePolicy
+from repro.errors import NoSuchQueue, QueueError
+
+
+@pytest.fixture
+def sqs(cloud):
+    cloud.sqs.create_queue("work-dlq", visibility_timeout=10.0)
+    cloud.sqs.create_queue(
+        "work", visibility_timeout=1.0,
+        redrive_policy=RedrivePolicy(dead_letter_queue="work-dlq",
+                                     max_receive_count=2))
+    return cloud.sqs
+
+
+def test_redrive_requires_an_existing_dlq(cloud):
+    with pytest.raises(NoSuchQueue):
+        cloud.sqs.create_queue(
+            "orphan", redrive_policy=RedrivePolicy("missing-dlq"))
+
+
+def test_queue_cannot_be_its_own_dlq(cloud):
+    cloud.sqs.create_queue("self")
+    with pytest.raises(QueueError):
+        cloud.sqs.create_queue(
+            "self2", redrive_policy=RedrivePolicy("self2"))
+
+
+def test_max_receive_count_must_be_positive(cloud):
+    cloud.sqs.create_queue("dlq")
+    with pytest.raises(QueueError):
+        cloud.sqs.create_queue(
+            "bad", redrive_policy=RedrivePolicy("dlq", max_receive_count=0))
+
+
+def test_redrive_policy_accessor(cloud, sqs):
+    policy = sqs.redrive_policy("work")
+    assert policy == RedrivePolicy("work-dlq", max_receive_count=2)
+    assert sqs.redrive_policy("work-dlq") is None
+
+
+def test_poison_message_moves_to_dlq_after_max_receives(cloud, sqs):
+    """A message whose lease lapses ``max_receive_count`` times is
+    dead-lettered instead of looping between receivers forever."""
+    def scenario():
+        yield from sqs.send("work", "poison")
+        # Receive and abandon twice: each lease lapse bumps the
+        # receive count; the second lapse hits max_receive_count=2.
+        for _ in range(2):
+            body, _handle = yield from sqs.receive("work")
+            assert body == "poison"
+            yield cloud.env.timeout(2.0)  # outlive the 1 s lease
+        return (sqs.approximate_depth("work"),
+                sqs.approximate_depth("work-dlq"))
+
+    work_depth, dlq_depth = cloud.env.run_process(scenario())
+    assert work_depth == 0
+    assert dlq_depth == 1
+    assert sqs.dead_lettered_count("work") == 1
+    assert sqs.redelivered_count("work") == 1  # only the first lapse
+    # Dead-lettering is a fault-path event, visible to the cost meter
+    # under the cost-invisible pseudo-service.
+    assert cloud.meter.request_count("faults", "sqs:dead_letter") == 1
+
+
+def test_healthy_messages_never_touch_the_dlq(cloud, sqs):
+    def scenario():
+        yield from sqs.send("work", "fine")
+        _body, handle = yield from sqs.receive("work")
+        yield from sqs.delete("work", handle)
+
+    cloud.env.run_process(scenario())
+    assert sqs.dead_lettered_count("work") == 0
+    assert sqs.approximate_depth("work-dlq") == 0
+
+
+def test_dead_lettered_message_is_receivable_from_the_dlq(cloud, sqs):
+    def scenario():
+        yield from sqs.send("work", {"uri": "doc.xml"})
+        for _ in range(2):
+            yield from sqs.receive("work")
+            yield cloud.env.timeout(2.0)
+        body, handle = yield from sqs.receive("work-dlq")
+        yield from sqs.delete("work-dlq", handle)
+        return body
+
+    assert cloud.env.run_process(scenario()) == {"uri": "doc.xml"}

@@ -1,0 +1,112 @@
+"""Property-based tests: SQS at-least-once delivery under lease churn.
+
+The §3 fault-tolerance argument rests on one queue property: a sent
+message is *never lost* — a consumer that dies mid-lease merely delays
+redelivery.  Hypothesis drives random consumer behaviour (abandon the
+lease, process slowly past the timeout, or delete in time) and checks
+the invariant every way the lease can lapse.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudProvider
+from repro.errors import ReceiptHandleInvalid
+
+QUEUE = "work"
+VISIBILITY_S = 1.0
+
+#: One consumer decision per received message: values comfortably under
+#: VISIBILITY_S delete in time; the rest abandon the lease (the
+#: watchdog requeues the message first).
+consumer_plans = st.lists(
+    st.floats(min_value=0.0, max_value=3.0), min_size=1, max_size=12)
+
+
+@given(st.integers(min_value=1, max_value=8), consumer_plans)
+@settings(max_examples=40, deadline=None)
+def test_every_message_is_delivered_at_least_once(n_messages, plan):
+    """No matter how many leases lapse, every message is eventually
+    received and acknowledged — none are lost, none linger."""
+    cloud = CloudProvider()
+    sqs = cloud.sqs
+    sqs.create_queue(QUEUE, visibility_timeout=VISIBILITY_S)
+    delivered = []
+
+    def scenario():
+        for index in range(n_messages):
+            yield from sqs.send(QUEUE, index)
+        step = 0
+        # Keep consuming until every message is acknowledged; abandoned
+        # leases lapse and the message comes back.  Once the plan is
+        # exhausted the consumer turns reliable, so the run terminates.
+        while sqs.approximate_depth(QUEUE) + sqs.in_flight_count(QUEUE) > 0:
+            body, handle = yield from sqs.receive(QUEUE)
+            delivered.append(body)
+            delay = plan[step] if step < len(plan) else 0.0
+            step += 1
+            if delay < VISIBILITY_S / 2:
+                yield cloud.env.timeout(delay)
+                yield from sqs.delete(QUEUE, handle)
+            else:
+                # Abandon: sleep past the lease so the watchdog requeues
+                # it (simulating a crashed consumer).
+                yield cloud.env.timeout(delay + VISIBILITY_S)
+
+    cloud.env.run_process(scenario())
+    # At-least-once: every message delivered one or more times...
+    assert set(delivered) == set(range(n_messages))
+    # ...and the extra deliveries are exactly the recorded redeliveries.
+    assert len(delivered) == n_messages + sqs.redelivered_count(QUEUE)
+    assert sqs.approximate_depth(QUEUE) == 0
+    assert sqs.in_flight_count(QUEUE) == 0
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_receive_count_grows_with_each_lapse(n_messages, lapses):
+    """Each lease lapse bumps the message's receive count by one."""
+    cloud = CloudProvider()
+    sqs = cloud.sqs
+    sqs.create_queue(QUEUE, visibility_timeout=VISIBILITY_S)
+    counts = []
+
+    def scenario():
+        for index in range(n_messages):
+            yield from sqs.send(QUEUE, index)
+        # Abandon every message `lapses - 1` times, then consume.
+        for _ in range(n_messages * (lapses - 1)):
+            yield from sqs.receive(QUEUE)
+            yield cloud.env.timeout(VISIBILITY_S * 2)
+        while sqs.approximate_depth(QUEUE) + sqs.in_flight_count(QUEUE) > 0:
+            _body, handle = yield from sqs.receive(QUEUE)
+            record = sqs._queue(QUEUE).in_flight[handle]
+            counts.append(record.message.receive_count)
+            yield from sqs.delete(QUEUE, handle)
+
+    cloud.env.run_process(scenario())
+    assert len(counts) == n_messages
+    assert all(count == lapses for count in counts)
+
+
+@given(st.floats(min_value=1.1, max_value=5.0))
+@settings(max_examples=20, deadline=None)
+def test_lapsed_handle_is_unusable(sleep_factor):
+    """Once the watchdog requeues a message, its old receipt handle is
+    dead — the slow consumer cannot acknowledge work it lost."""
+    cloud = CloudProvider()
+    sqs = cloud.sqs
+    sqs.create_queue(QUEUE, visibility_timeout=VISIBILITY_S)
+
+    def scenario():
+        yield from sqs.send(QUEUE, "job")
+        _body, handle = yield from sqs.receive(QUEUE)
+        yield cloud.env.timeout(VISIBILITY_S * sleep_factor)
+        try:
+            yield from sqs.delete(QUEUE, handle)
+        except ReceiptHandleInvalid:
+            return True
+        return False
+
+    assert cloud.env.run_process(scenario())

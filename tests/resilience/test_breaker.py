@@ -1,0 +1,87 @@
+"""CircuitBreaker state machine: closed -> open -> half-open -> closed."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_breaker(threshold=3, reset=1.0):
+    clock = FakeClock()
+    return CircuitBreaker(clock, failure_threshold=threshold,
+                          reset_timeout_s=reset), clock
+
+
+def test_validation():
+    clock = FakeClock()
+    with pytest.raises(ConfigError):
+        CircuitBreaker(clock, failure_threshold=0)
+    with pytest.raises(ConfigError):
+        CircuitBreaker(clock, reset_timeout_s=0.0)
+
+
+def test_starts_closed_and_allows_calls():
+    breaker, _ = make_breaker()
+    assert breaker.state == CLOSED
+    assert breaker.seconds_until_allowed() == 0.0
+
+
+def test_opens_after_consecutive_failures():
+    breaker, _ = make_breaker(threshold=3, reset=2.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opened_total == 1
+    assert breaker.seconds_until_allowed() == pytest.approx(2.0)
+
+
+def test_success_resets_the_failure_streak():
+    breaker, _ = make_breaker(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_half_open_after_reset_timeout():
+    breaker, clock = make_breaker(threshold=1, reset=1.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.now = 0.5
+    assert breaker.seconds_until_allowed() == pytest.approx(0.5)
+    clock.now = 1.0
+    assert breaker.seconds_until_allowed() == 0.0
+    assert breaker.state == HALF_OPEN
+
+
+def test_half_open_probe_success_closes():
+    breaker, clock = make_breaker(threshold=1, reset=1.0)
+    breaker.record_failure()
+    clock.now = 1.5
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.seconds_until_allowed() == 0.0
+
+
+def test_half_open_probe_failure_reopens_with_fresh_timer():
+    breaker, clock = make_breaker(threshold=1, reset=1.0)
+    breaker.record_failure()
+    clock.now = 1.5
+    assert breaker.state == HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opened_total == 2
+    assert breaker.seconds_until_allowed() == pytest.approx(1.0)
