@@ -8,6 +8,8 @@ monetary cost.  This CLI does the same over the simulated substrate::
     repro-warehouse demo --documents 200 --strategy LUP --queries q1,q5
     repro-warehouse advise --documents 200 --runs 25
     repro-warehouse chaos --scenario loader-crash --documents 24
+    repro-warehouse scrub --documents 24 --strategy 2LUPI --damage corrupt-item
+    repro-warehouse resume --documents 24 --strategy LUP --interrupt-after 4
     repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
     repro-warehouse prices --provider google
 
@@ -28,7 +30,8 @@ from repro.config import ScaleProfile
 from repro.costs.estimator import build_phase_cost, query_cost
 from repro.costs.metrics import DatasetMetrics
 from repro.costs.pricing import price_book, render_table3
-from repro.faults.scenarios import SCENARIO_NAMES, run_scenario
+from repro.faults.scenarios import (SCENARIO_NAMES, run_scenario,
+                                    run_scrub_repair_scenario)
 from repro.indexing.registry import ALL_STRATEGY_NAMES
 from repro.query.parser import parse_query
 from repro.query.workload import WORKLOAD_ORDER, workload, workload_query
@@ -143,12 +146,105 @@ def cmd_chaos(args) -> int:
     if args.strategy.upper() not in ALL_STRATEGY_NAMES:
         raise SystemExit("unknown strategy {!r}; choose from {}".format(
             args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
-    report = run_scenario(
-        args.scenario, documents=args.documents, seed=args.seed,
-        strategy=args.strategy.upper(), instances=args.instances,
-        error_rate=args.error_rate, crash_after_s=args.crash_after)
+    if args.scenario == "scrub-repair":
+        report = run_scrub_repair_scenario(
+            documents=args.documents, seed=args.seed,
+            strategy=args.strategy.upper(), instances=args.instances)
+    else:
+        report = run_scenario(
+            args.scenario, documents=args.documents, seed=args.seed,
+            strategy=args.strategy.upper(), instances=args.instances,
+            error_rate=args.error_rate, crash_after_s=args.crash_after)
     print(report.render())
     return 0 if report.invariant_holds else 1
+
+
+def cmd_scrub(args) -> int:
+    """Build a checkpointed index, optionally damage it, then scrub it.
+
+    Prints one summary line per scrub (items scanned, checksum
+    failures, invariant violations, repairs) plus the manifest's epoch
+    list.  Exit status 0 iff the index ends up clean.
+    """
+    from repro.consistency import Manifest
+    from repro.faults import FaultPlan
+    from repro.faults.corruption import CorruptionMonkey
+
+    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
+        raise SystemExit("unknown strategy {!r}; choose from {}".format(
+            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    warehouse = Warehouse()
+    warehouse.upload_corpus(_corpus(args))
+    built, record = warehouse.build_index_checkpointed(
+        args.strategy.upper(), instances=args.instances,
+        batch_size=args.batch_size)
+    print("built {} epoch {} ({} batches, digest {})".format(
+        record.name, record.epoch, record.batches, record.digest[:12]))
+
+    if args.damage:
+        plan = FaultPlan(seed=args.seed)
+        for kind in args.damage.split(","):
+            kind = kind.strip()
+            if kind == "corrupt-item":
+                plan.corrupt_item(table=0, count=args.damage_count)
+            elif kind == "drop-table-partition":
+                plan.drop_table_partition(
+                    table=len(built.physical_tables) - 1,
+                    count=args.damage_count)
+            else:
+                raise SystemExit(
+                    "unknown damage kind {!r}; choose from "
+                    "corrupt-item, drop-table-partition".format(kind))
+        monkey = CorruptionMonkey(warehouse.cloud, seed=args.seed)
+        for entry in monkey.damage_index(built, plan.damage):
+            print("damaged: {}".format(entry))
+
+    report = warehouse.scrub_index(built, record.name, record.epoch,
+                                   repair=not args.no_repair)
+    print(report.summary_line())
+    if report.repaired:
+        verify = warehouse.scrub_index(built, record.name, record.epoch,
+                                       repair=False)
+        print(verify.summary_line())
+        clean = verify.clean
+    else:
+        clean = report.clean
+    manifest = Manifest(warehouse.cloud.dynamodb)
+    print("epochs: {}".format(
+        "; ".join("{} e{} {}".format(r.name, r.epoch, r.status)
+                  for r in manifest.list_records()) or "none"))
+    return 0 if clean else 1
+
+
+def cmd_resume(args) -> int:
+    """Interrupt a checkpointed build, then resume it to completion.
+
+    The loader fleet is crashed ``--interrupt-after`` simulated seconds
+    into the build; ``resume`` purges stale deliveries, re-enqueues only
+    ledger-missing batches and commits.  Exit status 0 iff the resumed
+    epoch committed.
+    """
+    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
+        raise SystemExit("unknown strategy {!r}; choose from {}".format(
+            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    warehouse = Warehouse()
+    warehouse.upload_corpus(_corpus(args))
+    plan = warehouse.plan_build(args.strategy.upper(),
+                                instances=args.instances,
+                                batch_size=args.batch_size)
+    first = warehouse.run_build(plan, interrupt_after_s=args.interrupt_after)
+    print("build {} e{}: interrupted={} applied {}/{} batches".format(
+        plan.name, plan.epoch, first.interrupted, first.applied_batches,
+        len(plan.batches)))
+    result, record = warehouse.resume_build(plan)
+    print("resume {} e{}: applied {}/{} batches "
+          "(skipped {} redelivered) committed={}".format(
+              plan.name, plan.epoch, result.applied_batches,
+              len(plan.batches), result.skipped_batches, result.committed))
+    if record is not None:
+        print("committed epoch {} digest {}".format(
+            record.epoch, record.digest[:12]))
+    return 0 if result.committed else 1
 
 
 def cmd_xquery(args) -> int:
@@ -213,6 +309,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--crash-after", type=float, default=0.5,
                          help="seconds into the build the loader dies")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_scrub = sub.add_parser("scrub", help=cmd_scrub.__doc__)
+    add_corpus_args(p_scrub)
+    p_scrub.add_argument("--strategy", default="LUP")
+    p_scrub.add_argument("--instances", type=int, default=4,
+                         help="loader instances")
+    p_scrub.add_argument("--batch-size", type=int, default=8,
+                         help="documents per checkpointed batch")
+    p_scrub.add_argument("--damage",
+                         help="comma-separated damage kinds to inject "
+                              "before scrubbing (corrupt-item, "
+                              "drop-table-partition)")
+    p_scrub.add_argument("--damage-count", type=int, default=1,
+                         help="items/partitions damaged per kind")
+    p_scrub.add_argument("--no-repair", action="store_true",
+                         help="detect only; leave damage in place")
+    p_scrub.set_defaults(func=cmd_scrub)
+
+    p_resume = sub.add_parser("resume", help=cmd_resume.__doc__)
+    add_corpus_args(p_resume)
+    p_resume.add_argument("--strategy", default="LUP")
+    p_resume.add_argument("--instances", type=int, default=4,
+                          help="loader instances")
+    p_resume.add_argument("--batch-size", type=int, default=8,
+                          help="documents per checkpointed batch")
+    p_resume.add_argument("--interrupt-after", type=float, default=4.0,
+                          help="seconds into the build the fleet crashes")
+    p_resume.set_defaults(func=cmd_resume)
 
     p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
     p_xquery.add_argument("query", help="tree-pattern query text")

@@ -26,12 +26,16 @@ from typing import (Any, Callable, Dict, Generator, Iterable, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
 from repro.config import PerformanceProfile
-from repro.errors import (ConfigError, ItemTooLarge, NoSuchTable,
-                          TableAlreadyExists, ThroughputExceeded,
-                          ValidationError)
+from repro.errors import (ConditionalCheckFailed, ConfigError, ItemTooLarge,
+                          NoSuchTable, TableAlreadyExists,
+                          ThroughputExceeded, ValidationError)
 from repro.sim import Environment, Meter, ThroughputLimiter
 
 SERVICE = "dynamodb"
+
+#: Items returned per scan page (the real API paginates at 1 MB; a
+#: fixed item count keeps the simulated request arithmetic simple).
+SCAN_PAGE_SIZE = 100
 
 #: Maximum size of one item, keys plus attributes (§6: "items whose size
 #: can be at most 64KB").
@@ -228,9 +232,42 @@ class DynamoDB:
         # one (§6), which is exactly what the UUID range keys prevent.
         group[item.range_key or ""] = item
 
+    def _check_condition(self, table: DynamoTable, item: DynamoItem,
+                         expected: Mapping[str, Optional[Tuple[AttrValue,
+                                                               ...]]]) -> None:
+        """Evaluate a conditional put's expectations against the store.
+
+        ``expected`` maps attribute names to the exact value tuple the
+        stored item must currently hold, or to ``None`` meaning "the
+        attribute must not exist" (which also holds when the item itself
+        is absent).  The check-and-store pair runs with no intervening
+        ``yield``, so it is atomic in simulated time — the property the
+        epoch-manifest flip is built on.
+        """
+        group = table._items.get(item.hash_key, {})
+        current = group.get(item.range_key or "")
+        for name, want in expected.items():
+            have = (current.attributes.get(name)
+                    if current is not None else None)
+            if want is None:
+                if have is not None:
+                    raise ConditionalCheckFailed(
+                        "attribute {!r} unexpectedly present".format(name))
+            elif have is None or tuple(have) != tuple(want):
+                raise ConditionalCheckFailed(
+                    "attribute {!r} is {!r}, expected {!r}".format(
+                        name, have, want))
+
     def put(self, table_name: str, item: DynamoItem,
-            ) -> Generator[Any, Any, None]:
-        """Insert ``item``, replacing any item with the same primary key."""
+            expected: Optional[Mapping[str, Optional[Tuple[AttrValue, ...]]]]
+            = None) -> Generator[Any, Any, None]:
+        """Insert ``item``, replacing any item with the same primary key.
+
+        With ``expected``, the put is *conditional*: it applies only if
+        every named attribute of the currently stored item matches the
+        expectation (``None`` = must be absent), else it raises
+        :class:`ConditionalCheckFailed` and writes nothing.
+        """
         table = self.table(table_name)
         self._validate_item(table, item)
         if self._faults is not None:
@@ -238,9 +275,43 @@ class DynamoDB:
         yield self._env.timeout(self._profile.dynamodb_request_latency_s)
         self._check_throttle(self._write_limiter)
         yield self._write_limiter.consume(item.size_bytes)
+        if expected is not None:
+            # A failed conditional write is still a billed request
+            # (DynamoDB consumes write capacity for the check).
+            try:
+                self._check_condition(table, item, expected)
+            except ConditionalCheckFailed:
+                self._meter.record(self._env.now, SERVICE, "put",
+                                   bytes_in=item.size_bytes)
+                raise
         self._store(table, item)
         self._meter.record(self._env.now, SERVICE, "put",
                            bytes_in=item.size_bytes)
+
+    def delete_item(self, table_name: str, hash_key: str,
+                    range_key: Optional[str] = None,
+                    ) -> Generator[Any, Any, bool]:
+        """Delete one item by primary key; returns whether it existed.
+
+        Deleting a missing item is not an error (as on AWS); the
+        request is billed either way.
+        """
+        table = self.table(table_name)
+        if self._faults is not None:
+            yield from self._faults.perturb("delete_item")
+        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+        self._check_throttle(self._write_limiter)
+        group = table._items.get(hash_key)
+        existed = group is not None and (range_key or "") in group
+        nbytes = group[range_key or ""].size_bytes if existed else 0
+        yield self._write_limiter.consume(max(1, nbytes))
+        if existed:
+            del group[range_key or ""]
+            if not group:
+                del table._items[hash_key]
+        self._meter.record(self._env.now, SERVICE, "delete",
+                           bytes_in=nbytes)
+        return existed
 
     def batch_put(self, table_name: str, items: Sequence[DynamoItem],
                   ) -> Generator[Any, Any, None]:
@@ -324,6 +395,76 @@ class DynamoDB:
         self._meter.record(self._env.now, SERVICE, "get",
                            count=len(hash_keys), bytes_out=nbytes)
         return result
+
+    def scan(self, table_name: str,
+             ) -> Generator[Any, Any, List[DynamoItem]]:
+        """Sequentially read every item in the table.
+
+        Pages of :data:`SCAN_PAGE_SIZE` items, each page a billed
+        request with its own latency and read-capacity consumption —
+        which is what makes scrubbing a priced operation rather than a
+        free inspection (contrast :meth:`DynamoTable.all_items`).
+        """
+        table = self.table(table_name)
+        items = table.all_items()
+        pages = [items[i:i + SCAN_PAGE_SIZE]
+                 for i in range(0, len(items), SCAN_PAGE_SIZE)] or [[]]
+        for page in pages:
+            if self._faults is not None:
+                yield from self._faults.perturb("scan")
+            nbytes = sum(item.size_bytes for item in page)
+            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+            self._check_throttle(self._read_limiter)
+            yield self._read_limiter.consume(max(1, nbytes))
+            self._meter.record(self._env.now, SERVICE, "scan",
+                               count=max(1, len(page)), bytes_out=nbytes)
+        return items
+
+    # -- damage surface (fault injection only) ------------------------------------
+
+    def corrupt_attribute(self, table_name: str, hash_key: str,
+                          range_key: Optional[str], attr: str,
+                          byte_index: int = 0, bit: int = 0) -> bool:
+        """Flip one bit of a stored attribute value, in place.
+
+        The simulation analogue of silent storage corruption — no
+        request, no metering, no latency, invisible until something
+        reads the item back.  Used only by the fault injector's
+        ``corrupt-item`` kind; returns whether an attribute was hit.
+        """
+        table = self.table(table_name)
+        group = table._items.get(hash_key, {})
+        item = group.get(range_key or "")
+        if item is None or attr not in item.attributes:
+            return False
+        values = item.attributes[attr]
+        if not values:
+            return False
+        value = values[0]
+        raw = bytearray(value if isinstance(value, bytes)
+                        else value.encode("utf-8"))
+        if not raw:
+            return False
+        raw[byte_index % len(raw)] ^= 1 << (bit % 8)
+        mutated = (bytes(raw) if isinstance(value, bytes)
+                   else bytes(raw).decode("utf-8", errors="replace"))
+        attributes = dict(item.attributes)
+        attributes[attr] = (mutated,) + tuple(values[1:])
+        group[range_key or ""] = DynamoItem(
+            hash_key=item.hash_key, range_key=item.range_key,
+            attributes=attributes)
+        return True
+
+    def drop_partition(self, table_name: str, hash_key: str) -> int:
+        """Silently lose every item under one hash key.
+
+        Models the loss of a storage partition; like
+        :meth:`corrupt_attribute` this bypasses the request path
+        entirely.  Returns the number of items dropped.
+        """
+        table = self.table(table_name)
+        group = table._items.pop(hash_key, None)
+        return len(group) if group else 0
 
     # -- storage accounting (Figure 8) -------------------------------------------
 

@@ -233,6 +233,29 @@ class SQS:
                               name="sqs-watchdog-renew-{}".format(handle))
         self._meter.record(self._env.now, SERVICE, "change_visibility")
 
+    def purge(self, queue_name: str) -> Generator[Any, Any, int]:
+        """Discard every visible and in-flight message; returns the count.
+
+        Mirrors SQS ``PurgeQueue`` (one billed admin request).  A resumed
+        build purges the loader queue before re-enqueueing the batches
+        its ledger says are still missing — stale pre-crash deliveries
+        must not race the recovery fleet.
+        """
+        queue = self._queue(queue_name)
+        yield self._env.timeout(self._profile.sqs_request_latency_s)
+        dropped = 0
+        while True:
+            available, _ = queue.store.try_get()
+            if not available:
+                break
+            dropped += 1
+        # In-flight leases are dropped too: their watchdogs find the
+        # handle gone and exit without requeueing.
+        dropped += len(queue.in_flight)
+        queue.in_flight.clear()
+        self._meter.record(self._env.now, SERVICE, "purge_queue")
+        return dropped
+
     # -- lease expiry -----------------------------------------------------------
 
     def _watchdog(self, queue: _Queue, handle: str,

@@ -1,0 +1,48 @@
+"""Crash consistency and integrity for the warehouse indexes.
+
+The paper's §3 fault-tolerance story — "messages are deleted only after
+their documents are fully indexed" — gives *at-least-once* batch
+processing.  This subsystem supplies the pieces that make at-least-once
+safe and the published index trustworthy:
+
+- :mod:`~repro.consistency.manifest` — epoch-versioned index
+  publication: builds write into a pending epoch and an atomic
+  conditional put flips the committed pointer, so queries only ever see
+  a fully-committed index;
+- :mod:`~repro.consistency.ledger` — the idempotent batch ledger:
+  each loader batch records ``batch-id → content-hash`` *before*
+  deleting its SQS message, so redelivered or resumed batches are
+  applied exactly once;
+- :mod:`~repro.consistency.build` — checkpointed, resumable builds on
+  top of fixed-composition batches and content-addressed index items;
+- :mod:`~repro.consistency.scrubber` — per-item checksum verification,
+  cross-table invariant checks and targeted repair;
+- :mod:`~repro.consistency.degradation` — the query-side fallback
+  chain 2LUPI → LUI/LUP → LU → full S3 scan over suspect tables,
+  with every downgrade metered.
+"""
+
+from repro.consistency.build import (BuildCoordinator, BuildPlan,
+                                     BuildRunResult, partition_batches)
+from repro.consistency.degradation import (DegradedIndexChain,
+                                           DegradingLookup, HealthRegistry)
+from repro.consistency.ledger import BatchLedger
+from repro.consistency.manifest import (MANIFEST_TABLE, EpochRecord,
+                                        Manifest)
+from repro.consistency.scrubber import ScrubReport, Scrubber
+
+__all__ = [
+    "BatchLedger",
+    "BuildCoordinator",
+    "BuildPlan",
+    "BuildRunResult",
+    "DegradedIndexChain",
+    "DegradingLookup",
+    "EpochRecord",
+    "HealthRegistry",
+    "MANIFEST_TABLE",
+    "Manifest",
+    "ScrubReport",
+    "Scrubber",
+    "partition_batches",
+]

@@ -1,0 +1,185 @@
+"""Epoch-versioned index publication.
+
+An index *name* (e.g. ``"LUP"``) is a stable identity; each (re)build
+of it is an *epoch* writing into fresh physical tables.  A DynamoDB
+manifest table maps the name to its committed epoch:
+
+- key ``<name>`` — the committed pointer: epoch number, the logical →
+  physical table map, content digest, ledger table.  Queries resolve
+  the index through this record;
+- key ``<name>#pending`` — the build in progress (same shape, status
+  ``pending``), letting ``resume`` find an interrupted build.
+
+The flip from epoch *n* to *n+1* is one conditional put expecting the
+currently-committed epoch attribute, so two racing committers cannot
+both win and a reader always observes either the complete old record
+or the complete new one — never a mixture (DynamoDB single-item writes
+are atomic; the simulated :meth:`~repro.cloud.dynamodb.DynamoDB.put`
+checks and stores without an intervening simulation event).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.cloud.dynamodb import DynamoItem
+from repro.errors import BuildStateError, ConditionalCheckFailed, NoSuchTable
+
+#: The hash-only DynamoDB table holding committed/pending epoch records.
+MANIFEST_TABLE = "index-manifest"
+
+#: Key suffix under which a build-in-progress is recorded.
+PENDING_SUFFIX = "#pending"
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One manifest record: where an index epoch lives."""
+
+    name: str
+    epoch: int
+    status: str                 # "committed" or "pending"
+    strategy: str
+    tables: Dict[str, str]      # logical table -> physical table
+    ledger_table: str
+    batches: int
+    digest: str = ""
+    #: Documents per batch; lets a scrub reconstruct the exact batch
+    #: partition (0 when unknown, e.g. hand-built records).
+    batch_size: int = 0
+
+    def to_attributes(self) -> Dict[str, Tuple[str, ...]]:
+        """Attribute map stored in the manifest item."""
+        return {
+            "epoch": (str(self.epoch),),
+            "status": (self.status,),
+            "strategy": (self.strategy,),
+            "tables": (json.dumps(self.tables, sort_keys=True),),
+            "ledger": (self.ledger_table,),
+            "batches": (str(self.batches),),
+            "digest": (self.digest,),
+            "batch_size": (str(self.batch_size),),
+        }
+
+    @staticmethod
+    def from_item(name: str, item: DynamoItem) -> "EpochRecord":
+        """Rebuild a record from its stored item."""
+        attrs = item.attributes
+
+        def one(attr: str) -> str:
+            value = attrs[attr][0]
+            return value if isinstance(value, str) else value.decode("utf-8")
+
+        return EpochRecord(
+            name=name,
+            epoch=int(one("epoch")),
+            status=one("status"),
+            strategy=one("strategy"),
+            tables=json.loads(one("tables")),
+            ledger_table=one("ledger"),
+            batches=int(one("batches")),
+            digest=one("digest"),
+            batch_size=(int(one("batch_size"))
+                        if "batch_size" in attrs else 0),
+        )
+
+
+class Manifest:
+    """The manifest table and its commit protocol."""
+
+    def __init__(self, dynamodb: Any,
+                 table_name: str = MANIFEST_TABLE) -> None:
+        self._db = dynamodb
+        self._table = table_name
+
+    def ensure_table(self) -> None:
+        """Create the manifest table if this deployment lacks one.
+
+        Lazy so fault-free legacy builds never create it — keeping the
+        clean path physically identical to earlier revisions.
+        """
+        if self._table not in self._db.table_names():
+            self._db.create_table(self._table, has_range_key=False)
+
+    @property
+    def exists(self) -> bool:
+        """Whether any build has ever used the manifest."""
+        return self._table in self._db.table_names()
+
+    # -- reads -------------------------------------------------------------
+
+    def _read(self, key: str) -> Generator[Any, Any, Optional[DynamoItem]]:
+        try:
+            items = yield from self._db.get(self._table, key)
+        except NoSuchTable:
+            return None
+        return items[0] if items else None
+
+    def committed(self, name: str,
+                  ) -> Generator[Any, Any, Optional[EpochRecord]]:
+        """The committed record for ``name``, or None if never committed."""
+        item = yield from self._read(name)
+        return EpochRecord.from_item(name, item) if item else None
+
+    def pending(self, name: str,
+                ) -> Generator[Any, Any, Optional[EpochRecord]]:
+        """The pending (in-progress) record for ``name``, if any."""
+        item = yield from self._read(name + PENDING_SUFFIX)
+        return EpochRecord.from_item(name, item) if item else None
+
+    def list_records(self) -> List[EpochRecord]:
+        """Every record (committed and pending), meter-free inspection."""
+        if not self.exists:
+            return []
+        records = []
+        for item in self._db.table(self._table).all_items():
+            name = item.hash_key
+            if name.endswith(PENDING_SUFFIX):
+                name = name[:-len(PENDING_SUFFIX)]
+            records.append(EpochRecord.from_item(name, item))
+        return records
+
+    # -- writes ------------------------------------------------------------
+
+    def put_pending(self, record: EpochRecord) -> Generator[Any, Any, None]:
+        """Record a build in progress (idempotent overwrite)."""
+        self.ensure_table()
+        item = DynamoItem(hash_key=record.name + PENDING_SUFFIX,
+                          range_key=None,
+                          attributes=record.to_attributes())
+        yield from self._db.put(self._table, item)
+
+    def clear_pending(self, name: str) -> Generator[Any, Any, None]:
+        """Drop the pending record once its epoch is committed."""
+        yield from self._db.delete_item(self._table, name + PENDING_SUFFIX)
+
+    def commit(self, record: EpochRecord,
+               expected_epoch: Optional[int],
+               ) -> Generator[Any, Any, EpochRecord]:
+        """Atomically flip the committed pointer to ``record``.
+
+        ``expected_epoch`` is the epoch the caller believes is currently
+        committed (None for a first commit).  A racing commit that got
+        there first makes the conditional put fail, surfacing as
+        :class:`BuildStateError` — the losing committer must re-plan
+        against the new epoch rather than clobber it.
+        """
+        self.ensure_table()
+        committed = EpochRecord(
+            name=record.name, epoch=record.epoch, status="committed",
+            strategy=record.strategy, tables=record.tables,
+            ledger_table=record.ledger_table, batches=record.batches,
+            digest=record.digest, batch_size=record.batch_size)
+        item = DynamoItem(hash_key=record.name, range_key=None,
+                          attributes=committed.to_attributes())
+        expected = {"epoch": (None if expected_epoch is None
+                              else (str(expected_epoch),))}
+        try:
+            yield from self._db.put(self._table, item, expected=expected)
+        except ConditionalCheckFailed as exc:
+            raise BuildStateError(
+                "commit of {} epoch {} lost the flip race: {}".format(
+                    record.name, record.epoch, exc)) from exc
+        return committed

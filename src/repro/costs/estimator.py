@@ -65,9 +65,10 @@ def _price_requests(meter: Meter, book: PriceBook, tag_prefix: str,
             elif record.operation in ("get", "head", "list"):
                 out.s3 += book.st_get * record.count
         elif record.service == "dynamodb":
-            if record.operation == "put":
+            if record.operation in ("put", "delete"):
                 out.dynamodb += book.idx_put * record.count
             else:
+                # get, scan: read-capacity operations.
                 out.dynamodb += book.idx_get * record.count
         elif record.service == "simpledb":
             if record.operation == "put":
@@ -102,6 +103,20 @@ def phase_cost(meter: Meter, book: PriceBook, tag_prefix: str,
         out.ec2 += book.vm_hourly(type_name) * hours
     out.egress = book.egress_gb * result_bytes / GB
     return out
+
+
+def scrub_cost(warehouse, book: Optional[PriceBook] = None,
+               tag_prefix: str = "scrub:") -> CostBreakdown:
+    """Measured cost of integrity scrubbing (and its repairs).
+
+    Scrub work is ordinary billed traffic — DynamoDB scans and deletes,
+    S3 inventory and document reads, index re-puts.  Records under the
+    ``consistency`` pseudo-service (downgrade/repair markers) carry no
+    price by design: their cost shows up in the real services they
+    caused traffic on.
+    """
+    book = book or warehouse.cloud.price_book
+    return _price_requests(warehouse.cloud.meter, book, tag_prefix)
 
 
 def build_phase_cost(warehouse, built_index, book: Optional[PriceBook] = None,

@@ -88,6 +88,27 @@ class ValidationError(TableError):
     """A request was malformed (missing key attribute, bad batch size...)."""
 
 
+class ConditionalCheckFailed(TableError):
+    """A conditional write's expectation did not hold.
+
+    Mirrors DynamoDB's ``ConditionalCheckFailedException``: the put was
+    rejected atomically, nothing was written.  Deliberately *not*
+    retryable — the caller must re-read and decide, which is exactly
+    what makes the epoch-manifest flip safe under concurrency.
+    """
+
+
+class IntegrityError(TableError):
+    """Stored index data failed an integrity check.
+
+    Raised when a read or scrub finds an item whose stamped checksum no
+    longer matches its content, or whose payload violates an index
+    invariant (e.g. the LUI sorted-ID order).  The query processor
+    treats the table as *suspect* and degrades to a coarser access
+    path; the scrubber repairs it.
+    """
+
+
 class ThroughputExceeded(TableError):
     """Provisioned throughput was exceeded and the request was throttled.
 
@@ -222,6 +243,17 @@ class LookupError_(IndexingError):
 
 class WarehouseError(ReproError):
     """Base class for warehouse orchestration errors."""
+
+
+class BuildStateError(WarehouseError):
+    """A checkpointed build was driven through an invalid transition.
+
+    Examples: committing an epoch whose batch ledger is incomplete,
+    resuming a build that was already committed, or recording a ledger
+    entry whose content hash disagrees with an existing entry for the
+    same batch (which would mean two deliveries of one batch produced
+    different index content — a determinism bug, never a fault).
+    """
 
 
 class DocumentNotLoaded(WarehouseError):

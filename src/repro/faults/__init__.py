@@ -1,21 +1,27 @@
 """Deterministic fault injection ("chaos") for the simulated cloud.
 
 The subsystem splits into inert plans (:mod:`repro.faults.plan`),
-runtime injectors (:mod:`repro.faults.injector`) and packaged
-end-to-end scenarios (:mod:`repro.faults.scenarios`).  Scenarios import
-the warehouse, so they are deliberately *not* re-exported here — import
-them directly to keep ``repro.cloud`` → ``repro.faults`` acyclic.
+runtime injectors (:mod:`repro.faults.injector`), stored-state damage
+(:mod:`repro.faults.corruption`) and packaged end-to-end scenarios
+(:mod:`repro.faults.scenarios`).  Scenarios and the corruption monkey
+import the cloud/warehouse, so they are deliberately *not* re-exported
+here — import them directly to keep ``repro.cloud`` → ``repro.faults``
+acyclic.
 """
 
 from repro.faults.injector import (FAULT_SERVICE, FaultDomain, FaultEvent,
                                    FaultInjector)
-from repro.faults.plan import (CRASH_ROLES, FAULT_KINDS, FAULT_SERVICES,
-                               KIND_ERROR, KIND_LATENCY, KIND_THROTTLE,
-                               CrashSpec, FaultPlan, FaultSpec)
+from repro.faults.plan import (CRASH_ROLES, DAMAGE_KINDS, FAULT_KINDS,
+                               FAULT_SERVICES, KIND_CORRUPT_ITEM,
+                               KIND_DROP_PARTITION, KIND_ERROR,
+                               KIND_LATENCY, KIND_THROTTLE, CrashSpec,
+                               DamageSpec, FaultPlan, FaultSpec)
 
 __all__ = [
     "CRASH_ROLES",
     "CrashSpec",
+    "DAMAGE_KINDS",
+    "DamageSpec",
     "FAULT_KINDS",
     "FAULT_SERVICE",
     "FAULT_SERVICES",
@@ -24,6 +30,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "KIND_CORRUPT_ITEM",
+    "KIND_DROP_PARTITION",
     "KIND_ERROR",
     "KIND_LATENCY",
     "KIND_THROTTLE",

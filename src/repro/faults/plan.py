@@ -27,6 +27,13 @@ KIND_THROTTLE = "throttle"  # ProvisionedThroughputExceeded burst
 KIND_LATENCY = "latency"    # added request latency
 FAULT_KINDS = (KIND_ERROR, KIND_THROTTLE, KIND_LATENCY)
 
+#: Stored-state damage kinds, interpreted by the
+#: :class:`~repro.faults.corruption.CorruptionMonkey` (they mutate data
+#: at rest rather than failing requests in flight).
+KIND_CORRUPT_ITEM = "corrupt-item"            # bit-flip a stored item
+KIND_DROP_PARTITION = "drop-table-partition"  # lose one hash-key group
+DAMAGE_KINDS = (KIND_CORRUPT_ITEM, KIND_DROP_PARTITION)
+
 #: Worker roles a crash spec may target.
 CRASH_ROLES = ("loader",)
 
@@ -75,6 +82,24 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class DamageSpec:
+    """One stored-state damage rule (applied to a built index's tables).
+
+    Physical table names are epoch-scoped and unknown at plan time, so
+    ``table`` selects into the *sorted* physical table list of whatever
+    index the damage is applied to; the exact victim items are drawn
+    from the plan's seeded RNG, keeping damage byte-deterministic.
+    """
+
+    kind: str
+    #: Index into the sorted physical tables of the damaged index.
+    table: int = 0
+    #: How many items (``corrupt-item``) or hash-key partitions
+    #: (``drop-table-partition``) to damage.
+    count: int = 1
+
+
+@dataclass(frozen=True)
 class CrashSpec:
     """One scheduled whole-instance crash.
 
@@ -108,6 +133,7 @@ class FaultPlan:
         self.max_receive_count = max_receive_count
         self._specs: List[FaultSpec] = []
         self._crashes: List[CrashSpec] = []
+        self._damage: List[DamageSpec] = []
 
     # -- builders ----------------------------------------------------------
 
@@ -174,6 +200,27 @@ class FaultPlan:
                                        worker=worker))
         return self
 
+    def _add_damage(self, spec: DamageSpec) -> "FaultPlan":
+        if spec.kind not in DAMAGE_KINDS:
+            raise ConfigError("unknown damage kind {!r}".format(spec.kind))
+        if spec.table < 0:
+            raise ConfigError("damage table index must be non-negative")
+        if spec.count < 1:
+            raise ConfigError("damage count must be >= 1")
+        self._damage.append(spec)
+        return self
+
+    def corrupt_item(self, table: int = 0, count: int = 1) -> "FaultPlan":
+        """Bit-flip ``count`` stored items of one index table."""
+        return self._add_damage(DamageSpec(kind=KIND_CORRUPT_ITEM,
+                                           table=table, count=count))
+
+    def drop_table_partition(self, table: int = 0,
+                             count: int = 1) -> "FaultPlan":
+        """Silently lose ``count`` hash-key partitions of one table."""
+        return self._add_damage(DamageSpec(kind=KIND_DROP_PARTITION,
+                                           table=table, count=count))
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -185,6 +232,11 @@ class FaultPlan:
     def crashes(self) -> List[CrashSpec]:
         """All crash schedules, in insertion order."""
         return list(self._crashes)
+
+    @property
+    def damage(self) -> List[DamageSpec]:
+        """All stored-state damage rules, in insertion order."""
+        return list(self._damage)
 
     def specs_for(self, service: str) -> List[FaultSpec]:
         """Rules targeting ``service``."""

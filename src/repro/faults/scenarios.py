@@ -47,8 +47,12 @@ from repro.xmark.corpus import generate_corpus
 #: Logical index content: logical table -> key -> uri -> payload values.
 IndexSnapshot = Dict[str, Dict[str, Dict[str, FrozenSet[Any]]]]
 
-#: Names of the canned scenarios, in presentation order.
-SCENARIO_NAMES = ("loader-crash", "throttle-storm", "flaky-network")
+#: Names of the canned scenarios, in presentation order.  The first
+#: three compare a fault-free and a faulty run of the same pipeline;
+#: ``scrub-repair`` damages a committed index at rest and exercises
+#: detection, degraded querying, and targeted repair.
+SCENARIO_NAMES = ("loader-crash", "throttle-storm", "flaky-network",
+                  "scrub-repair")
 
 
 @dataclass(frozen=True)
@@ -235,6 +239,8 @@ def index_snapshot(warehouse: Warehouse, built) -> IndexSnapshot:
             for item in cloud.dynamodb.table(physical).all_items():
                 per_key = flat.setdefault(item.hash_key, {})
                 for raw_uri, values in item.attributes.items():
+                    if raw_uri.startswith("#"):
+                        continue  # bookkeeping attrs (e.g. checksums)
                     base_uri = raw_uri.split("#", 1)[0]
                     per_key.setdefault(base_uri, set()).update(values)
         else:
@@ -339,6 +345,10 @@ def run_scenario(name: str, documents: int = 16, seed: int = 7,
     is the fault plan (and, for ``throttle-storm``, DynamoDB's throttle
     mode).  Everything is deterministic in ``seed``.
     """
+    if name == "scrub-repair":
+        raise ConfigError(
+            "scrub-repair is a damage scenario; run it with "
+            "run_scrub_repair_scenario()")
     try:
         spec = SCENARIOS[name]
     except KeyError:
@@ -358,3 +368,216 @@ def run_scenario(name: str, documents: int = 16, seed: int = 7,
         name=name, description=spec.description, seed=seed,
         documents=documents, queries=tuple(queries),
         baseline=baseline, chaos=chaos, cost_bound=cost_bound)
+
+
+# ---------------------------------------------------------------------------
+# The scrub-repair scenario: damage at rest, degradation, targeted repair
+# ---------------------------------------------------------------------------
+
+
+def physical_snapshot(warehouse: Warehouse, built) -> Dict[str, Any]:
+    """Byte-level content of an index's tables (order-insensitive).
+
+    Content-addressed items make repair *physically* idempotent, so the
+    scrub-repair invariant is stronger than the logical one: a repaired
+    table equals the undamaged table item-for-item, checksums included.
+    """
+    cloud = warehouse.cloud
+    snapshot: Dict[str, Any] = {}
+    for logical in sorted(built.table_names):
+        physical = built.table_names[logical]
+        snapshot[logical] = sorted(
+            (item.hash_key, item.range_key,
+             tuple(sorted((name, tuple(values))
+                          for name, values in item.attributes.items())))
+            for item in cloud.dynamodb.table(physical).all_items())
+    return snapshot
+
+
+@dataclass
+class ScrubScenarioReport:
+    """Verdict of one scrub-repair scenario run."""
+
+    seed: int
+    documents: int
+    strategy: str
+    fallback_strategy: str
+    queries: Tuple[str, ...]
+    #: Trail of the damage the corruption monkey actually applied.
+    damage_applied: List[str]
+    corrupt_items: int
+    dropped_partitions: int
+    #: Detect-only scrub over the damaged index.
+    pre_scrub: Any
+    #: The repairing scrub.
+    repair_scrub: Any
+    #: Detect-only scrub after repair (must be clean).
+    verify_scrub: Any
+    baseline_answers: List[QueryAnswer]
+    degraded_answers: List[QueryAnswer]
+    repaired_answers: List[QueryAnswer]
+    #: Downgrade counts from the health registry after the degraded run.
+    downgrades: Dict[str, int]
+    #: Whether the repaired tables equal the pre-damage tables byte-wise.
+    snapshot_identical: bool
+    #: Priced cost of all scrub work (detection + repair traffic).
+    scrub_cost: CostBreakdown
+    name: str = "scrub-repair"
+
+    @property
+    def damage_detected(self) -> bool:
+        """Every injected corruption surfaced in the detect scrub."""
+        checksum_ok = (self.pre_scrub.checksum_failures
+                       >= self.corrupt_items)
+        partitions_ok = (self.dropped_partitions == 0
+                         or self.pre_scrub.missing_entries > 0)
+        return (bool(self.damage_applied) and checksum_ok
+                and partitions_ok)
+
+    @property
+    def degraded_answers_match(self) -> bool:
+        """Damaged-index queries still answered correctly (degraded)."""
+        return self.degraded_answers == self.baseline_answers
+
+    @property
+    def degradation_used(self) -> bool:
+        """The degraded run actually fell back (else it proved nothing)."""
+        return sum(self.downgrades.values()) > 0
+
+    @property
+    def repaired_clean(self) -> bool:
+        """Post-repair verification scrub found nothing wrong."""
+        return self.repair_scrub.repaired and self.verify_scrub.clean
+
+    @property
+    def repaired_answers_match(self) -> bool:
+        """Post-repair queries equal the clean baseline."""
+        return self.repaired_answers == self.baseline_answers
+
+    @property
+    def invariant_holds(self) -> bool:
+        """All scrub-repair invariants at once."""
+        return (self.damage_detected and self.degraded_answers_match
+                and self.degradation_used and self.repaired_clean
+                and self.repaired_answers_match
+                and self.snapshot_identical)
+
+    def render(self) -> str:
+        """Human-readable scenario summary."""
+        check = {True: "PASS", False: "FAIL"}
+        lines = [
+            "Chaos scenario 'scrub-repair' (seed {}, {} documents, "
+            "queries {})".format(self.seed, self.documents,
+                                 ",".join(self.queries)),
+            "  a committed {} index is damaged at rest; queries degrade "
+            "to {}; the scrubber repairs it".format(
+                self.strategy, self.fallback_strategy),
+            "  damage applied:",
+        ]
+        for entry in self.damage_applied:
+            lines.append("    {}".format(entry))
+        lines.append("  detect: {}".format(self.pre_scrub.summary_line()))
+        lines.append("  repair: {}".format(
+            self.repair_scrub.summary_line()))
+        lines.append("  verify: {}".format(
+            self.verify_scrub.summary_line()))
+        lines.append("  downgrades: {}".format(
+            ", ".join("{}={}".format(k, v)
+                      for k, v in sorted(self.downgrades.items()))
+            or "none"))
+        lines.append("  damage detected:        {}".format(
+            check[self.damage_detected]))
+        lines.append("  degraded answers match: {} (degradation used: {})"
+                     .format(check[self.degraded_answers_match],
+                             check[self.degradation_used]))
+        lines.append("  repaired clean:         {}".format(
+            check[self.repaired_clean]))
+        lines.append("  repaired answers match: {}".format(
+            check[self.repaired_answers_match]))
+        lines.append("  tables byte-identical:  {}".format(
+            check[self.snapshot_identical]))
+        lines.append("  scrub cost: ${:.6f}".format(self.scrub_cost.total))
+        lines.append("  verdict: {}".format(check[self.invariant_holds]))
+        return "\n".join(lines)
+
+
+def _workload_answers(warehouse: Warehouse, report) -> List[QueryAnswer]:
+    """Collect the externally observable answers of one workload run."""
+    return [QueryAnswer(name=execution.name,
+                        result_rows=execution.result_rows,
+                        result_bytes=execution.result_bytes,
+                        docs_with_results=execution.docs_with_results,
+                        payload=_result_payload(warehouse, execution))
+            for execution in report.executions]
+
+
+def run_scrub_repair_scenario(documents: int = 12, seed: int = 7,
+                              strategy: str = "2LUPI",
+                              fallback_strategy: str = "LU",
+                              queries: Tuple[str, ...] = ("q1", "q2"),
+                              instances: int = 2, batch_size: int = 4,
+                              corrupt_items: int = 2,
+                              dropped_partitions: int = 1,
+                              ) -> ScrubScenarioReport:
+    """One full damage → degrade → repair cycle on one cloud.
+
+    The pipeline: checkpointed builds of ``strategy`` (the primary) and
+    ``fallback_strategy``; a clean workload run fixes the baseline
+    answers; the corruption monkey applies the plan's damage to the
+    primary's tables; a detect-only scrub quarantines them; a degraded
+    workload answers through the fallback chain; a repairing scrub
+    restores the primary byte-identically; a final workload run checks
+    the repaired index answers like the clean one.  Deterministic in
+    ``seed``.
+    """
+    from repro.consistency import Manifest
+    from repro.faults.corruption import CorruptionMonkey
+
+    corpus = generate_corpus(ScaleProfile(documents=documents, seed=seed))
+    warehouse = Warehouse(CloudProvider())
+    warehouse.upload_corpus(corpus)
+    primary, record = warehouse.build_index_checkpointed(
+        strategy, instances=instances, batch_size=batch_size)
+    fallback, _ = warehouse.build_index_checkpointed(
+        fallback_strategy, instances=instances, batch_size=batch_size)
+    query_list = [workload_query(name) for name in queries]
+
+    before = physical_snapshot(warehouse, primary)
+    baseline = _workload_answers(warehouse, warehouse.run_workload(
+        query_list, primary, instances=1))
+
+    plan = (FaultPlan(seed=seed)
+            .corrupt_item(table=0, count=corrupt_items)
+            .drop_table_partition(table=len(primary.physical_tables) - 1,
+                                  count=dropped_partitions))
+    monkey = CorruptionMonkey(warehouse.cloud, seed=seed)
+    applied = monkey.damage_index(primary, plan.damage)
+
+    pre = warehouse.scrub_index(primary, record.name, record.epoch,
+                                repair=False)
+    degraded = _workload_answers(warehouse, warehouse.run_degraded_workload(
+        query_list, [primary, fallback], instances=1))
+    downgrades = dict(warehouse.health.downgrade_counts())
+
+    repair = warehouse.scrub_index(primary, record.name, record.epoch,
+                                   repair=True)
+    verify = warehouse.scrub_index(primary, record.name, record.epoch,
+                                   repair=False)
+    after = physical_snapshot(warehouse, primary)
+    repaired = _workload_answers(warehouse, warehouse.run_workload(
+        query_list, primary, instances=1))
+
+    from repro.costs.estimator import scrub_cost as _scrub_cost
+    return ScrubScenarioReport(
+        seed=seed, documents=documents, strategy=strategy,
+        fallback_strategy=fallback_strategy, queries=tuple(queries),
+        damage_applied=applied,
+        corrupt_items=sum(1 for entry in applied
+                          if entry.startswith("corrupt-item")),
+        dropped_partitions=sum(1 for entry in applied
+                               if entry.startswith("drop-table-partition")),
+        pre_scrub=pre, repair_scrub=repair, verify_scrub=verify,
+        baseline_answers=baseline, degraded_answers=degraded,
+        repaired_answers=repaired, downgrades=downgrades,
+        snapshot_identical=before == after,
+        scrub_cost=_scrub_cost(warehouse))

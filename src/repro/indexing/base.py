@@ -56,6 +56,10 @@ class IndexingStrategy(abc.ABC):
     name: str = ""
     #: Logical table names this strategy materialises.
     logical_tables: Tuple[str, ...] = ()
+    #: Position in the degradation chain 2LUPI → LUI/LUP → LU → S3 scan:
+    #: when a table is suspect the query processor falls back to the
+    #: healthy strategy with the highest rank below the current one.
+    fallback_rank: int = 0
 
     def __init__(self, include_words: bool = True) -> None:
         self.include_words = include_words

@@ -23,6 +23,7 @@ class LUStrategy(IndexingStrategy):
 
     name = "LU"
     logical_tables = ("lu",)
+    fallback_rank = 1
 
     def extract(self, document: Document) -> Dict[str, List[IndexEntry]]:
         """``I_LU(d)``: one presence entry per key (Table 2)."""

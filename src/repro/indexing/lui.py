@@ -26,6 +26,7 @@ class LUIStrategy(IndexingStrategy):
 
     name = "LUI"
     logical_tables = ("lui",)
+    fallback_rank = 2
 
     def extract(self, document: Document) -> Dict[str, List[IndexEntry]]:
         """``I_LUI(d)``: key -> URI + sorted IDs (Table 2)."""

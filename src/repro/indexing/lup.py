@@ -24,6 +24,7 @@ class LUPStrategy(IndexingStrategy):
 
     name = "LUP"
     logical_tables = ("lup",)
+    fallback_rank = 2
 
     def extract(self, document: Document) -> Dict[str, List[IndexEntry]]:
         """``I_LUP(d)``: key -> URI + label paths (Table 2)."""

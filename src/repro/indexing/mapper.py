@@ -36,7 +36,11 @@ from repro.cloud.dynamodb import (BATCH_GET_LIMIT, BATCH_PUT_LIMIT, DynamoDB,
 from repro.cloud.simpledb import (MAX_ATTRIBUTES_PER_ITEM, MAX_VALUE_BYTES,
                                   SimpleDB, SimpleDBItem)
 from repro.cloud.simpledb import BATCH_PUT_LIMIT as SDB_BATCH_PUT_LIMIT
-from repro.errors import IndexingError
+from repro.errors import IndexingError, IntegrityError
+from repro.indexing.checksums import (CHECKSUM_ATTR, META_ATTR_PREFIX,
+                                      batch_content_hash,
+                                      canonical_item_bytes,
+                                      content_range_key, item_checksum)
 from repro.indexing.entries import IndexEntry
 from repro.xmldb.encoding import decode_ids, decode_ids_text, encode_ids
 from repro.xmldb.ids import NodeID
@@ -122,6 +126,24 @@ def _encode_payload(entry: IndexEntry) -> Tuple[Any, ...]:
     return ()
 
 
+def batch_entries_hash(extracted: Mapping[str, Sequence[IndexEntry]]) -> str:
+    """Content hash of one loader batch's extracted entries.
+
+    Hashes the encoded payloads (what actually lands in the store), per
+    logical table in sorted order — the value the batch ledger records.
+    Extraction is deterministic, so a redelivered batch always hashes
+    identically; a mismatch in the ledger means a determinism bug, not
+    a fault.
+    """
+    forms = []
+    for logical_table in sorted(extracted):
+        prefix = logical_table.encode("utf-8") + b"\x00"
+        for entry in extracted[logical_table]:
+            forms.append(prefix + canonical_item_bytes(
+                entry.key, {entry.uri: _encode_payload(entry)}))
+    return batch_content_hash(forms)
+
+
 def _split_ids(ids: Sequence[NodeID], parts: int) -> List[List[NodeID]]:
     size = max(1, (len(ids) + parts - 1) // parts)
     return [list(ids[i:i + size]) for i in range(0, len(ids), size)]
@@ -133,18 +155,35 @@ class DynamoIndexStore(IndexStore):
     backend_name = "dynamodb"
 
     def __init__(self, dynamodb: DynamoDB, seed: int = 0,
-                 range_key_mode: str = "uuid") -> None:
-        if range_key_mode not in ("uuid", "attribute"):
+                 range_key_mode: str = "uuid",
+                 verify_reads: bool = False) -> None:
+        if range_key_mode not in ("uuid", "attribute", "content"):
             raise IndexingError(
-                "range_key_mode must be 'uuid' or 'attribute', got {!r}"
-                .format(range_key_mode))
+                "range_key_mode must be 'uuid', 'attribute' or 'content', "
+                "got {!r}".format(range_key_mode))
         self._db = dynamodb
         self._rng = random.Random(seed)
         self.range_key_mode = range_key_mode
+        self.verify_reads = verify_reads
 
     def _uuid(self) -> str:
         """A UUID range key ([20]); seeded for reproducible runs."""
         return str(uuid.UUID(int=self._rng.getrandbits(128), version=4))
+
+    def _finish_item(self, hash_key: str,
+                     attrs: Dict[str, Tuple[Any, ...]]) -> DynamoItem:
+        """Close an item under the mode's range-key discipline.
+
+        ``uuid`` draws a fresh random key (§6); ``content`` derives the
+        key from the content and stamps the checksum attribute, making
+        the write idempotent and scrub-verifiable.
+        """
+        if self.range_key_mode == "content":
+            attrs = dict(attrs)
+            attrs[CHECKSUM_ATTR] = (item_checksum(hash_key, attrs),)
+            return DynamoItem(hash_key, content_range_key(hash_key, attrs),
+                              attrs)
+        return DynamoItem(hash_key, self._uuid(), dict(attrs))
 
     def create_table(self, physical_name: str) -> None:
         """Create the physical table/domain."""
@@ -158,20 +197,21 @@ class DynamoIndexStore(IndexStore):
         attr_bytes = sum(len(v) if isinstance(v, bytes)
                          else len(v.encode("utf-8")) for v in values)
         if attr_bytes <= _ITEM_BUDGET:
-            range_key = (self._uuid() if self.range_key_mode == "uuid"
-                         else entry.uri)
-            return [DynamoItem(hash_key=entry.key, range_key=range_key,
-                               attributes={entry.uri: values})]
+            if self.range_key_mode == "attribute":
+                return [DynamoItem(hash_key=entry.key, range_key=entry.uri,
+                                   attributes={entry.uri: values})]
+            return [self._finish_item(entry.key, {entry.uri: values})]
         # Oversized payload: split across items.
         items: List[DynamoItem] = []
         if entry.kind == "ids":
             parts = attr_bytes // _ITEM_BUDGET + 1
             for index, chunk in enumerate(_split_ids(entry.ids, parts)):
-                range_key = (self._uuid() if self.range_key_mode == "uuid"
-                             else "{}#{}".format(entry.uri, index))
-                items.append(DynamoItem(
-                    hash_key=entry.key, range_key=range_key,
-                    attributes={entry.uri: (encode_ids(chunk),)}))
+                attrs = {entry.uri: (encode_ids(chunk),)}
+                if self.range_key_mode == "attribute":
+                    items.append(DynamoItem(
+                        entry.key, "{}#{}".format(entry.uri, index), attrs))
+                else:
+                    items.append(self._finish_item(entry.key, attrs))
         else:  # paths
             chunk: List[str] = []
             size = 0
@@ -179,19 +219,24 @@ class DynamoIndexStore(IndexStore):
             for path in entry.paths:
                 path_bytes = len(path.encode("utf-8"))
                 if chunk and size + path_bytes > _ITEM_BUDGET:
-                    range_key = (self._uuid() if self.range_key_mode == "uuid"
-                                 else "{}#{}".format(entry.uri, index))
-                    items.append(DynamoItem(entry.key, range_key,
-                                            {entry.uri: tuple(chunk)}))
+                    attrs = {entry.uri: tuple(chunk)}
+                    if self.range_key_mode == "attribute":
+                        items.append(DynamoItem(
+                            entry.key, "{}#{}".format(entry.uri, index),
+                            attrs))
+                    else:
+                        items.append(self._finish_item(entry.key, attrs))
                     chunk, size = [], 0
                     index += 1
                 chunk.append(path)
                 size += path_bytes
             if chunk:
-                range_key = (self._uuid() if self.range_key_mode == "uuid"
-                             else "{}#{}".format(entry.uri, index))
-                items.append(DynamoItem(entry.key, range_key,
-                                        {entry.uri: tuple(chunk)}))
+                attrs = {entry.uri: tuple(chunk)}
+                if self.range_key_mode == "attribute":
+                    items.append(DynamoItem(
+                        entry.key, "{}#{}".format(entry.uri, index), attrs))
+                else:
+                    items.append(self._finish_item(entry.key, attrs))
         return items
 
     def _pack_items(self, entries: Sequence[IndexEntry]) -> List[DynamoItem]:
@@ -223,12 +268,12 @@ class DynamoIndexStore(IndexStore):
                     items.extend(self._entry_items(entry))
                     continue
                 if attrs and size + attr_bytes > _ITEM_BUDGET:
-                    items.append(DynamoItem(key, self._uuid(), dict(attrs)))
+                    items.append(self._finish_item(key, attrs))
                     attrs, size = {}, 0
                 attrs[entry.uri] = values
                 size += attr_bytes
             if attrs:
-                items.append(DynamoItem(key, self._uuid(), dict(attrs)))
+                items.append(self._finish_item(key, attrs))
         return items
 
     def write_entries(self, physical_name: str,
@@ -254,6 +299,8 @@ class DynamoIndexStore(IndexStore):
         merged: Dict[str, Payload] = {}
         for item in items:
             for raw_uri, values in item.attributes.items():
+                if raw_uri.startswith(META_ATTR_PREFIX):
+                    continue  # bookkeeping (checksums), not a URI
                 base_uri = raw_uri.split("#", 1)[0]
                 if kind == "presence":
                     merged[base_uri] = None
@@ -277,10 +324,27 @@ class DynamoIndexStore(IndexStore):
                 merged[base_uri] = sorted(set(ids), key=lambda nid: nid.pre)
         return merged
 
+    def _verify_items(self, physical_name: str,
+                      items: Sequence[DynamoItem]) -> None:
+        """Check stamped checksums; unstamped (legacy) items pass."""
+        for item in items:
+            stamped = item.attributes.get(CHECKSUM_ATTR)
+            if stamped is None:
+                continue
+            actual = item_checksum(item.hash_key, item.attributes)
+            if stamped[0] != actual:
+                raise IntegrityError(
+                    "checksum mismatch in {} at ({!r}, {!r}): "
+                    "stamped {} != computed {}".format(
+                        physical_name, item.hash_key, item.range_key,
+                        stamped[0], actual))
+
     def read_key(self, physical_name: str, key: str, kind: str,
                  ) -> Generator[Any, Any, Tuple[Dict[str, Payload], int]]:
         """(URI -> payload) map for one key, plus billable gets."""
         items = yield from self._db.get(physical_name, key)
+        if self.verify_reads:
+            self._verify_items(physical_name, items)
         return self._merge_items(items, kind), 1
 
     def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
@@ -295,6 +359,8 @@ class DynamoIndexStore(IndexStore):
             grouped = yield from self._db.batch_get(physical_name, chunk)
             gets += len(chunk)
             for chunk_key, items in grouped.items():
+                if self.verify_reads:
+                    self._verify_items(physical_name, items)
                 result[chunk_key] = self._merge_items(items, kind)
         return result, gets
 

@@ -28,6 +28,7 @@ class TwoLUPIStrategy(IndexingStrategy):
 
     name = "2LUPI"
     logical_tables = ("lup", "lui")
+    fallback_rank = 3
 
     def __init__(self, include_words: bool = True,
                  reduction_enabled: bool = True) -> None:

@@ -27,7 +27,8 @@ from repro.sim import Environment, Meter
 #: inspection and passes through unwrapped.
 DATA_OPERATIONS: Dict[str, tuple] = {
     "s3": ("put", "get", "head", "delete", "list_keys"),
-    "dynamodb": ("put", "batch_put", "get", "batch_get"),
+    "dynamodb": ("put", "batch_put", "get", "batch_get", "scan",
+                 "delete_item"),
     "simpledb": ("put", "batch_put", "get", "select_prefix"),
     "sqs": ("send", "receive", "receive_if_available", "delete", "renew"),
 }

@@ -27,9 +27,10 @@ from repro.config import MB, PerformanceProfile
 from repro.errors import ReceiptHandleInvalid
 from repro.indexing.base import ExtractionStats, IndexingStrategy
 from repro.indexing.entries import IndexEntry
-from repro.indexing.mapper import IndexStore, WriteStats
+from repro.indexing.mapper import IndexStore, WriteStats, batch_entries_hash
 from repro.warehouse.lease import LeaseKeeper
-from repro.warehouse.messages import LOADER_QUEUE, LoadRequest, StopWorker
+from repro.warehouse.messages import (LOADER_QUEUE, BatchLoadRequest,
+                                      LoadRequest, StopWorker)
 from repro.xmldb.parser import parse_document
 
 
@@ -39,6 +40,9 @@ class LoaderWorkerStats:
 
     documents: int = 0
     batches: int = 0
+    #: Checkpointed batches skipped because the ledger already had them
+    #: (redeliveries after a crash, or a resume racing stale messages).
+    skipped_batches: int = 0
     #: Wall (simulated) seconds spent in the extraction phase.
     extraction_s: float = 0.0
     #: Wall (simulated) seconds spent uploading to the index store.
@@ -73,7 +77,7 @@ class IndexerWorker:
     def __init__(self, cloud: CloudProvider, instance: Instance,
                  store: IndexStore, strategy: IndexingStrategy,
                  table_names: Dict[str, str], document_bucket: str,
-                 batch_size: int = 8) -> None:
+                 batch_size: int = 8, ledger: Optional[Any] = None) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self._cloud = cloud
@@ -83,6 +87,10 @@ class IndexerWorker:
         self._table_names = table_names
         self._bucket = document_bucket
         self._batch_size = batch_size
+        #: Batch ledger for checkpointed builds (duck-typed:
+        #: :class:`repro.consistency.ledger.BatchLedger`); None for
+        #: legacy builds, whose behaviour is unchanged.
+        self._ledger = ledger
         self.stats = LoaderWorkerStats()
 
     def _visibility_timeout(self) -> float:
@@ -101,6 +109,20 @@ class IndexerWorker:
                 return self.stats
             if self.stats.first_receive is None:
                 self.stats.first_receive = self._cloud.env.now
+            if isinstance(body, BatchLoadRequest):
+                # Checkpointed build: the batch composition was fixed at
+                # plan time, so there is no opportunistic fill — a
+                # redelivery must process exactly the same documents.
+                keeper = LeaseKeeper(self._cloud, LOADER_QUEUE,
+                                     self._visibility_timeout())
+                keeper.start([handle])
+                try:
+                    yield from self._process_fixed_batch(body)
+                finally:
+                    keeper.stop()
+                yield from self._delete_quietly(handle)
+                self.stats.last_delete = self._cloud.env.now
+                continue
             batch: List[Tuple[LoadRequest, str]] = [(body, handle)]
             # Opportunistically fill the batch without blocking.
             while len(batch) < self._batch_size:
@@ -145,8 +167,59 @@ class IndexerWorker:
 
     # -- batch processing -------------------------------------------------------
 
+    def _process_fixed_batch(self, request: BatchLoadRequest,
+                             ) -> Generator[Any, Any, None]:
+        """One checkpointed batch: ledger check → process → record.
+
+        The ledger entry is written *after* the upload and *before* the
+        caller deletes the SQS message.  Every crash window is safe:
+        before the entry exists a redelivery rewrites byte-identical
+        content-addressed items; after it exists the redelivery is
+        skipped here.
+        """
+        if self._ledger is not None:
+            applied = yield from self._ledger.lookup(request.batch_id)
+            if applied is not None:
+                self.stats.skipped_batches += 1
+                return
+        env = self._cloud.env
+        self.stats.batches += 1
+
+        # Extraction, as in _process_batch — but entries are assembled
+        # in *request order*, not task-completion order, so the batch's
+        # content (and therefore its items and its ledger hash) is
+        # identical no matter when or where it is (re)processed.
+        per_document: Dict[str, Dict[str, List[IndexEntry]]] = {}
+        phase_start = env.now
+        tasks = [env.process(self._extract_document(uri, per_document),
+                             name="extract-{}".format(uri))
+                 for uri in request.uris]
+        for task in tasks:
+            yield task
+        self.stats.extraction_s += env.now - phase_start
+        self.stats.documents += len(request.uris)
+        extracted: Dict[str, List[IndexEntry]] = {
+            table: [] for table in self._strategy.logical_tables}
+        for uri in request.uris:
+            for logical_table, entries in per_document[uri].items():
+                extracted[logical_table].extend(entries)
+
+        upload_start = env.now
+        for logical_table in self._strategy.logical_tables:
+            entries = extracted[logical_table]
+            if not entries:
+                continue
+            write_stats = yield from self._store.write_entries(
+                self._table_names[logical_table], entries)
+            self.stats.writes.merge(write_stats)
+        self.stats.upload_s += env.now - upload_start
+
+        if self._ledger is not None:
+            yield from self._ledger.record(request.batch_id,
+                                           batch_entries_hash(extracted))
+
     def _process_batch(self, requests: List[LoadRequest],
-                       ) -> Generator[Any, Any, None]:
+                       ) -> Generator[Any, Any, Dict[str, List[IndexEntry]]]:
         env = self._cloud.env
         self.stats.batches += 1
 
@@ -173,6 +246,7 @@ class IndexerWorker:
                 self._table_names[logical_table], entries)
             self.stats.writes.merge(write_stats)
         self.stats.upload_s += env.now - upload_start
+        return extracted
 
     def _extract_one(self, uri: str,
                      sink: Dict[str, List[IndexEntry]],
@@ -186,3 +260,17 @@ class IndexerWorker:
         self.stats.merge_extraction(stats)
         for logical_table, entries in by_table.items():
             sink[logical_table].extend(entries)
+
+    def _extract_document(self, uri: str,
+                          sink_by_uri: Dict[str, Dict[str, List[IndexEntry]]],
+                          ) -> Generator[Any, Any, None]:
+        """Like :meth:`_extract_one`, but keyed by URI so the caller can
+        assemble entries in a deterministic (request) order."""
+        data = yield from self._cloud.resilient.s3.get(self._bucket, uri)
+        document = parse_document(data, uri)
+        by_table = self._strategy.extract(document)
+        stats = ExtractionStats.of(by_table)
+        work = extraction_cpu_ecu_s(self._cloud.profile, len(data), stats)
+        yield from self._instance.run(work)
+        self.stats.merge_extraction(stats)
+        sink_by_uri[uri] = by_table

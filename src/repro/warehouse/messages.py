@@ -8,6 +8,7 @@ exactly as in the paper's architecture.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 #: Queue names used by the warehouse deployment.
 LOADER_QUEUE = "loader-requests"
@@ -20,6 +21,20 @@ class LoadRequest:
     """Step 3: "a message containing the reference to the document"."""
 
     uri: str
+
+
+@dataclass(frozen=True)
+class BatchLoadRequest:
+    """A fixed-composition loader batch (checkpointed builds).
+
+    Unlike :class:`LoadRequest`, the batch membership is decided at
+    *plan* time, so a redelivery after a crash carries exactly the same
+    documents — the precondition for the batch ledger's exactly-once
+    accounting and for byte-identical resumed builds.
+    """
+
+    batch_id: str
+    uris: Tuple[str, ...]
 
 
 @dataclass(frozen=True)

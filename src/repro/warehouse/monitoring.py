@@ -83,6 +83,13 @@ class ResourceReport:
     fault_counts: Dict[str, int] = field(default_factory=dict)
     #: service -> retried calls (empty without a retry layer engaged).
     retry_counts: Dict[str, int] = field(default_factory=dict)
+    #: Manifest records, "name e<epoch> <status>" (empty when the
+    #: deployment never ran a checkpointed build).
+    index_epochs: List[str] = field(default_factory=list)
+    #: physical table -> "suspect"/"missing" (healthy tables omitted).
+    table_health: Dict[str, str] = field(default_factory=dict)
+    #: Degraded-resolution use counts (strategy name or "s3-scan").
+    downgrades: Dict[str, int] = field(default_factory=dict)
 
     def store(self, name: str) -> ThroughputUtilization:
         """Look a store's utilisation up by name."""
@@ -131,6 +138,20 @@ class ResourceReport:
             for key in sorted(self.retry_counts):
                 lines.append("    {:<28} {}".format(
                     key, self.retry_counts[key]))
+        if self.index_epochs:
+            lines.append("  index epochs:")
+            for entry in self.index_epochs:
+                lines.append("    {}".format(entry))
+        if self.table_health:
+            lines.append("  table health:")
+            for table in sorted(self.table_health):
+                lines.append("    {:<28} {}".format(
+                    table, self.table_health[table]))
+        if self.downgrades:
+            lines.append("  query downgrades:")
+            for name in sorted(self.downgrades):
+                lines.append("    {:<28} {}".format(
+                    name, self.downgrades[name]))
         lines.append("  requests:")
         for key in sorted(self.request_counts):
             lines.append("    {:<28} {}".format(key,
@@ -182,4 +203,16 @@ def resource_report(warehouse) -> ResourceReport:
         report.fault_counts = cloud.faults.fault_counts()
     if cloud.resilient.client is not None:
         report.retry_counts = cloud.resilient.client.retry_counts()
+    # Consistency subsystem state, when the deployment has any: the
+    # manifest's epoch records and the health registry's findings.
+    from repro.consistency import Manifest
+    manifest = Manifest(cloud.dynamodb)
+    if manifest.exists:
+        report.index_epochs = [
+            "{} e{} {}".format(record.name, record.epoch, record.status)
+            for record in manifest.list_records()]
+    health = getattr(warehouse, "_health", None)
+    if health is not None:
+        report.table_health = health.suspect_tables()
+        report.downgrades = health.downgrade_counts()
     return report

@@ -62,6 +62,10 @@ class QueryWorkStats:
     rows_processed: int = 0
     result_rows: int = 0
     result_bytes: int = 0
+    #: How the look-up resolved: the strategy name (degraded chains
+    #: report the candidate actually used, or "s3-scan"/"mixed"),
+    #: "index" for a plain look-up, "none" for the no-index baseline.
+    index_mode: str = ""
 
     @property
     def processing_s(self) -> float:
@@ -163,10 +167,13 @@ class QueryWorker:
             yield from self._instance.run(
                 outcome.rows_processed * profile.plan_ecu_s_per_row)
             stats.lookup_plan_s = env.now - plan_start
+            stats.index_mode = getattr(self._lookup, "query_resolution",
+                                       "index") or "index"
         else:
             per_pattern_uris = [list(self._all_uris)
                                 for _ in query.patterns]
             stats.per_pattern_docs = [len(u) for u in per_pattern_uris]
+            stats.index_mode = "none"
 
         # Steps 12-13: fetch candidate documents, evaluate per pattern.
         fetch_start = env.now

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Sequence, Union
+from typing import (Any, Dict, Generator, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.cloud.provider import CloudProvider
 from repro.cloud.sqs import RedrivePolicy
@@ -161,6 +162,10 @@ class QueryExecution:
     rows_processed: int
     #: Front-end query id (keys the stored result object).
     query_id: int = 0
+    #: How the look-up was resolved: a strategy name, "none" for the
+    #: no-index baseline, "s3-scan" for a fully degraded query, or
+    #: "mixed" when patterns of one query fell back differently.
+    index_mode: str = ""
 
 
 @dataclass
@@ -214,6 +219,9 @@ class Warehouse:
         self.corpus: Optional[Corpus] = None
         self._all_uris: List[str] = []
         self._build_ids = itertools.count(1)
+        #: Table-health registry shared by scrubs and degraded look-ups;
+        #: created on first use (see :attr:`health`).
+        self._health: Optional[Any] = None
         #: Shared host-side parse cache for query workers (see
         #: QueryWorker.parsed_documents: simulated CPU is unaffected).
         self._parse_cache: Dict[str, Any] = {}
@@ -519,16 +527,308 @@ class Warehouse:
                 self.cloud.simpledb.delete_domain(physical)
         return freed
 
-    def _make_store(self, backend: str, seed: int) -> IndexStore:
+    def _make_store(self, backend: str, seed: int,
+                    range_key_mode: str = "uuid") -> IndexStore:
         # Stores talk to the resilient facade: the raw service on a
         # fault-free cloud, the retry/breaker proxy under chaos.
         if backend == "dynamodb":
-            return DynamoIndexStore(self.cloud.resilient.dynamodb, seed=seed)
+            return DynamoIndexStore(self.cloud.resilient.dynamodb, seed=seed,
+                                    range_key_mode=range_key_mode)
         if backend == "simpledb":
+            if range_key_mode != "uuid":
+                raise WarehouseError(
+                    "checkpointed builds need content-addressed items; "
+                    "the simpledb backend does not support them")
             return SimpleDBIndexStore(self.cloud.resilient.simpledb,
                                       seed=seed)
         raise WarehouseError(
             "unknown index backend {!r} (dynamodb or simpledb)".format(backend))
+
+    # -- crash-consistent builds (repro.consistency) -----------------------------
+
+    @property
+    def health(self) -> Any:
+        """Table-health registry shared by scrubs and degraded look-ups.
+
+        Created lazily so deployments that never scrub or degrade carry
+        no trace of the consistency subsystem.
+        """
+        if self._health is None:
+            from repro.consistency import HealthRegistry
+            self._health = HealthRegistry()
+        return self._health
+
+    def plan_build(self, strategy: Union[str, IndexingStrategy],
+                   name: Optional[str] = None, instances: int = 8,
+                   instance_type: str = "l", batch_size: int = 8,
+                   include_words: bool = True) -> Any:
+        """Plan a checkpointed build of the next epoch of ``name``.
+
+        The corpus is partitioned into fixed-composition batches *now*,
+        and the target epoch is one past the currently committed epoch
+        (1 for a first build) — the physical tables and ledger table are
+        epoch-scoped, so a rebuild never touches the committed index.
+        """
+        from repro.consistency import Manifest
+        from repro.consistency.build import BuildPlan, partition_batches
+        if self.corpus is None:
+            raise WarehouseError(
+                "upload_corpus() must run before plan_build()")
+        if isinstance(strategy, str):
+            strategy = strategy_by_name(strategy, include_words=include_words)
+        name = name or strategy.name
+        manifest = Manifest(self.cloud.resilient.dynamodb)
+        previous = None
+        if manifest.exists:
+            def probe() -> Generator[Any, Any, Any]:
+                record = yield from manifest.committed(name)
+                return record
+            with self.cloud.meter.tagged("index-plan:{}".format(name)):
+                previous = self.cloud.env.run_process(
+                    probe(), name="plan-{}".format(name))
+        epoch = previous.epoch + 1 if previous is not None else 1
+        slug = name.lower()
+        return BuildPlan(
+            name=name, strategy=strategy, epoch=epoch,
+            batch_size=batch_size,
+            batches=partition_batches(name, epoch, self._all_uris,
+                                      batch_size),
+            table_names={
+                logical: "idx-{}-{}-e{}".format(slug, logical, epoch)
+                for logical in strategy.logical_tables},
+            ledger_table="ldg-{}-e{}".format(slug, epoch),
+            instances=instances, instance_type=instance_type)
+
+    def run_build(self, plan: Any, interrupt_after_s: Optional[float] = None,
+                  purge_stale: bool = False,
+                  tag: Optional[str] = None) -> Any:
+        """Run (or re-run) a checkpointed plan's missing batches.
+
+        ``interrupt_after_s`` crashes the whole fleet that many
+        simulated seconds after it starts — the crash-consistency test
+        hook; the run then returns with ``interrupted=True`` and
+        whatever the ledger managed to record.  ``purge_stale`` drops
+        pre-crash queue deliveries first (a resume must not race them).
+        """
+        from repro.consistency.build import BuildCoordinator, BuildRunResult
+        tag = tag or plan.tag or "index-build:{}:e{}".format(
+            plan.name, plan.epoch)
+        coordinator = BuildCoordinator(self.cloud, plan)
+        store = self._make_store("dynamodb", seed=plan.epoch,
+                                 range_key_mode="content")
+        fleet = self.cloud.ec2.launch_fleet(plan.instance_type,
+                                            plan.instances)
+        workers = [IndexerWorker(self.cloud, instance, store, plan.strategy,
+                                 plan.table_names, DOCUMENT_BUCKET,
+                                 batch_size=plan.batch_size,
+                                 ledger=coordinator.ledger)
+                   for instance in fleet]
+        interrupted = [False]
+        counters = {"enqueued": 0, "applied": 0}
+
+        def driver() -> Generator[Any, Any, List[LoaderWorkerStats]]:
+            env = self.cloud.env
+            yield from coordinator.prepare(store)
+            if purge_stale:
+                yield from coordinator.purge_loader_queue()
+            missing = yield from coordinator.missing_batches()
+            counters["enqueued"] = yield from coordinator.enqueue(missing)
+            procs = [env.process(worker.run(),
+                                 name="ckpt-loader-{}".format(i))
+                     for i, worker in enumerate(workers)]
+
+            def bomb() -> Generator[Any, Any, None]:
+                yield env.timeout(interrupt_after_s)
+                alive = [i for i, proc in enumerate(procs) if proc.is_alive]
+                if not alive:
+                    return  # the build already finished
+                interrupted[0] = True
+                for i in alive:
+                    if fleet[i].running:
+                        self.cloud.ec2.crash(fleet[i])
+                    procs[i].interrupt(
+                        InstanceCrashed(fleet[i].instance_id))
+
+            if interrupt_after_s is not None:
+                env.process(bomb(), name="build-interrupt")
+            while (not interrupted[0]
+                   and (self.cloud.sqs.approximate_depth(LOADER_QUEUE)
+                        + self.cloud.sqs.in_flight_count(LOADER_QUEUE)) > 0):
+                yield env.timeout(DRAIN_POLL_INTERVAL_S)
+            if not interrupted[0]:
+                pills = sum(1 for proc in procs if proc.is_alive)
+                for _ in range(pills):
+                    yield from self.cloud.resilient.sqs.send(
+                        LOADER_QUEUE, StopWorker())
+            results: List[LoaderWorkerStats] = []
+            for proc in procs:
+                try:
+                    results.append((yield proc))
+                except InstanceCrashed:
+                    pass  # the ledger remembers what it finished
+            counters["applied"] = yield from coordinator.applied_count()
+            return results
+
+        started_at = self.cloud.env.now
+        with self.cloud.meter.tagged(tag):
+            self.cloud.env.run_process(
+                driver(), name="ckpt-build-{}".format(plan.name))
+        stats = [worker.stats for worker in workers]
+        self.cloud.ec2.stop_all()
+        self.phases.append(PhaseRecord(
+            tag=tag, instance_type=plan.instance_type,
+            instances=plan.instances, started_at=started_at,
+            ended_at=self.cloud.env.now))
+        return BuildRunResult(
+            plan=plan, interrupted=interrupted[0],
+            enqueued=counters["enqueued"],
+            applied_batches=counters["applied"],
+            skipped_batches=sum(s.skipped_batches for s in stats),
+            worker_stats=stats, store=store)
+
+    def commit_build(self, plan: Any, tag: Optional[str] = None) -> Any:
+        """Commit a fully-applied plan: inventories + atomic epoch flip."""
+        from repro.consistency.build import BuildCoordinator
+        tag = tag or "index-commit:{}:e{}".format(plan.name, plan.epoch)
+        coordinator = BuildCoordinator(self.cloud, plan)
+        with self.cloud.meter.tagged(tag):
+            record = self.cloud.env.run_process(
+                coordinator.commit(), name="commit-{}".format(plan.name))
+        return record
+
+    def resume_build(self, plan: Any,
+                     interrupt_after_s: Optional[float] = None,
+                     tag: Optional[str] = None) -> Tuple[Any, Any]:
+        """Resume an interrupted plan and commit once it is complete.
+
+        Purges stale queue deliveries, re-enqueues only the batches the
+        ledger is missing, and — if the run completes the ledger — flips
+        the manifest.  Returns ``(run_result, committed_record_or_None)``.
+        """
+        result = self.run_build(plan, interrupt_after_s=interrupt_after_s,
+                                purge_stale=True, tag=tag)
+        record = None
+        if result.complete:
+            record = self.commit_build(plan)
+            result.committed = True
+        return result, record
+
+    def built_index_from(self, plan: Any, result: Any) -> BuiltIndex:
+        """Wrap a completed checkpointed run into a ``BuiltIndex`` handle.
+
+        The report aggregates the *final* run's worker stats (a resumed
+        build's earlier attempts are separate phases with their own
+        metering), so byte totals are authoritative while timing covers
+        the run that finished the job.
+        """
+        stats: List[LoaderWorkerStats] = list(result.worker_stats)
+        phase = self.phases[-1] if self.phases else None
+        active = [s for s in stats if s.documents]
+        first_receive = min((s.first_receive for s in active
+                             if s.first_receive is not None), default=0.0)
+        last_delete = max((s.last_delete for s in active),
+                          default=first_receive)
+        store = result.store
+        physical = [plan.table_names[t]
+                    for t in plan.strategy.logical_tables]
+        report = IndexBuildReport(
+            strategy_name=plan.strategy.name,
+            include_words=plan.strategy.include_words,
+            tag=phase.tag if phase else "",
+            instance_type=plan.instance_type,
+            instances=plan.instances,
+            documents=sum(s.documents for s in stats),
+            total_s=last_delete - first_receive,
+            avg_extraction_s=(sum(s.extraction_s for s in active)
+                              / len(active)) if active else 0.0,
+            avg_upload_s=(sum(s.upload_s for s in active)
+                          / len(active)) if active else 0.0,
+            puts=sum(s.writes.puts for s in stats),
+            items=sum(s.writes.items for s in stats),
+            batches=sum(s.writes.batches for s in stats),
+            entries=sum(s.extraction.entries for s in stats),
+            ids=sum(s.extraction.ids for s in stats),
+            paths=sum(s.extraction.paths for s in stats),
+            raw_bytes=store.raw_bytes(physical),
+            overhead_bytes=store.overhead_bytes(physical),
+            stored_bytes=store.stored_bytes(physical),
+            vm_hours=phase.vm_hours if phase else 0.0,
+        )
+        return BuiltIndex(strategy=plan.strategy, store=store,
+                          table_names=dict(plan.table_names), report=report)
+
+    def build_index_checkpointed(self, strategy: Union[str, IndexingStrategy],
+                                 name: Optional[str] = None,
+                                 instances: int = 8, instance_type: str = "l",
+                                 batch_size: int = 8,
+                                 include_words: bool = True,
+                                 tag: Optional[str] = None,
+                                 ) -> Tuple[BuiltIndex, Any]:
+        """One-call checkpointed build: plan → run → commit.
+
+        Returns the ``BuiltIndex`` handle plus the committed
+        :class:`~repro.consistency.manifest.EpochRecord`.
+        """
+        plan = self.plan_build(strategy, name=name, instances=instances,
+                               instance_type=instance_type,
+                               batch_size=batch_size,
+                               include_words=include_words)
+        result = self.run_build(plan, tag=tag)
+        if not result.complete:
+            raise WarehouseError(
+                "checkpointed build of {} stopped incomplete: "
+                "{}/{} batches applied".format(
+                    plan.name, result.applied_batches, len(plan.batches)))
+        record = self.commit_build(plan)
+        result.committed = True
+        return self.built_index_from(plan, result), record
+
+    def scrub_index(self, built: BuiltIndex, name: str, epoch: int,
+                    repair: bool = True, tag: Optional[str] = None) -> Any:
+        """Scrub (and optionally repair) one committed index epoch."""
+        from repro.consistency import Manifest, Scrubber
+        from repro.consistency.build import partition_batches
+        tag = tag or "scrub:{}:e{}".format(name, epoch)
+        # Reconstruct the epoch's batch partition (meter-free manifest
+        # peek) so repairs merge multi-document items like the build did.
+        batch_groups = None
+        for record in Manifest(self.cloud.resilient.dynamodb).list_records():
+            if (record.name == name and record.epoch == epoch
+                    and record.batch_size > 0):
+                batch_groups = [
+                    batch.uris for batch in partition_batches(
+                        name, epoch, self._all_uris, record.batch_size)]
+                break
+        scrubber = Scrubber(self.cloud, built.store, built.strategy,
+                            built.table_names, name, epoch,
+                            DOCUMENT_BUCKET, health=self.health,
+                            batch_groups=batch_groups)
+        with self.cloud.meter.tagged(tag):
+            report = self.cloud.env.run_process(
+                scrubber.scrub(repair=repair),
+                name="scrub-{}".format(name))
+        return report
+
+    def run_degraded_workload(self, queries: Sequence[Query],
+                              indexes: Sequence[BuiltIndex],
+                              instances: int = 1, instance_type: str = "xl",
+                              repeats: int = 1, pipeline: bool = False,
+                              tag: Optional[str] = None) -> WorkloadReport:
+        """Run a workload over a graceful-degradation chain of indexes.
+
+        The chain tries the highest-ranked healthy candidate per
+        pattern, falls through damaged ones, and lands on a full S3
+        scan when nothing is usable; every downgrade is metered.
+        """
+        from repro.consistency import DegradedIndexChain
+        chain = DegradedIndexChain(self.cloud, list(indexes),
+                                   self._all_uris, health=self.health)
+        tag = tag or "workload:degraded:{}x{}".format(
+            instances, instance_type)
+        return self.run_workload(queries, chain, instances=instances,
+                                 instance_type=instance_type,
+                                 repeats=repeats, pipeline=pipeline,
+                                 tag=tag)
 
     # -- querying ----------------------------------------------------------------------
 
@@ -637,6 +937,7 @@ class Warehouse:
                 index_gets=work.index_gets,
                 rows_processed=work.rows_processed,
                 query_id=query_id,
+                index_mode=work.index_mode,
             ))
         makespan = (max(fetched.values()) - min(submitted.values())
                     if fetched else 0.0)

@@ -17,6 +17,19 @@ from repro.xmark import generate_corpus
 from repro.xmldb.model import Document, Element, Text, assign_identifiers
 
 
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print per-marker test counts so tier-1 runs show suite coverage."""
+    counts = {"chaos": 0, "scrub": 0}
+    for report in terminalreporter.getreports("passed"):
+        keywords = getattr(report, "keywords", {})
+        for marker in counts:
+            if marker in keywords:
+                counts[marker] += 1
+    line = ", ".join("{}={}".format(marker, counts[marker])
+                     for marker in sorted(counts))
+    terminalreporter.write_line("marker counts: {}".format(line))
+
+
 @pytest.fixture
 def env():
     """A fresh simulation environment."""

@@ -1,0 +1,80 @@
+"""Unit tests for the epoch manifest and its commit protocol."""
+
+import pytest
+
+from repro.consistency import MANIFEST_TABLE, EpochRecord, Manifest
+from repro.errors import BuildStateError
+
+
+def make_record(epoch=1, status="pending", digest=""):
+    return EpochRecord(
+        name="LUP", epoch=epoch, status=status, strategy="LUP",
+        tables={"lu": "idx-lup-lu-e{}".format(epoch),
+                "lup": "idx-lup-lup-e{}".format(epoch)},
+        ledger_table="ldg-lup-e{}".format(epoch),
+        batches=4, digest=digest)
+
+
+def run(cloud, gen):
+    return cloud.env.run_process(gen, name="manifest-test")
+
+
+@pytest.mark.scrub
+class TestManifest:
+    def test_lazy_table_creation(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        assert not manifest.exists
+        assert MANIFEST_TABLE not in cloud.dynamodb.table_names()
+        # Reads against a missing manifest are None, not errors.
+        assert run(cloud, manifest.committed("LUP")) is None
+        assert run(cloud, manifest.pending("LUP")) is None
+        assert manifest.list_records() == []
+
+    def test_pending_lifecycle(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        run(cloud, manifest.put_pending(make_record()))
+        pending = run(cloud, manifest.pending("LUP"))
+        assert pending is not None
+        assert pending.status == "pending"
+        assert pending.epoch == 1
+        assert run(cloud, manifest.committed("LUP")) is None
+        run(cloud, manifest.clear_pending("LUP"))
+        assert run(cloud, manifest.pending("LUP")) is None
+
+    def test_first_commit_expects_no_epoch(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        committed = run(cloud, manifest.commit(
+            make_record(digest="abc"), expected_epoch=None))
+        assert committed.status == "committed"
+        stored = run(cloud, manifest.committed("LUP"))
+        assert stored == committed
+        assert stored.digest == "abc"
+        assert stored.tables == {"lu": "idx-lup-lu-e1",
+                                 "lup": "idx-lup-lup-e1"}
+
+    def test_flip_advances_epoch(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        run(cloud, manifest.commit(make_record(epoch=1), None))
+        run(cloud, manifest.commit(make_record(epoch=2), 1))
+        assert run(cloud, manifest.committed("LUP")).epoch == 2
+
+    def test_losing_the_flip_race_raises(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        run(cloud, manifest.commit(make_record(epoch=1), None))
+        # A second committer still believing in "no committed epoch"
+        # must not clobber epoch 1.
+        with pytest.raises(BuildStateError):
+            run(cloud, manifest.commit(make_record(epoch=2), None))
+        # Nor may a committer expecting a stale epoch.
+        run(cloud, manifest.commit(make_record(epoch=2), 1))
+        with pytest.raises(BuildStateError):
+            run(cloud, manifest.commit(make_record(epoch=3), 1))
+        assert run(cloud, manifest.committed("LUP")).epoch == 2
+
+    def test_list_records_folds_pending_suffix(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        run(cloud, manifest.commit(make_record(epoch=1), None))
+        run(cloud, manifest.put_pending(make_record(epoch=2)))
+        records = {(r.name, r.epoch, r.status)
+                   for r in manifest.list_records()}
+        assert records == {("LUP", 1, "committed"), ("LUP", 2, "pending")}

@@ -77,3 +77,20 @@ def test_known_constants_cover_the_cloud():
     assert set(FAULT_SERVICES) == {"s3", "dynamodb", "simpledb", "sqs",
                                    "ec2"}
     assert "loader" in CRASH_ROLES
+
+
+def test_damage_builders():
+    plan = (FaultPlan(seed=3)
+            .corrupt_item(table=0, count=2)
+            .drop_table_partition(table=1))
+    kinds = [spec.kind for spec in plan.damage]
+    assert kinds == ["corrupt-item", "drop-table-partition"]
+    assert plan.damage[0].count == 2
+    assert plan.damage[1].table == 1
+
+
+def test_damage_validation():
+    with pytest.raises(ConfigError):
+        FaultPlan().corrupt_item(table=-1)
+    with pytest.raises(ConfigError):
+        FaultPlan().drop_table_partition(count=0)

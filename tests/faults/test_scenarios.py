@@ -88,3 +88,27 @@ def test_same_fault_seed_gives_identical_meter_records():
     time), and a different seed does not."""
     assert _chaotic_meter_records(42) == _chaotic_meter_records(42)
     assert _chaotic_meter_records(42) != _chaotic_meter_records(43)
+
+
+def test_scrub_repair_requires_its_own_entry_point():
+    with pytest.raises(ConfigError):
+        run_scenario("scrub-repair")
+
+
+@pytest.mark.chaos
+@pytest.mark.scrub
+def test_scrub_repair_scenario_heals_damage_at_rest():
+    from repro.faults.scenarios import run_scrub_repair_scenario
+    report = run_scrub_repair_scenario(documents=DOCUMENTS, seed=7)
+    assert report.invariant_holds, report.render()
+    # Every injected corruption was found...
+    assert report.pre_scrub.checksum_failures >= report.corrupt_items
+    assert report.pre_scrub.missing_entries > 0
+    # ...queries over the damaged index degraded but stayed correct...
+    assert report.degraded_answers == report.baseline_answers
+    assert sum(report.downgrades.values()) > 0
+    # ...and repair restored the tables byte-for-byte.
+    assert report.verify_scrub.clean
+    assert report.snapshot_identical
+    assert report.repaired_answers == report.baseline_answers
+    assert report.scrub_cost.total > 0.0

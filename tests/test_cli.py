@@ -73,3 +73,50 @@ def test_prices_provider_choice(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+@pytest.mark.scrub
+def test_scrub_command_clean_index(capsys):
+    assert main(["scrub", "--documents", "12", "--seed", "7",
+                 "--strategy", "LUP", "--instances", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "built LUP epoch 1" in out
+    assert "status=clean" in out
+    assert "epochs: LUP e1 committed" in out
+
+
+@pytest.mark.scrub
+def test_scrub_command_repairs_damage(capsys):
+    assert main(["scrub", "--documents", "12", "--seed", "7",
+                 "--strategy", "LU", "--instances", "2",
+                 "--damage", "corrupt-item,drop-table-partition"]) == 0
+    out = capsys.readouterr().out
+    assert "damaged: corrupt-item" in out
+    assert "damaged: drop-table-partition" in out
+    assert "status=repaired" in out
+    assert "status=clean" in out
+
+
+@pytest.mark.scrub
+def test_scrub_command_detect_only_reports_damage(capsys):
+    assert main(["scrub", "--documents", "12", "--seed", "7",
+                 "--strategy", "LU", "--instances", "2",
+                 "--damage", "corrupt-item", "--no-repair"]) == 1
+    out = capsys.readouterr().out
+    assert "status=damaged" in out
+
+
+def test_scrub_command_rejects_unknown_damage():
+    with pytest.raises(SystemExit):
+        main(["scrub", "--documents", "10", "--damage", "gamma-rays"])
+
+
+@pytest.mark.scrub
+def test_resume_command_recovers_interrupted_build(capsys):
+    assert main(["resume", "--documents", "12", "--seed", "7",
+                 "--strategy", "LUP", "--instances", "2",
+                 "--batch-size", "2", "--interrupt-after", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "interrupted=True" in out
+    assert "committed=True" in out
+    assert "committed epoch 1" in out
