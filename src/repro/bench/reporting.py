@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
@@ -48,6 +49,28 @@ def format_table(headers: Sequence[str],
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)
+
+
+class Reporter:
+    """Output helper every CLI subcommand routes its lines through.
+
+    ``sys.stdout`` is resolved at call time, not at construction, so a
+    harness that swaps the stream per invocation (pytest's ``capsys``,
+    ``contextlib.redirect_stdout``) captures every line.
+    """
+
+    def line(self, text: str = "") -> None:
+        """Write one line (or a pre-rendered multi-line block)."""
+        sys.stdout.write(text + "\n")
+
+    def blank(self) -> None:
+        """Write an empty separator line."""
+        self.line("")
+
+    def table(self, headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> None:
+        """Write a fixed-width table."""
+        self.line(format_table(headers, rows))
 
 
 @dataclass

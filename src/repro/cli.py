@@ -10,22 +10,27 @@ monetary cost.  This CLI does the same over the simulated substrate::
     repro-warehouse chaos --scenario loader-crash --documents 24
     repro-warehouse scrub --documents 24 --strategy 2LUPI --damage corrupt-item
     repro-warehouse resume --documents 24 --strategy LUP --interrupt-after 4
+    repro-warehouse trace --documents 60 --out /tmp/trace.json
     repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
     repro-warehouse prices --provider google
 
 Every subcommand is a plain function taking parsed args and returning
-an exit code, so the test suite drives them directly.
+an exit code, so the test suite drives them directly.  The shared flags
+``--seed``, ``--strategy`` and ``--backend`` carry the same spelling,
+default and semantics on every subcommand that accepts them, and all
+output flows through one :class:`~repro.bench.reporting.Reporter`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
 from repro.advisor import IndexAdvisor
-from repro.bench.reporting import format_money, format_table
+from repro.bench.reporting import Reporter, format_money, format_table
 from repro.config import ScaleProfile
 from repro.costs.estimator import build_phase_cost, query_cost
 from repro.costs.metrics import DatasetMetrics
@@ -40,6 +45,15 @@ from repro.warehouse import Warehouse
 from repro.warehouse.monitoring import resource_report
 from repro.xmark import generate_corpus
 
+#: Every subcommand writes through this reporter (stdout at call time).
+out = Reporter()
+
+#: Index-store backends shared by every ``--backend`` flag.
+BACKEND_CHOICES = ("dynamodb", "simpledb")
+
+#: Backends a checkpointed (epoch/ledger) build supports.
+CHECKPOINT_BACKENDS = ("dynamodb",)
+
 
 def _corpus(args) -> "Corpus":  # noqa: F821
     return generate_corpus(ScaleProfile(documents=args.documents,
@@ -48,19 +62,36 @@ def _corpus(args) -> "Corpus":  # noqa: F821
                                         seed=args.seed))
 
 
+def _strategy_name(value: str) -> str:
+    """argparse type for ``--strategy``: case-insensitive, validated."""
+    name = value.upper()
+    if name not in ALL_STRATEGY_NAMES:
+        raise argparse.ArgumentTypeError(
+            "unknown strategy {!r}; choose from {}".format(
+                value, ", ".join(ALL_STRATEGY_NAMES)))
+    return name
+
+
+def _require_checkpoint_backend(args) -> None:
+    if args.backend not in CHECKPOINT_BACKENDS:
+        raise SystemExit(
+            "checkpointed builds support only the {} backend".format(
+                "/".join(CHECKPOINT_BACKENDS)))
+
+
 def cmd_generate(args) -> int:
     """Generate a corpus; optionally write the XML files to a directory."""
     corpus = _corpus(args)
-    print("generated {} documents, {:.2f} MB (seed {})".format(
+    out.line("generated {} documents, {:.2f} MB (seed {})".format(
         len(corpus), corpus.total_mb, args.seed))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         for uri, data in sorted(corpus.data.items()):
             with open(os.path.join(args.out, uri), "wb") as handle:
                 handle.write(data)
-        print("wrote XML files to {}".format(args.out))
+        out.line("wrote XML files to {}".format(args.out))
     stats = corpus.stats()
-    print("labels: {}   distinct paths: {}   max depth: {}".format(
+    out.line("labels: {}   distinct paths: {}   max depth: {}".format(
         len(stats.label_counts), len(stats.distinct_paths),
         stats.max_depth))
     return 0
@@ -78,25 +109,23 @@ def _parse_query_names(spec: str) -> List[str]:
 
 def cmd_demo(args) -> int:
     """Full pipeline: upload, build one index, run queries, show costs."""
-    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
-        raise SystemExit("unknown strategy {!r}; choose from {}".format(
-            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
     corpus = _corpus(args)
     warehouse = Warehouse()
     warehouse.upload_corpus(corpus)
-    print("uploaded {} documents ({:.2f} MB)".format(
+    out.line("uploaded {} documents ({:.2f} MB)".format(
         len(corpus), corpus.total_mb))
 
-    index = warehouse.build_index(args.strategy.upper(),
-                                  instances=args.instances)
+    index = warehouse.build_index(args.strategy, instances=args.instances,
+                                  backend=args.backend)
     report = index.report
     book = warehouse.cloud.price_book
-    print("built {} in {:.1f}s simulated on {} {} instances; "
-          "{} puts, {:.2f} MB stored, cost {}".format(
-              report.strategy_name, report.total_s, report.instances,
-              report.instance_type, report.puts,
-              report.stored_bytes / 2 ** 20,
-              format_money(build_phase_cost(warehouse, index, book).total)))
+    out.line("built {} in {:.1f}s simulated on {} {} instances; "
+             "{} puts, {:.2f} MB stored, cost {}".format(
+                 report.strategy_name, report.total_s, report.instances,
+                 report.instance_type, report.puts,
+                 report.stored_bytes / 2 ** 20,
+                 format_money(
+                     build_phase_cost(warehouse, index, book).total)))
 
     names = _parse_query_names(args.queries) if args.queries \
         else list(WORKLOAD_ORDER)
@@ -111,11 +140,11 @@ def cmd_demo(args) -> int:
                      execution.docs_with_results,
                      execution.result_rows,
                      format_money(query_cost(execution, dataset, book))])
-    print(format_table(["query", "response", "docs idx", "docs res",
-                        "rows", "cost"], rows))
+    out.table(["query", "response", "docs idx", "docs res",
+               "rows", "cost"], rows)
     if args.monitor:
-        print()
-        print(resource_report(warehouse).render())
+        out.blank()
+        out.line(resource_report(warehouse).render())
     return 0
 
 
@@ -130,10 +159,10 @@ def cmd_advise(args) -> int:
              format_money(estimate.workload_cost),
              format_money(estimate.total_cost(args.runs))]
             for name, estimate in estimates.items()]
-    print(format_table(["strategy", "build", "storage/mo", "per run",
-                        "total @{} runs".format(args.runs)], rows))
+    out.table(["strategy", "build", "storage/mo", "per run",
+               "total @{} runs".format(args.runs)], rows)
     choice = advisor.recommend(workload(), runs=args.runs)
-    print("recommendation: {}".format(choice.strategy_name))
+    out.line("recommendation: {}".format(choice.strategy_name))
     return 0
 
 
@@ -143,19 +172,17 @@ def cmd_chaos(args) -> int:
     Exit status 0 iff the recovery invariants hold — identical index,
     identical answers, bounded cost overhead.
     """
-    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
-        raise SystemExit("unknown strategy {!r}; choose from {}".format(
-            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    _require_checkpoint_backend(args)
     if args.scenario == "scrub-repair":
         report = run_scrub_repair_scenario(
             documents=args.documents, seed=args.seed,
-            strategy=args.strategy.upper(), instances=args.instances)
+            strategy=args.strategy, instances=args.instances)
     else:
         report = run_scenario(
             args.scenario, documents=args.documents, seed=args.seed,
-            strategy=args.strategy.upper(), instances=args.instances,
+            strategy=args.strategy, instances=args.instances,
             error_rate=args.error_rate, crash_after_s=args.crash_after)
-    print(report.render())
+    out.line(report.render())
     return 0 if report.invariant_holds else 1
 
 
@@ -170,15 +197,13 @@ def cmd_scrub(args) -> int:
     from repro.faults import FaultPlan
     from repro.faults.corruption import CorruptionMonkey
 
-    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
-        raise SystemExit("unknown strategy {!r}; choose from {}".format(
-            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    _require_checkpoint_backend(args)
     warehouse = Warehouse()
     warehouse.upload_corpus(_corpus(args))
     built, record = warehouse.build_index_checkpointed(
-        args.strategy.upper(), instances=args.instances,
+        args.strategy, instances=args.instances,
         batch_size=args.batch_size)
-    print("built {} epoch {} ({} batches, digest {})".format(
+    out.line("built {} epoch {} ({} batches, digest {})".format(
         record.name, record.epoch, record.batches, record.digest[:12]))
 
     if args.damage:
@@ -197,20 +222,20 @@ def cmd_scrub(args) -> int:
                     "corrupt-item, drop-table-partition".format(kind))
         monkey = CorruptionMonkey(warehouse.cloud, seed=args.seed)
         for entry in monkey.damage_index(built, plan.damage):
-            print("damaged: {}".format(entry))
+            out.line("damaged: {}".format(entry))
 
     report = warehouse.scrub_index(built, record.name, record.epoch,
                                    repair=not args.no_repair)
-    print(report.summary_line())
+    out.line(report.summary_line())
     if report.repaired:
         verify = warehouse.scrub_index(built, record.name, record.epoch,
                                        repair=False)
-        print(verify.summary_line())
+        out.line(verify.summary_line())
         clean = verify.clean
     else:
         clean = report.clean
     manifest = Manifest(warehouse.cloud.dynamodb)
-    print("epochs: {}".format(
+    out.line("epochs: {}".format(
         "; ".join("{} e{} {}".format(r.name, r.epoch, r.status)
                   for r in manifest.list_records()) or "none"))
     return 0 if clean else 1
@@ -224,39 +249,95 @@ def cmd_resume(args) -> int:
     ledger-missing batches and commits.  Exit status 0 iff the resumed
     epoch committed.
     """
-    if args.strategy.upper() not in ALL_STRATEGY_NAMES:
-        raise SystemExit("unknown strategy {!r}; choose from {}".format(
-            args.strategy, ", ".join(ALL_STRATEGY_NAMES)))
+    _require_checkpoint_backend(args)
     warehouse = Warehouse()
     warehouse.upload_corpus(_corpus(args))
-    plan = warehouse.plan_build(args.strategy.upper(),
-                                instances=args.instances,
+    plan = warehouse.plan_build(args.strategy, instances=args.instances,
                                 batch_size=args.batch_size)
     first = warehouse.run_build(plan, interrupt_after_s=args.interrupt_after)
-    print("build {} e{}: interrupted={} applied {}/{} batches".format(
+    out.line("build {} e{}: interrupted={} applied {}/{} batches".format(
         plan.name, plan.epoch, first.interrupted, first.applied_batches,
         len(plan.batches)))
     result, record = warehouse.resume_build(plan)
-    print("resume {} e{}: applied {}/{} batches "
-          "(skipped {} redelivered) committed={}".format(
-              plan.name, plan.epoch, result.applied_batches,
-              len(plan.batches), result.skipped_batches, result.committed))
+    out.line("resume {} e{}: applied {}/{} batches "
+             "(skipped {} redelivered) committed={}".format(
+                 plan.name, plan.epoch, result.applied_batches,
+                 len(plan.batches), result.skipped_batches,
+                 result.committed))
     if record is not None:
-        print("committed epoch {} digest {}".format(
+        out.line("committed epoch {} digest {}".format(
             record.epoch, record.digest[:12]))
     return 0 if result.committed else 1
+
+
+def cmd_trace(args) -> int:
+    """Run a traced workload; write the Chrome trace and priced spans.
+
+    Uploads a corpus, builds one index, runs the selected workload
+    queries, then writes a Perfetto/``chrome://tracing``-loadable
+    trace-event JSON file and a per-span priced cost breakdown.  Two
+    runs with the same flags produce byte-identical files.
+    """
+    from repro.telemetry import chrome_trace_json, priced_breakdown
+
+    corpus = _corpus(args)
+    warehouse = Warehouse()
+    warehouse.upload_corpus(corpus)
+    index = warehouse.build_index(args.strategy, instances=args.instances,
+                                  backend=args.backend)
+    names = _parse_query_names(args.queries) if args.queries \
+        else list(WORKLOAD_ORDER)
+    queries = [workload_query(name) for name in names]
+    report = warehouse.run_workload(queries, index, instances=args.workers,
+                                    instance_type=args.instance_type)
+
+    hub = warehouse.telemetry
+    metadata = {"backend": args.backend, "documents": args.documents,
+                "queries": ",".join(names), "seed": args.seed,
+                "strategy": args.strategy}
+    trace_path = args.out
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(hub.tracer, metadata=metadata))
+    costs_path = args.costs_out or os.path.splitext(trace_path)[0] \
+        + ".costs.json"
+    breakdown = priced_breakdown(hub.tracer, warehouse.cloud.meter,
+                                 warehouse.cloud.price_book,
+                                 metadata=metadata)
+    with open(costs_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(breakdown, indent=2, sort_keys=True) + "\n")
+
+    out.line("trace: {} spans -> {}".format(len(hub.tracer), trace_path))
+    out.line("costs: {} priced spans -> {}".format(
+        len(breakdown["spans"]), costs_path))
+    out.line("workload: {} queries in {:.1f}s simulated, cost {}".format(
+        len(report.executions), report.makespan_s,
+        format_money(report.cost.total if report.cost else 0.0)))
+    rows = [[execution.name, "{:.3f}s".format(execution.response_s),
+             execution.span_id,
+             execution.downgrade or "-",
+             format_money(execution.cost.total if execution.cost else 0.0)]
+            for execution in report.executions]
+    out.table(["query", "response", "span", "downgrade", "cost"], rows)
+    if args.tree:
+        from repro.telemetry import render_tree
+        from repro.telemetry.costing import span_inclusive_costs
+        costs = span_inclusive_costs(hub.tracer, warehouse.cloud.meter,
+                                     warehouse.cloud.price_book)
+        out.blank()
+        out.line(render_tree(hub.tracer, costs=costs))
+    return 0
 
 
 def cmd_xquery(args) -> int:
     """Translate a tree-pattern query into XQuery (§4)."""
     query = parse_query(args.query)
-    print(to_xquery(query))
+    out.line(to_xquery(query))
     return 0
 
 
 def cmd_prices(args) -> int:
     """Print a provider's price book (Table 3 layout)."""
-    print(render_table3(price_book(args.provider)))
+    out.line(render_table3(price_book(args.provider)))
     return 0
 
 
@@ -267,10 +348,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Cloud XML warehouse demo (EDBT 2013 reproduction).")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_corpus_args(p):
-        p.add_argument("--documents", type=int, default=150)
+    def add_corpus_args(p, documents=150):
+        p.add_argument("--documents", type=int, default=documents)
         p.add_argument("--document-kb", type=int, default=8)
         p.add_argument("--seed", type=int, default=20130318)
+
+    def add_build_args(p, instances=4):
+        # The normalized build surface: identical spelling, defaults
+        # and semantics on every subcommand that builds an index.
+        p.add_argument("--strategy", type=_strategy_name, default="LUP",
+                       help="indexing strategy, case-insensitive ({})"
+                       .format(", ".join(ALL_STRATEGY_NAMES)))
+        p.add_argument("--backend", default="dynamodb",
+                       choices=BACKEND_CHOICES, help="index store backend")
+        p.add_argument("--instances", type=int, default=instances,
+                       help="loader instances")
 
     p_generate = sub.add_parser("generate", help=cmd_generate.__doc__)
     add_corpus_args(p_generate)
@@ -279,9 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     add_corpus_args(p_demo)
-    p_demo.add_argument("--strategy", default="LUP")
-    p_demo.add_argument("--instances", type=int, default=4,
-                        help="loader instances")
+    add_build_args(p_demo)
     p_demo.add_argument("--instance-type", default="xl",
                         choices=("l", "xl"), help="query processor type")
     p_demo.add_argument("--queries",
@@ -297,13 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_advise.set_defaults(func=cmd_advise)
 
     p_chaos = sub.add_parser("chaos", help=cmd_chaos.__doc__)
+    add_corpus_args(p_chaos, documents=16)
+    add_build_args(p_chaos, instances=2)
     p_chaos.add_argument("--scenario", default="loader-crash",
                          choices=SCENARIO_NAMES)
-    p_chaos.add_argument("--documents", type=int, default=16)
-    p_chaos.add_argument("--seed", type=int, default=7)
-    p_chaos.add_argument("--strategy", default="LU")
-    p_chaos.add_argument("--instances", type=int, default=2,
-                         help="loader instances")
     p_chaos.add_argument("--error-rate", type=float, default=0.08,
                          help="per-request fault probability")
     p_chaos.add_argument("--crash-after", type=float, default=0.5,
@@ -312,9 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_scrub = sub.add_parser("scrub", help=cmd_scrub.__doc__)
     add_corpus_args(p_scrub)
-    p_scrub.add_argument("--strategy", default="LUP")
-    p_scrub.add_argument("--instances", type=int, default=4,
-                         help="loader instances")
+    add_build_args(p_scrub)
     p_scrub.add_argument("--batch-size", type=int, default=8,
                          help="documents per checkpointed batch")
     p_scrub.add_argument("--damage",
@@ -329,14 +414,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_resume = sub.add_parser("resume", help=cmd_resume.__doc__)
     add_corpus_args(p_resume)
-    p_resume.add_argument("--strategy", default="LUP")
-    p_resume.add_argument("--instances", type=int, default=4,
-                          help="loader instances")
+    add_build_args(p_resume)
     p_resume.add_argument("--batch-size", type=int, default=8,
                           help="documents per checkpointed batch")
     p_resume.add_argument("--interrupt-after", type=float, default=4.0,
                           help="seconds into the build the fleet crashes")
     p_resume.set_defaults(func=cmd_resume)
+
+    p_trace = sub.add_parser("trace", help=cmd_trace.__doc__)
+    add_corpus_args(p_trace, documents=60)
+    add_build_args(p_trace)
+    p_trace.add_argument("--instance-type", default="xl",
+                         choices=("l", "xl"), help="query processor type")
+    p_trace.add_argument("--queries",
+                         help="comma-separated q1..q10 (default: all)")
+    p_trace.add_argument("--workers", type=int, default=2,
+                         help="query-processor instances")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace-event JSON output path")
+    p_trace.add_argument("--costs-out",
+                         help="priced span breakdown path "
+                              "(default: <out>.costs.json)")
+    p_trace.add_argument("--tree", action="store_true",
+                         help="print the span tree with per-span costs")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
     p_xquery.add_argument("query", help="tree-pattern query text")

@@ -30,6 +30,7 @@ from repro.errors import (ConditionalCheckFailed, ConfigError, ItemTooLarge,
                           NoSuchTable, TableAlreadyExists,
                           ThroughputExceeded, ValidationError)
 from repro.sim import Environment, Meter, ThroughputLimiter
+from repro.telemetry.spans import maybe_span
 
 SERVICE = "dynamodb"
 
@@ -134,6 +135,12 @@ class DynamoDB:
         """Attach a :class:`repro.faults.FaultInjector` to the data path."""
         self._faults = injector
 
+    def _span(self, operation: str, **attributes: Any):
+        """A telemetry span for one data-path request (no-op untraced)."""
+        hub = getattr(self._env, "telemetry", None)
+        tracer = hub.tracer if hub is not None else None
+        return maybe_span(tracer, "dynamodb." + operation, **attributes)
+
     # -- throttle mode -----------------------------------------------------
 
     def enable_throttle_mode(self, max_backlog_s: float = 0.5) -> None:
@@ -171,6 +178,12 @@ class DynamoDB:
             return
         if limiter.backlog_seconds > self._throttle_max_backlog_s:
             self.throttled_total += 1
+            hub = getattr(self._env, "telemetry", None)
+            if hub is not None:
+                hub.counter(
+                    "dynamodb_throttled_total",
+                    "Requests rejected by throttle mode.",
+                ).inc()
             self._meter.record(self._env.now, "faults", "dynamodb:throttle")
             raise ThroughputExceeded(
                 "capacity backlog {:.3f}s exceeds {:.3f}s".format(
@@ -270,23 +283,24 @@ class DynamoDB:
         """
         table = self.table(table_name)
         self._validate_item(table, item)
-        if self._faults is not None:
-            yield from self._faults.perturb("put")
-        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
-        self._check_throttle(self._write_limiter)
-        yield self._write_limiter.consume(item.size_bytes)
-        if expected is not None:
-            # A failed conditional write is still a billed request
-            # (DynamoDB consumes write capacity for the check).
-            try:
-                self._check_condition(table, item, expected)
-            except ConditionalCheckFailed:
-                self._meter.record(self._env.now, SERVICE, "put",
-                                   bytes_in=item.size_bytes)
-                raise
-        self._store(table, item)
-        self._meter.record(self._env.now, SERVICE, "put",
-                           bytes_in=item.size_bytes)
+        with self._span("put", table=table_name):
+            if self._faults is not None:
+                yield from self._faults.perturb("put")
+            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+            self._check_throttle(self._write_limiter)
+            yield self._write_limiter.consume(item.size_bytes)
+            if expected is not None:
+                # A failed conditional write is still a billed request
+                # (DynamoDB consumes write capacity for the check).
+                try:
+                    self._check_condition(table, item, expected)
+                except ConditionalCheckFailed:
+                    self._meter.record(self._env.now, SERVICE, "put",
+                                       bytes_in=item.size_bytes)
+                    raise
+            self._store(table, item)
+            self._meter.record(self._env.now, SERVICE, "put",
+                               bytes_in=item.size_bytes)
 
     def delete_item(self, table_name: str, hash_key: str,
                     range_key: Optional[str] = None,
@@ -297,20 +311,21 @@ class DynamoDB:
         request is billed either way.
         """
         table = self.table(table_name)
-        if self._faults is not None:
-            yield from self._faults.perturb("delete_item")
-        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
-        self._check_throttle(self._write_limiter)
-        group = table._items.get(hash_key)
-        existed = group is not None and (range_key or "") in group
-        nbytes = group[range_key or ""].size_bytes if existed else 0
-        yield self._write_limiter.consume(max(1, nbytes))
-        if existed:
-            del group[range_key or ""]
-            if not group:
-                del table._items[hash_key]
-        self._meter.record(self._env.now, SERVICE, "delete",
-                           bytes_in=nbytes)
+        with self._span("delete", table=table_name):
+            if self._faults is not None:
+                yield from self._faults.perturb("delete_item")
+            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+            self._check_throttle(self._write_limiter)
+            group = table._items.get(hash_key)
+            existed = group is not None and (range_key or "") in group
+            nbytes = group[range_key or ""].size_bytes if existed else 0
+            yield self._write_limiter.consume(max(1, nbytes))
+            if existed:
+                del group[range_key or ""]
+                if not group:
+                    del table._items[hash_key]
+            self._meter.record(self._env.now, SERVICE, "delete",
+                               bytes_in=nbytes)
         return existed
 
     def batch_put(self, table_name: str, items: Sequence[DynamoItem],
@@ -332,15 +347,16 @@ class DynamoDB:
         for item in items:
             self._validate_item(table, item)
             total += item.size_bytes
-        if self._faults is not None:
-            yield from self._faults.perturb("batch_put")
-        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
-        self._check_throttle(self._write_limiter)
-        yield self._write_limiter.consume(total)
-        for item in items:
-            self._store(table, item)
-        self._meter.record(self._env.now, SERVICE, "put",
-                           count=len(items), bytes_in=total)
+        with self._span("batch_put", table=table_name, items=len(items)):
+            if self._faults is not None:
+                yield from self._faults.perturb("batch_put")
+            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+            self._check_throttle(self._write_limiter)
+            yield self._write_limiter.consume(total)
+            for item in items:
+                self._store(table, item)
+            self._meter.record(self._env.now, SERVICE, "put",
+                               count=len(items), bytes_in=total)
 
     # -- reads ---------------------------------------------------------------------
 
@@ -361,14 +377,16 @@ class DynamoDB:
         Returns an empty list for unknown keys, like a real query.
         """
         table = self.table(table_name)
-        if self._faults is not None:
-            yield from self._faults.perturb("get")
-        items = self._collect(table, hash_key, condition)
-        nbytes = sum(item.size_bytes for item in items)
-        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
-        self._check_throttle(self._read_limiter)
-        yield self._read_limiter.consume(nbytes)
-        self._meter.record(self._env.now, SERVICE, "get", bytes_out=nbytes)
+        with self._span("get", table=table_name):
+            if self._faults is not None:
+                yield from self._faults.perturb("get")
+            items = self._collect(table, hash_key, condition)
+            nbytes = sum(item.size_bytes for item in items)
+            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+            self._check_throttle(self._read_limiter)
+            yield self._read_limiter.consume(nbytes)
+            self._meter.record(self._env.now, SERVICE, "get",
+                               bytes_out=nbytes)
         return items
 
     def batch_get(self, table_name: str, hash_keys: Sequence[str],
@@ -381,19 +399,21 @@ class DynamoDB:
                 "batch_get accepts at most {} keys, got {}".format(
                     BATCH_GET_LIMIT, len(hash_keys)))
         table = self.table(table_name)
-        if self._faults is not None:
-            yield from self._faults.perturb("batch_get")
-        result: Dict[str, List[DynamoItem]] = {}
-        nbytes = 0
-        for key in hash_keys:
-            items = self._collect(table, key, None)
-            result[key] = items
-            nbytes += sum(item.size_bytes for item in items)
-        yield self._env.timeout(self._profile.dynamodb_request_latency_s)
-        self._check_throttle(self._read_limiter)
-        yield self._read_limiter.consume(nbytes)
-        self._meter.record(self._env.now, SERVICE, "get",
-                           count=len(hash_keys), bytes_out=nbytes)
+        with self._span("batch_get", table=table_name,
+                        keys=len(hash_keys)):
+            if self._faults is not None:
+                yield from self._faults.perturb("batch_get")
+            result: Dict[str, List[DynamoItem]] = {}
+            nbytes = 0
+            for key in hash_keys:
+                items = self._collect(table, key, None)
+                result[key] = items
+                nbytes += sum(item.size_bytes for item in items)
+            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
+            self._check_throttle(self._read_limiter)
+            yield self._read_limiter.consume(nbytes)
+            self._meter.record(self._env.now, SERVICE, "get",
+                               count=len(hash_keys), bytes_out=nbytes)
         return result
 
     def scan(self, table_name: str,
@@ -409,15 +429,17 @@ class DynamoDB:
         items = table.all_items()
         pages = [items[i:i + SCAN_PAGE_SIZE]
                  for i in range(0, len(items), SCAN_PAGE_SIZE)] or [[]]
-        for page in pages:
-            if self._faults is not None:
-                yield from self._faults.perturb("scan")
-            nbytes = sum(item.size_bytes for item in page)
-            yield self._env.timeout(self._profile.dynamodb_request_latency_s)
-            self._check_throttle(self._read_limiter)
-            yield self._read_limiter.consume(max(1, nbytes))
-            self._meter.record(self._env.now, SERVICE, "scan",
-                               count=max(1, len(page)), bytes_out=nbytes)
+        with self._span("scan", table=table_name, pages=len(pages)):
+            for page in pages:
+                if self._faults is not None:
+                    yield from self._faults.perturb("scan")
+                nbytes = sum(item.size_bytes for item in page)
+                yield self._env.timeout(
+                    self._profile.dynamodb_request_latency_s)
+                self._check_throttle(self._read_limiter)
+                yield self._read_limiter.consume(max(1, nbytes))
+                self._meter.record(self._env.now, SERVICE, "scan",
+                                   count=max(1, len(page)), bytes_out=nbytes)
         return items
 
     # -- damage surface (fault injection only) ------------------------------------

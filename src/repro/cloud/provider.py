@@ -21,6 +21,7 @@ from repro.faults import FaultDomain, FaultPlan
 from repro.resilience import (ResilientClient, ResilientServices,
                               RetryPolicy)
 from repro.sim import Environment, Meter
+from repro.telemetry import TelemetryHub
 
 
 class CloudProvider:
@@ -58,6 +59,9 @@ class CloudProvider:
         self.price_book = price_book or AWS_SINGAPORE
         self.env = env or Environment()
         self.meter = meter or Meter()
+        #: The provider's observability hub (tracer + metrics registry).
+        #: Shared with any other provider on the same environment.
+        self.telemetry = TelemetryHub.for_env(self.env, meter=self.meter)
         self.s3 = S3(self.env, self.meter, self.profile)
         self.dynamodb = DynamoDB(self.env, self.meter, self.profile)
         self.simpledb = SimpleDB(self.env, self.meter, self.profile)

@@ -17,6 +17,7 @@ from repro.config import PerformanceProfile
 from repro.errors import (BucketAlreadyExists, BucketNotEmpty, NoSuchBucket,
                           NoSuchKey)
 from repro.sim import Environment, Meter
+from repro.telemetry.spans import maybe_span
 
 SERVICE = "s3"
 
@@ -70,6 +71,12 @@ class S3:
         """Attach a :class:`repro.faults.FaultInjector` to the data path."""
         self._faults = injector
 
+    def _span(self, operation: str, **attributes: Any):
+        """A telemetry span for one data-path request (no-op untraced)."""
+        hub = getattr(self._env, "telemetry", None)
+        tracer = hub.tracer if hub is not None else None
+        return maybe_span(tracer, "s3." + operation, **attributes)
+
     # -- bucket administration (immediate, unmetered) -----------------------
 
     def create_bucket(self, name: str) -> None:
@@ -108,63 +115,68 @@ class S3:
         target = self._bucket(bucket)
         if not isinstance(data, bytes):
             raise TypeError("S3 stores bytes, got {!r}".format(type(data)))
-        if self._faults is not None:
-            yield from self._faults.perturb("put")
-        yield self._env.timeout(self._transfer_delay(len(data)))
-        previous = target.objects.get(key)
-        version = previous.version_id + 1 if previous else 1
-        obj = S3Object(key=key, data=data, metadata=dict(metadata or {}),
-                       version_id=version, last_modified=self._env.now)
-        target.objects[key] = obj
-        self._meter.record(self._env.now, SERVICE, "put",
-                           bytes_in=len(data))
+        with self._span("put", key=key):
+            if self._faults is not None:
+                yield from self._faults.perturb("put")
+            yield self._env.timeout(self._transfer_delay(len(data)))
+            previous = target.objects.get(key)
+            version = previous.version_id + 1 if previous else 1
+            obj = S3Object(key=key, data=data, metadata=dict(metadata or {}),
+                           version_id=version, last_modified=self._env.now)
+            target.objects[key] = obj
+            self._meter.record(self._env.now, SERVICE, "put",
+                               bytes_in=len(data))
         return obj
 
     def get(self, bucket: str, key: str) -> Generator[Any, Any, bytes]:
         """Retrieve the payload stored under ``key``."""
         target = self._bucket(bucket)
-        if self._faults is not None:
-            yield from self._faults.perturb("get")
-        try:
-            obj = target.objects[key]
-        except KeyError:
-            raise NoSuchKey("{}/{}".format(bucket, key)) from None
-        yield self._env.timeout(self._transfer_delay(obj.size))
-        self._meter.record(self._env.now, SERVICE, "get",
-                           bytes_out=obj.size)
+        with self._span("get", key=key):
+            if self._faults is not None:
+                yield from self._faults.perturb("get")
+            try:
+                obj = target.objects[key]
+            except KeyError:
+                raise NoSuchKey("{}/{}".format(bucket, key)) from None
+            yield self._env.timeout(self._transfer_delay(obj.size))
+            self._meter.record(self._env.now, SERVICE, "get",
+                               bytes_out=obj.size)
         return obj.data
 
     def head(self, bucket: str, key: str) -> Generator[Any, Any, S3Object]:
         """Retrieve object metadata without the payload."""
         target = self._bucket(bucket)
-        if self._faults is not None:
-            yield from self._faults.perturb("head")
-        try:
-            obj = target.objects[key]
-        except KeyError:
-            raise NoSuchKey("{}/{}".format(bucket, key)) from None
-        yield self._env.timeout(self._profile.s3_request_latency_s)
-        self._meter.record(self._env.now, SERVICE, "head")
+        with self._span("head", key=key):
+            if self._faults is not None:
+                yield from self._faults.perturb("head")
+            try:
+                obj = target.objects[key]
+            except KeyError:
+                raise NoSuchKey("{}/{}".format(bucket, key)) from None
+            yield self._env.timeout(self._profile.s3_request_latency_s)
+            self._meter.record(self._env.now, SERVICE, "head")
         return obj
 
     def delete(self, bucket: str, key: str) -> Generator[Any, Any, None]:
         """Delete an object (idempotent, as in real S3)."""
         target = self._bucket(bucket)
-        if self._faults is not None:
-            yield from self._faults.perturb("delete")
-        yield self._env.timeout(self._profile.s3_request_latency_s)
-        target.objects.pop(key, None)
-        self._meter.record(self._env.now, SERVICE, "delete")
+        with self._span("delete", key=key):
+            if self._faults is not None:
+                yield from self._faults.perturb("delete")
+            yield self._env.timeout(self._profile.s3_request_latency_s)
+            target.objects.pop(key, None)
+            self._meter.record(self._env.now, SERVICE, "delete")
 
     def list_keys(self, bucket: str, prefix: str = "",
                   ) -> Generator[Any, Any, List[str]]:
         """List object keys (sorted) with the given prefix."""
         target = self._bucket(bucket)
-        if self._faults is not None:
-            yield from self._faults.perturb("list_keys")
-        yield self._env.timeout(self._profile.s3_request_latency_s)
-        keys = sorted(k for k in target.objects if k.startswith(prefix))
-        self._meter.record(self._env.now, SERVICE, "list")
+        with self._span("list", prefix=prefix):
+            if self._faults is not None:
+                yield from self._faults.perturb("list_keys")
+            yield self._env.timeout(self._profile.s3_request_latency_s)
+            keys = sorted(k for k in target.objects if k.startswith(prefix))
+            self._meter.record(self._env.now, SERVICE, "list")
         return keys
 
     # -- synchronous inspection (for cost model and tests) --------------------

@@ -28,6 +28,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.config import PerformanceProfile
 from repro.errors import NoSuchQueue, QueueError, ReceiptHandleInvalid
 from repro.sim import Environment, Meter, Store
+from repro.telemetry.spans import maybe_span
 
 SERVICE = "sqs"
 
@@ -94,6 +95,18 @@ class SQS:
         """Attach a :class:`repro.faults.FaultInjector` to the data path."""
         self._faults = injector
 
+    def _span(self, operation: str, **attributes: Any):
+        """A telemetry span for one data-path request (no-op untraced)."""
+        hub = getattr(self._env, "telemetry", None)
+        tracer = hub.tracer if hub is not None else None
+        return maybe_span(tracer, "sqs." + operation, **attributes)
+
+    def _counter(self, name: str, help_text: str):
+        hub = getattr(self._env, "telemetry", None)
+        if hub is None:
+            return None
+        return hub.counter(name, help_text, ("queue",))
+
     # -- administration ---------------------------------------------------
 
     def create_queue(self, name: str, visibility_timeout: float = 30.0,
@@ -136,15 +149,16 @@ class SQS:
     def send(self, queue_name: str, body: Any) -> Generator[Any, Any, str]:
         """Enqueue a message; returns its message id."""
         queue = self._queue(queue_name)
-        if self._faults is not None:
-            yield from self._faults.perturb("send")
-        yield self._env.timeout(self._profile.sqs_request_latency_s)
-        message = Message(
-            message_id="m-{:08d}".format(next(self._message_ids)),
-            body=body, sent_at=self._env.now)
-        queue.store.put(message)
-        queue.sent_total += 1
-        self._meter.record(self._env.now, SERVICE, "send_message")
+        with self._span("send", queue=queue_name):
+            if self._faults is not None:
+                yield from self._faults.perturb("send")
+            yield self._env.timeout(self._profile.sqs_request_latency_s)
+            message = Message(
+                message_id="m-{:08d}".format(next(self._message_ids)),
+                body=body, sent_at=self._env.now)
+            queue.store.put(message)
+            queue.sent_total += 1
+            self._meter.record(self._env.now, SERVICE, "send_message")
         return message.message_id
 
     def receive(self, queue_name: str,
@@ -157,20 +171,21 @@ class SQS:
         it will be redelivered to another receiver.
         """
         queue = self._queue(queue_name)
-        if self._faults is not None:
-            yield from self._faults.perturb("receive")
-        yield self._env.timeout(self._profile.sqs_request_latency_s)
-        message: Message = yield queue.store.get()
-        message.receive_count += 1
-        handle = "rh-{:08d}".format(next(self._handle_ids))
-        timeout = (visibility_timeout if visibility_timeout is not None
-                   else queue.visibility_timeout)
-        record = _InFlight(message=message,
-                           deadline=self._env.now + timeout)
-        queue.in_flight[handle] = record
-        self._env.process(self._watchdog(queue, handle),
-                          name="sqs-watchdog-{}".format(handle))
-        self._meter.record(self._env.now, SERVICE, "receive_message")
+        with self._span("receive", queue=queue_name):
+            if self._faults is not None:
+                yield from self._faults.perturb("receive")
+            yield self._env.timeout(self._profile.sqs_request_latency_s)
+            message: Message = yield queue.store.get()
+            message.receive_count += 1
+            handle = "rh-{:08d}".format(next(self._handle_ids))
+            timeout = (visibility_timeout if visibility_timeout is not None
+                       else queue.visibility_timeout)
+            record = _InFlight(message=message,
+                               deadline=self._env.now + timeout)
+            queue.in_flight[handle] = record
+            self._env.process(self._watchdog(queue, handle),
+                              name="sqs-watchdog-{}".format(handle))
+            self._meter.record(self._env.now, SERVICE, "receive_message")
         return message.body, handle
 
     def receive_if_available(self, queue_name: str,
@@ -204,13 +219,14 @@ class SQS:
     def delete(self, queue_name: str, handle: str) -> Generator[Any, Any, None]:
         """Acknowledge a message, removing it permanently."""
         queue = self._queue(queue_name)
-        if self._faults is not None:
-            yield from self._faults.perturb("delete")
-        yield self._env.timeout(self._profile.sqs_request_latency_s)
-        if handle not in queue.in_flight:
-            raise ReceiptHandleInvalid(handle)
-        del queue.in_flight[handle]
-        self._meter.record(self._env.now, SERVICE, "delete_message")
+        with self._span("delete", queue=queue_name):
+            if self._faults is not None:
+                yield from self._faults.perturb("delete")
+            yield self._env.timeout(self._profile.sqs_request_latency_s)
+            if handle not in queue.in_flight:
+                raise ReceiptHandleInvalid(handle)
+            del queue.in_flight[handle]
+            self._meter.record(self._env.now, SERVICE, "delete_message")
 
     def renew(self, queue_name: str, handle: str, extension: float,
               ) -> Generator[Any, Any, None]:
@@ -280,11 +296,21 @@ class SQS:
                 self._queue(redrive.dead_letter_queue).store.put(
                     record.message)
                 queue.dead_lettered_total += 1
+                counter = self._counter(
+                    "sqs_dead_lettered_total",
+                    "Messages moved to a dead-letter queue.")
+                if counter is not None:
+                    counter.inc(queue=queue.name)
                 self._meter.record(self._env.now, "faults",
                                    "sqs:dead_letter")
                 return
             queue.store.put(record.message)
             queue.redelivered_total += 1
+            counter = self._counter(
+                "sqs_redelivered_total",
+                "Messages redelivered after a lease expiry.")
+            if counter is not None:
+                counter.inc(queue=queue.name)
             return
 
     # -- inspection ----------------------------------------------------------------

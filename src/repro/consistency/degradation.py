@@ -108,6 +108,7 @@ class DegradingLookup(BaseLookup):
                 self._note_downgrade(name, "health")
                 continue
             lookup = built.make_lookup()
+            lookup.tracer = self.tracer
             try:
                 outcome = yield from lookup.lookup_pattern(pattern)
             except NoSuchTable:
@@ -137,6 +138,12 @@ class DegradingLookup(BaseLookup):
         if (self._candidates
                 and name != self._candidates[0].strategy.name):
             self._health.downgrades[name] += 1
+            hub = getattr(self._cloud.env, "telemetry", None)
+            if hub is not None:
+                hub.counter(
+                    "downgrades_total",
+                    "Pattern look-ups resolved below the preferred index.",
+                    ("resolution",)).inc(resolution=name)
 
     def lookup_query(self, query: Any) -> Generator[Any, Any, Any]:
         """Per-query driver; resets the resolution trail first."""

@@ -17,7 +17,8 @@ build cost.
 """
 
 from repro.costs.amortization import AmortizationStudy, amortization_series
-from repro.costs.estimator import CostBreakdown, phase_cost, query_cost
+from repro.costs.estimator import (CostBreakdown, activity_cost, phase_cost,
+                                   price_record, query_cost)
 from repro.costs.metrics import (DatasetMetrics, IndexMetrics, QueryMetrics)
 from repro.costs.model import (index_build_cost, monthly_storage_cost,
                                query_cost_indexed, query_cost_no_index,
@@ -35,11 +36,13 @@ __all__ = [
     "PriceBook",
     "QueryMetrics",
     "WINDOWS_AZURE",
+    "activity_cost",
     "amortization_series",
     "index_build_cost",
     "monthly_storage_cost",
     "phase_cost",
     "price_book",
+    "price_record",
     "query_cost",
     "query_cost_indexed",
     "query_cost_no_index",

@@ -54,30 +54,51 @@ class CostBreakdown:
             egress=self.egress + other.egress)
 
 
-def _price_requests(meter: Meter, book: PriceBook, tag_prefix: str,
-                    ) -> CostBreakdown:
-    """Price all metered API requests whose tag starts with the prefix."""
+def price_record(record, book: PriceBook) -> CostBreakdown:
+    """Price a single meter record against the price book.
+
+    The unit the telemetry layer composes: per-span trace pricing
+    (:mod:`repro.telemetry.costing`) and the phase/scrub totals below
+    are both folds of this function over different record subsets.
+    Unpriced pseudo-services (``ec2`` placement markers,
+    ``consistency``) yield an all-zero breakdown.
+    """
     out = CostBreakdown()
-    for record in meter.records(tag_prefix=tag_prefix):
-        if record.service == "s3":
-            if record.operation == "put":
-                out.s3 += book.st_put * record.count
-            elif record.operation in ("get", "head", "list"):
-                out.s3 += book.st_get * record.count
-        elif record.service == "dynamodb":
-            if record.operation in ("put", "delete"):
-                out.dynamodb += book.idx_put * record.count
-            else:
-                # get, scan: read-capacity operations.
-                out.dynamodb += book.idx_get * record.count
-        elif record.service == "simpledb":
-            if record.operation == "put":
-                out.simpledb += book.simpledb_put * record.count
-            else:
-                out.simpledb += book.simpledb_get * record.count
-        elif record.service == "sqs":
-            out.sqs += book.qs_request * record.count
+    if record.service == "s3":
+        if record.operation == "put":
+            out.s3 += book.st_put * record.count
+        elif record.operation in ("get", "head", "list"):
+            out.s3 += book.st_get * record.count
+    elif record.service == "dynamodb":
+        if record.operation in ("put", "delete"):
+            out.dynamodb += book.idx_put * record.count
+        else:
+            # get, scan: read-capacity operations.
+            out.dynamodb += book.idx_get * record.count
+    elif record.service == "simpledb":
+        if record.operation == "put":
+            out.simpledb += book.simpledb_put * record.count
+        else:
+            out.simpledb += book.simpledb_get * record.count
+    elif record.service == "sqs":
+        out.sqs += book.qs_request * record.count
     return out
+
+
+def _price_requests(meter: Meter, book: PriceBook, tag_prefix: str = "",
+                    activity: Optional[str] = None) -> CostBreakdown:
+    """Price all metered API requests matching the attribution filter."""
+    out = CostBreakdown()
+    for record in meter.records(tag_prefix=tag_prefix, activity=activity):
+        out = out.add(price_record(record, book))
+    return out
+
+
+def activity_cost(meter: Meter, book: PriceBook,
+                  activity: str) -> CostBreakdown:
+    """Request cost of one structured activity (``"query"``,
+    ``"index-build"``, ``"scrub"``, ...) across the whole run."""
+    return _price_requests(meter, book, activity=activity)
 
 
 def phase_cost(meter: Meter, book: PriceBook, tag_prefix: str,

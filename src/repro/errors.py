@@ -258,3 +258,17 @@ class BuildStateError(WarehouseError):
 
 class DocumentNotLoaded(WarehouseError):
     """A query referenced a document that was never loaded."""
+
+
+class TelemetryError(ReproError):
+    """Base class for telemetry (tracing / metrics registry) errors."""
+
+
+class LabelCardinalityError(TelemetryError):
+    """A metric accumulated more distinct label sets than its cap allows.
+
+    Unbounded label values (document URIs, receipt handles, span ids)
+    would make the registry grow with the workload instead of with the
+    instrumentation; the cap turns that design error into a loud
+    failure.
+    """

@@ -37,6 +37,7 @@ from repro.indexing.keys import (attribute_key, attribute_value_key,
 from repro.indexing.mapper import IndexStore
 from repro.query.pattern import Axis, PatternNode, Query, TreePattern
 from repro.query.predicates import Equals
+from repro.telemetry.spans import maybe_span
 
 WORD_PREFIX = "w"
 
@@ -229,6 +230,10 @@ class QueryLookupOutcome:
 class BaseLookup:
     """Shared query-level driver: §5.5 — look up each pattern separately."""
 
+    #: Telemetry tracer, set by the query worker before each query so
+    #: look-up phases nest under the worker's ``index-lookup`` span.
+    tracer: Optional[Any] = None
+
     def __init__(self, store: IndexStore, include_words: bool = True) -> None:
         self._store = store
         self.include_words = include_words
@@ -243,8 +248,13 @@ class BaseLookup:
                      ) -> Generator[Any, Any, QueryLookupOutcome]:
         """Look up every tree pattern of ``query`` independently."""
         outcomes: List[LookupOutcome] = []
-        for pattern in query.patterns:
-            outcome = yield from self.lookup_pattern(pattern)
+        for index, pattern in enumerate(query.patterns):
+            with maybe_span(self.tracer, "pattern-lookup",
+                            pattern=index) as span:
+                outcome = yield from self.lookup_pattern(pattern)
+                if span is not None:
+                    span.attributes["documents"] = outcome.document_count
+                    span.attributes["index_gets"] = outcome.index_gets
             outcomes.append(outcome)
         return QueryLookupOutcome(per_pattern=outcomes)
 
@@ -331,43 +341,48 @@ class LUILookup(BaseLookup):
                      extra_gets: int = 0,
                      ) -> Generator[Any, Any, LookupOutcome]:
         keys = twig.unique_keys()
-        data, gets = yield from self._store.read_keys(self._table, keys, "ids")
-        gets += extra_gets
-        stats = extra_stats or PlanStats()
+        with maybe_span(self.tracer, "twig-join",
+                        keys=len(keys)) as twig_span:
+            data, gets = yield from self._store.read_keys(
+                self._table, keys, "ids")
+            gets += extra_gets
+            stats = extra_stats or PlanStats()
 
-        if reduce_to is not None:
-            # 2LUPI reduction: R2^ai ⋉ R1(URI) for each key (§5.4).
-            semi = SemiJoin(stats)
-            reduced: Dict[str, Dict[str, Any]] = {}
-            for key in keys:
-                payloads = data.get(key, {})
-                kept = semi.execute(sorted(payloads), list(reduce_to),
-                                    key=lambda uri: uri)
-                reduced[key] = {uri: payloads[uri] for uri in kept}
-            data = reduced
+            if reduce_to is not None:
+                # 2LUPI reduction: R2^ai ⋉ R1(URI) for each key (§5.4).
+                semi = SemiJoin(stats)
+                reduced: Dict[str, Dict[str, Any]] = {}
+                for key in keys:
+                    payloads = data.get(key, {})
+                    kept = semi.execute(sorted(payloads), list(reduce_to),
+                                        key=lambda uri: uri)
+                    reduced[key] = {uri: payloads[uri] for uri in kept}
+                data = reduced
 
-        # Candidate documents must contain every key at least once.
-        uri_sets = [sorted(data.get(key, {})) for key in keys]
-        candidates = HashIntersect(stats).execute(uri_sets)
+            # Candidate documents must contain every key at least once.
+            uri_sets = [sorted(data.get(key, {})) for key in keys]
+            candidates = HashIntersect(stats).execute(uri_sets)
+            if twig_span is not None:
+                twig_span.attributes["candidates"] = len(candidates)
 
-        matched: List[str] = []
-        for uri in sorted(candidates):
-            streams: Dict[int, List] = {}
-            for node in twig.pattern.iter_nodes():
-                ids = data[twig.keys[id(node)]].get(uri, [])
-                if not self.assume_sorted:
-                    # Ablation: pay for sorting each stream at look-up
-                    # time (the §5.3 design avoids exactly this).
-                    length = len(ids)
-                    if length > 1:
-                        stats.charge("sort", length * max(
-                            1, math.ceil(math.log2(length))))
-                    ids = sorted(ids, key=lambda nid: nid.pre)
-                streams[id(node)] = ids
-            join = HolisticTwigJoin(twig.pattern, streams)
-            if join.matches():
-                matched.append(uri)
-            stats.charge("twig-join", join.rows_processed())
+            matched: List[str] = []
+            for uri in sorted(candidates):
+                streams: Dict[int, List] = {}
+                for node in twig.pattern.iter_nodes():
+                    ids = data[twig.keys[id(node)]].get(uri, [])
+                    if not self.assume_sorted:
+                        # Ablation: pay for sorting each stream at look-up
+                        # time (the §5.3 design avoids exactly this).
+                        length = len(ids)
+                        if length > 1:
+                            stats.charge("sort", length * max(
+                                1, math.ceil(math.log2(length))))
+                        ids = sorted(ids, key=lambda nid: nid.pre)
+                    streams[id(node)] = ids
+                join = HolisticTwigJoin(twig.pattern, streams)
+                if join.matches():
+                    matched.append(uri)
+                stats.charge("twig-join", join.rows_processed())
         return LookupOutcome(uris=matched, index_gets=gets,
                              rows_processed=stats.rows_processed,
                              keys_looked_up=len(keys))
@@ -387,7 +402,10 @@ class TwoLUPILookup(LUILookup):
     def lookup_pattern(self, pattern: TreePattern,
                        ) -> Generator[Any, Any, LookupOutcome]:
         """URIs of documents possibly matching ``pattern``."""
-        first = yield from self._lup.lookup_pattern(pattern)
+        with maybe_span(self.tracer, "lup-prefilter") as span:
+            first = yield from self._lup.lookup_pattern(pattern)
+            if span is not None:
+                span.attributes["documents"] = first.document_count
         twig = expand_pattern_for_twig(pattern, self.include_words)
         stats = PlanStats()
         stats.charge("lup-phase", first.rows_processed)

@@ -9,7 +9,7 @@ library uses: ``env.timeout(...)``, ``env.process(...)``,
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Generator, List, Optional, Tuple  # noqa: F401
 
 from repro.errors import SimulationDeadlock, SimulationError
 from repro.sim.events import Event, Timeout
@@ -36,6 +36,13 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_processes = 0
+        #: The process whose generator is currently being stepped (kernel
+        #: maintained).  Telemetry keys span stacks on it so concurrent
+        #: simulated processes each carry their own active span.
+        self.active_process: Optional[Process] = None
+        #: Optional telemetry hook (a ``TelemetryHub``); when set, every
+        #: spawned process is announced so it inherits the spawner's span.
+        self.telemetry: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -55,7 +62,10 @@ class Environment:
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
         """Start a new simulated process from ``generator``."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        if self.telemetry is not None:
+            self.telemetry.on_process_spawned(proc)
+        return proc
 
     # -- scheduling (kernel internal) ---------------------------------------
 

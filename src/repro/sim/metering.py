@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.telemetry.attribution import Attribution, parse_tag
 
 
 @dataclass(frozen=True)
@@ -34,8 +36,13 @@ class MeterRecord:
     bytes_out:
         Payload bytes transferred out of the service.
     tag:
-        Free-form attribution tag, used to slice costs per activity
-        (e.g. ``"index-build"`` vs ``"query:q3"``).
+        Legacy free-form attribution tag, used to slice costs per
+        activity (e.g. ``"index-build"`` vs ``"query:q3"``).  Prefer
+        the structured :attr:`attribution` view.
+    span_id:
+        Id of the telemetry span active when the operation ran (0 when
+        the run is untraced), letting :mod:`repro.telemetry.costing`
+        price traces per span.
     """
 
     time: float
@@ -45,6 +52,12 @@ class MeterRecord:
     bytes_in: int = 0
     bytes_out: int = 0
     tag: str = ""
+    span_id: int = 0
+
+    @property
+    def attribution(self) -> Attribution:
+        """The record's tag parsed into a structured attribution."""
+        return parse_tag(self.tag, span_id=self.span_id)
 
 
 @dataclass
@@ -72,8 +85,20 @@ class Meter:
     def __init__(self) -> None:
         self._records: List[MeterRecord] = []
         self._tag_stack: List[str] = []
+        self._telemetry: Optional[Any] = None
 
     # -- recording ---------------------------------------------------------
+
+    def bind_telemetry(self, hub: Any) -> None:
+        """Attach a :class:`~repro.telemetry.TelemetryHub`.
+
+        A bound meter stamps each record with the active span id and
+        mirrors request counts onto the hub's ``cloud_requests_total``
+        registry counter.  The record list itself is unchanged (same
+        length, same order), so metering-based determinism checks hold
+        with or without telemetry.
+        """
+        self._telemetry = hub
 
     def record(self, time: float, service: str, operation: str,
                count: int = 1, bytes_in: int = 0, bytes_out: int = 0,
@@ -81,14 +106,29 @@ class Meter:
         """Append and return a new record, inheriting the current tag."""
         if tag is None:
             tag = self._tag_stack[-1] if self._tag_stack else ""
+        span_id = 0
+        if self._telemetry is not None:
+            span_id = self._telemetry.current_span_id
         rec = MeterRecord(time=time, service=service, operation=operation,
                           count=count, bytes_in=bytes_in,
-                          bytes_out=bytes_out, tag=tag)
+                          bytes_out=bytes_out, tag=tag, span_id=span_id)
         self._records.append(rec)
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "cloud_requests_total",
+                "Billable cloud API requests by service and operation.",
+                ("service", "operation"),
+            ).inc(count, service=service, operation=operation)
         return rec
 
-    def tagged(self, tag: str) -> "_TagScope":
-        """Context manager that tags all records emitted inside it."""
+    def tagged(self, tag: Any) -> "_TagScope":
+        """Context manager that tags all records emitted inside it.
+
+        Accepts either a legacy tag string or an
+        :class:`~repro.telemetry.Attribution` (rendered to its tag).
+        """
+        if isinstance(tag, Attribution):
+            tag = tag.tag
         return _TagScope(self, tag)
 
     @property
@@ -107,8 +147,15 @@ class Meter:
     def records(self, service: Optional[str] = None,
                 operation: Optional[str] = None,
                 tag: Optional[str] = None,
-                tag_prefix: Optional[str] = None) -> List[MeterRecord]:
-        """Filter records by service and/or operation and/or tag."""
+                tag_prefix: Optional[str] = None,
+                activity: Optional[str] = None) -> List[MeterRecord]:
+        """Filter records by service, operation, tag and/or activity.
+
+        ``activity`` matches the structured attribution
+        (``activity="query"`` selects every per-query record regardless
+        of which query), where ``tag``/``tag_prefix`` match the legacy
+        string form.
+        """
         out = []
         for rec in self._records:
             if service is not None and rec.service != service:
@@ -118,6 +165,9 @@ class Meter:
             if tag is not None and rec.tag != tag:
                 continue
             if tag_prefix is not None and not rec.tag.startswith(tag_prefix):
+                continue
+            if activity is not None and \
+                    rec.attribution.activity != activity:
                 continue
             out.append(rec)
         return out

@@ -56,37 +56,49 @@ class Process(Event):
         kicker.add_callback(self._resume)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator by one step with ``event``'s outcome."""
+        """Advance the generator by one step with ``event``'s outcome.
+
+        The environment's ``active_process`` points at this process for
+        exactly the duration of the generator step (saved and restored,
+        since completing a process can resume its waiters re-entrantly),
+        so telemetry knows which process any span or meter record
+        belongs to.
+        """
         self._waiting_on = None
         throw_exc: BaseException | None = None
         if not event.ok:
             throw_exc = event._exception  # noqa: SLF001 - kernel internal
-        while True:
-            try:
-                if throw_exc is not None:
-                    pending, throw_exc = throw_exc, None
-                    target = self._generator.throw(pending)
-                else:
-                    target = self._generator.send(event._value)  # noqa: SLF001
-            except StopIteration as stop:
-                self.succeed(stop.value)
-                return
-            except BaseException as exc:  # noqa: BLE001 - feed into waiters
-                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                    raise
-                self.fail(exc)
-                return
-            if not isinstance(target, Event):
-                throw_exc = SimulationError(
-                    "process yielded a non-event: {!r}".format(target))
-                continue
-            if target.env is not self.env:
-                throw_exc = SimulationError(
-                    "process yielded an event from another environment")
-                continue
-            break
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        previous = self.env.active_process
+        self.env.active_process = self
+        try:
+            while True:
+                try:
+                    if throw_exc is not None:
+                        pending, throw_exc = throw_exc, None
+                        target = self._generator.throw(pending)
+                    else:
+                        target = self._generator.send(event._value)  # noqa: SLF001
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:  # noqa: BLE001 - feed into waiters
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self.fail(exc)
+                    return
+                if not isinstance(target, Event):
+                    throw_exc = SimulationError(
+                        "process yielded a non-event: {!r}".format(target))
+                    continue
+                if target.env is not self.env:
+                    throw_exc = SimulationError(
+                        "process yielded an event from another environment")
+                    continue
+                break
+            self._waiting_on = target
+            target.add_callback(self._resume)
+        finally:
+            self.env.active_process = previous
 
     def __repr__(self) -> str:
         return "<Process {} {}>".format(

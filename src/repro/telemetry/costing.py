@@ -1,0 +1,115 @@
+"""Cost attribution: price a trace per span.
+
+Every :class:`~repro.sim.metering.MeterRecord` carries the id of the
+span that was active when the operation ran, so the request half of the
+bill can be folded back onto the span tree: "this twig join cost
+$0.0004, 78% of it DynamoDB reads".  Two views:
+
+- *direct* costs (:func:`span_direct_costs`): requests issued while a
+  span was the innermost active one;
+- *inclusive* costs (:func:`span_inclusive_costs`): a span plus its
+  whole subtree — what the Chrome-trace rectangle actually cost.
+
+Records with span id 0 (emitted outside any span) land in the
+``untraced`` bucket, so the sum of root-span inclusive costs plus
+untraced always equals the estimator's request total for the run —
+asserted in ``tests/telemetry/test_costing.py``.
+
+Imports from :mod:`repro.costs` are deferred into the functions:
+``repro.costs`` imports ``repro.sim`` which imports this package, and
+the lazy imports keep that cycle from biting at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.telemetry.spans import Tracer
+
+__all__ = ["span_direct_costs", "span_inclusive_costs",
+           "priced_breakdown", "breakdown_as_dict"]
+
+
+def breakdown_as_dict(breakdown: Any) -> Dict[str, float]:
+    """A :class:`~repro.costs.estimator.CostBreakdown` as a plain dict."""
+    return {
+        "s3": breakdown.s3,
+        "dynamodb": breakdown.dynamodb,
+        "simpledb": breakdown.simpledb,
+        "ec2": breakdown.ec2,
+        "sqs": breakdown.sqs,
+        "egress": breakdown.egress,
+        "total": breakdown.total,
+    }
+
+
+def span_direct_costs(tracer: Tracer, meter: Any,
+                      book: Any) -> Dict[int, Any]:
+    """Request cost per span id (key 0 collects untraced records)."""
+    from repro.costs.estimator import CostBreakdown, price_record
+
+    out: Dict[int, CostBreakdown] = {}
+    for record in meter:
+        priced = price_record(record, book)
+        span_id = getattr(record, "span_id", 0)
+        slot = out.get(span_id)
+        out[span_id] = priced if slot is None else slot.add(priced)
+    return out
+
+
+def span_inclusive_costs(tracer: Tracer, meter: Any,
+                         book: Any) -> Dict[int, Any]:
+    """Request cost per span id including the span's whole subtree."""
+    from repro.costs.estimator import CostBreakdown, price_record
+
+    out: Dict[int, CostBreakdown] = {}
+    for record in meter:
+        priced = price_record(record, book)
+        span_id = getattr(record, "span_id", 0)
+        targets = list(tracer.ancestor_ids(span_id)) if span_id else [0]
+        if not targets:  # span id no longer resolvable: keep it untraced
+            targets = [0]
+        for target in targets:
+            slot = out.get(target)
+            out[target] = priced if slot is None else slot.add(priced)
+    return out
+
+
+def priced_breakdown(tracer: Tracer, meter: Any, book: Any,
+                     metadata: Optional[Dict[str, Any]] = None,
+                     ) -> Dict[str, Any]:
+    """Machine-readable priced trace: one entry per finished span.
+
+    The ``total`` field prices *all* meter records (traced or not), so
+    it matches ``phase_cost(meter, book, "").total`` for the same run.
+    """
+    from repro.costs.estimator import CostBreakdown, price_record
+
+    total = CostBreakdown()
+    for record in meter:
+        total = total.add(price_record(record, book))
+    direct = span_direct_costs(tracer, meter, book)
+    inclusive = span_inclusive_costs(tracer, meter, book)
+    zero = CostBreakdown()
+    spans = []
+    for span in sorted(tracer.spans, key=lambda s: s.span_id):
+        entry: Dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "track": span.track,
+            "start_s": span.start,
+            "duration_s": span.duration_s,
+            "direct": breakdown_as_dict(direct.get(span.span_id, zero)),
+            "inclusive": breakdown_as_dict(
+                inclusive.get(span.span_id, zero)),
+        }
+        for key in sorted(span.attributes):
+            entry.setdefault(key, span.attributes[key])
+        spans.append(entry)
+    return {
+        "metadata": dict(metadata or {}),
+        "total": breakdown_as_dict(total),
+        "untraced": breakdown_as_dict(direct.get(0, zero)),
+        "spans": spans,
+    }

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.cloud.provider import CloudProvider
+from repro.telemetry.spans import maybe_span
 from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
                                       RESPONSE_QUEUE, LoadRequest,
                                       QueryRequest, QueryResponse)
@@ -37,6 +38,11 @@ class Frontend:
         self._results_bucket = results_bucket
         self._query_ids = itertools.count(1)
 
+    def _span(self, name: str, **attributes: Any):
+        hub = getattr(self._cloud.env, "telemetry", None)
+        tracer = hub.tracer if hub is not None else None
+        return maybe_span(tracer, "frontend." + name, **attributes)
+
     # -- ingestion ------------------------------------------------------------
 
     def store_document(self, uri: str, data: bytes,
@@ -59,16 +65,21 @@ class Frontend:
                      ) -> Generator[Any, Any, int]:
         """Steps 7-8: post a query; returns its query id."""
         query_id = next(self._query_ids)
-        yield from self._cloud.resilient.sqs.send(
-            QUERY_QUEUE, QueryRequest(query_id=query_id, text=text, name=name))
+        with self._span("submit_query", query=name, query_id=query_id):
+            yield from self._cloud.resilient.sqs.send(
+                QUERY_QUEUE,
+                QueryRequest(query_id=query_id, text=text, name=name))
         return query_id
 
     def await_response(self) -> Generator[Any, Any, FetchedResult]:
         """Steps 16-18: take the next response, fetch its results."""
-        body, handle = yield from self._cloud.resilient.sqs.receive(RESPONSE_QUEUE)
-        assert isinstance(body, QueryResponse)
-        payload = yield from self._cloud.resilient.s3.get(
-            self._results_bucket, body.result_key)
-        yield from self._cloud.resilient.sqs.delete(RESPONSE_QUEUE, handle)
+        with self._span("await_response"):
+            body, handle = yield from self._cloud.resilient.sqs.receive(
+                RESPONSE_QUEUE)
+            assert isinstance(body, QueryResponse)
+            payload = yield from self._cloud.resilient.s3.get(
+                self._results_bucket, body.result_key)
+            yield from self._cloud.resilient.sqs.delete(
+                RESPONSE_QUEUE, handle)
         return FetchedResult(query_id=body.query_id, payload=payload,
                              fetched_at=self._cloud.env.now)

@@ -32,6 +32,7 @@ from repro.engine.evaluator import (EvalRow, evaluate_pattern,
 from repro.engine.value_join import join_query_rows
 from repro.indexing.lookup_plans import BaseLookup, QueryLookupOutcome
 from repro.query.parser import parse_query
+from repro.telemetry.spans import maybe_span
 from repro.warehouse.lease import LeaseKeeper
 from repro.warehouse.messages import (QUERY_QUEUE, RESPONSE_QUEUE,
                                       QueryRequest, QueryResponse, StopWorker)
@@ -66,6 +67,8 @@ class QueryWorkStats:
     #: report the candidate actually used, or "s3-scan"/"mixed"),
     #: "index" for a plain look-up, "none" for the no-index baseline.
     index_mode: str = ""
+    #: Telemetry span id of the worker's query span (0 untraced).
+    span_id: int = 0
 
     @property
     def processing_s(self) -> float:
@@ -147,65 +150,83 @@ class QueryWorker:
                  ) -> Generator[Any, Any, QueryWorkStats]:
         env = self._cloud.env
         profile = self._cloud.profile
+        hub = getattr(env, "telemetry", None)
+        tracer = hub.tracer if hub is not None else None
         stats = QueryWorkStats(query_id=request.query_id, name=request.name,
                                received_at=env.now)
         query = parse_query(request.text, name=request.name)
 
-        # Steps 9-10: index look-up (or the no-index full scan list).
-        if self._lookup is not None:
-            lookup_start = env.now
-            outcome: QueryLookupOutcome = \
-                yield from self._lookup.lookup_query(query)
-            stats.lookup_get_s = env.now - lookup_start
-            stats.index_gets = outcome.index_gets
-            stats.rows_processed = outcome.rows_processed
-            stats.per_pattern_docs = [o.document_count
-                                      for o in outcome.per_pattern]
-            per_pattern_uris = [o.uris for o in outcome.per_pattern]
-            # Step 11: the look-up physical plan's CPU.
-            plan_start = env.now
-            yield from self._instance.run(
-                outcome.rows_processed * profile.plan_ecu_s_per_row)
-            stats.lookup_plan_s = env.now - plan_start
-            stats.index_mode = getattr(self._lookup, "query_resolution",
-                                       "index") or "index"
-        else:
-            per_pattern_uris = [list(self._all_uris)
-                                for _ in query.patterns]
-            stats.per_pattern_docs = [len(u) for u in per_pattern_uris]
-            stats.index_mode = "none"
+        with maybe_span(tracer, "query", query=request.name,
+                        query_id=request.query_id) as query_span:
+            if query_span is not None:
+                stats.span_id = query_span.span_id
 
-        # Steps 12-13: fetch candidate documents, evaluate per pattern.
-        fetch_start = env.now
-        union: List[str] = sorted(
-            {uri for uris in per_pattern_uris for uri in uris})
-        stats.documents_fetched = len(union)
-        pattern_rows: List[List[EvalRow]] = [[] for _ in query.patterns]
-        uri_sets: List[Set[str]] = [set(uris) for uris in per_pattern_uris]
-        tasks = [env.process(
-            self._evaluate_document(uri, query, uri_sets, pattern_rows),
-            name="eval-{}".format(uri)) for uri in union]
-        for task in tasks:
-            yield task
-        stats.fetch_eval_s = env.now - fetch_start
+            # Steps 9-10: index look-up (or the no-index full scan list).
+            if self._lookup is not None:
+                self._lookup.tracer = tracer
+                lookup_start = env.now
+                with maybe_span(tracer, "index-lookup"):
+                    outcome: QueryLookupOutcome = \
+                        yield from self._lookup.lookup_query(query)
+                stats.lookup_get_s = env.now - lookup_start
+                stats.index_gets = outcome.index_gets
+                stats.rows_processed = outcome.rows_processed
+                stats.per_pattern_docs = [o.document_count
+                                          for o in outcome.per_pattern]
+                per_pattern_uris = [o.uris for o in outcome.per_pattern]
+                # Step 11: the look-up physical plan's CPU.
+                plan_start = env.now
+                with maybe_span(tracer, "plan-execution",
+                                rows=outcome.rows_processed):
+                    yield from self._instance.run(
+                        outcome.rows_processed * profile.plan_ecu_s_per_row)
+                stats.lookup_plan_s = env.now - plan_start
+                stats.index_mode = getattr(self._lookup, "query_resolution",
+                                           "index") or "index"
+            else:
+                per_pattern_uris = [list(self._all_uris)
+                                    for _ in query.patterns]
+                stats.per_pattern_docs = [len(u) for u in per_pattern_uris]
+                stats.index_mode = "none"
 
-        # Value joins (§5.5) and final rows.
-        if query.joins:
-            join_rows = sum(len(rows) for rows in pattern_rows)
-            yield from self._instance.run(
-                join_rows * profile.join_ecu_s_per_row)
-        final_rows = join_query_rows(query, pattern_rows)
-        stats.result_rows = len(final_rows)
-        stats.result_bytes = result_size_bytes(final_rows)
-        stats.docs_with_results = len(
-            {part for row in final_rows for part in row.uri.split("+")})
+            # Steps 12-13: fetch candidates, evaluate per pattern.
+            fetch_start = env.now
+            union: List[str] = sorted(
+                {uri for uris in per_pattern_uris for uri in uris})
+            stats.documents_fetched = len(union)
+            pattern_rows: List[List[EvalRow]] = [[] for _ in query.patterns]
+            uri_sets: List[Set[str]] = [set(uris)
+                                        for uris in per_pattern_uris]
+            with maybe_span(tracer, "fetch-eval", documents=len(union)):
+                tasks = [env.process(
+                    self._evaluate_document(uri, query, uri_sets,
+                                            pattern_rows),
+                    name="eval-{}".format(uri)) for uri in union]
+                for task in tasks:
+                    yield task
+            stats.fetch_eval_s = env.now - fetch_start
 
-        # Step 14: write the results to the file store.
-        payload = "\n".join(
-            "\t".join(row.projections) for row in final_rows).encode("utf-8")
-        yield from self._cloud.resilient.s3.put(
-            self._results_bucket,
-            "results/{}.txt".format(request.query_id), payload)
+            # Value joins (§5.5) and final rows.
+            if query.joins:
+                join_rows = sum(len(rows) for rows in pattern_rows)
+                with maybe_span(tracer, "value-join", rows=join_rows):
+                    yield from self._instance.run(
+                        join_rows * profile.join_ecu_s_per_row)
+            final_rows = join_query_rows(query, pattern_rows)
+            stats.result_rows = len(final_rows)
+            stats.result_bytes = result_size_bytes(final_rows)
+            stats.docs_with_results = len(
+                {part for row in final_rows for part in row.uri.split("+")})
+
+            # Step 14: write the results to the file store.
+            payload = "\n".join(
+                "\t".join(row.projections)
+                for row in final_rows).encode("utf-8")
+            with maybe_span(tracer, "write-results",
+                            bytes=len(payload)):
+                yield from self._cloud.resilient.s3.put(
+                    self._results_bucket,
+                    "results/{}.txt".format(request.query_id), payload)
         return stats
 
     def _evaluate_document(self, uri: str, query,

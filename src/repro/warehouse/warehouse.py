@@ -34,6 +34,7 @@ from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
 from repro.indexing.registry import strategy as strategy_by_name
 from repro.query.parser import query_to_source
 from repro.query.pattern import Query
+from repro.telemetry.spans import maybe_span
 from repro.warehouse.frontend import Frontend
 from repro.warehouse.loader import IndexerWorker, LoaderWorkerStats
 from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
@@ -166,11 +167,31 @@ class QueryExecution:
     #: no-index baseline, "s3-scan" for a fully degraded query, or
     #: "mixed" when patterns of one query fell back differently.
     index_mode: str = ""
+    #: Telemetry span id of this query's processing span (0 untraced).
+    span_id: int = 0
+    #: Non-empty when the query did not run on the workload's nominal
+    #: strategy: the fallback actually used ("s3-scan", "mixed", or
+    #: another strategy's name).
+    downgrade: str = ""
+    #: Request cost of this query's span subtree (a
+    #: :class:`~repro.costs.estimator.CostBreakdown`), priced from the
+    #: run's meter; ``None`` when the run was untraced.
+    cost: Optional[Any] = None
+
+    @property
+    def traced(self) -> bool:
+        """Whether this execution is linked into a span tree."""
+        return self.span_id > 0
 
 
 @dataclass
 class WorkloadReport:
-    """A workload run: per-query executions plus the makespan."""
+    """A workload run: per-query executions plus the makespan.
+
+    The unified result shape: plain workloads, degraded workloads and
+    the no-index full-scan path all return this, each execution
+    carrying its span id, downgrade marker and per-query request cost.
+    """
 
     executions: List[QueryExecution]
     strategy_name: str
@@ -179,6 +200,14 @@ class WorkloadReport:
     tag: str
     #: First submission → last result fetched (Figure 10's metric).
     makespan_s: float
+    #: The run's :class:`~repro.telemetry.spans.Tracer` (None untraced):
+    #: pass to the exporters for a Chrome trace or console tree.
+    trace: Optional[Any] = None
+    #: Request cost of the whole workload span subtree
+    #: (:class:`~repro.costs.estimator.CostBreakdown`; None untraced).
+    cost: Optional[Any] = None
+    #: Telemetry span id of the workload phase span (0 untraced).
+    span_id: int = 0
 
     def by_name(self) -> Dict[str, List[QueryExecution]]:
         """Executions grouped by query name."""
@@ -186,6 +215,10 @@ class WorkloadReport:
         for execution in self.executions:
             grouped.setdefault(execution.name, []).append(execution)
         return grouped
+
+    def downgraded(self) -> List[QueryExecution]:
+        """Executions that fell back below the nominal strategy."""
+        return [e for e in self.executions if e.downgrade]
 
 
 class Warehouse:
@@ -226,6 +259,17 @@ class Warehouse:
         #: QueryWorker.parsed_documents: simulated CPU is unaffected).
         self._parse_cache: Dict[str, Any] = {}
 
+    @property
+    def telemetry(self) -> Any:
+        """The deployment's :class:`~repro.telemetry.TelemetryHub`."""
+        return getattr(self.cloud, "telemetry", None)
+
+    def _span(self, name: str, **attributes: Any):
+        """A phase-level span (no-op when the cloud carries no hub)."""
+        hub = self.telemetry
+        return maybe_span(hub.tracer if hub is not None else None,
+                          name, **attributes)
+
     # -- corpus upload -----------------------------------------------------------
 
     def upload_corpus(self, corpus: Corpus, tag: str = "upload") -> None:
@@ -238,8 +282,9 @@ class Warehouse:
             for uri in self._all_uris:
                 yield from self.frontend.store_document(uri, corpus.data[uri])
 
-        with self.cloud.meter.tagged(tag):
-            self.cloud.env.run_process(driver(), name="upload-corpus")
+        with self._span("upload", documents=len(self._all_uris)):
+            with self.cloud.meter.tagged(tag):
+                self.cloud.env.run_process(driver(), name="upload-corpus")
 
     # -- index building ------------------------------------------------------------
 
@@ -344,9 +389,11 @@ class Warehouse:
             return results
 
         started_at = self.cloud.env.now
-        with self.cloud.meter.tagged(tag):
-            self.cloud.env.run_process(
-                driver(), name="build-{}".format(strategy.name))
+        with self._span("index-build", strategy=strategy.name,
+                        backend=backend, instances=instances):
+            with self.cloud.meter.tagged(tag):
+                self.cloud.env.run_process(
+                    driver(), name="build-{}".format(strategy.name))
         # Aggregate over every worker that ran, including crashed ones
         # and their replacements: redone work is real work (and real
         # cost), and a crashed worker's partial stats describe it.
@@ -426,13 +473,15 @@ class Warehouse:
             {doc.uri: doc for doc in increment.documents})
 
         reports: List[IndexBuildReport] = []
-        with self.cloud.meter.tagged(tag):
-            # Steps 1-2: the front end stores the arriving documents.
-            def store_driver() -> Generator[Any, Any, None]:
-                for document in increment.documents:
-                    yield from self.frontend.store_document(
-                        document.uri, increment.data[document.uri])
-            self.cloud.env.run_process(store_driver(), name="ingest-store")
+        with self._span("ingest-store", documents=len(increment)):
+            with self.cloud.meter.tagged(tag):
+                # Steps 1-2: the front end stores the arriving documents.
+                def store_driver() -> Generator[Any, Any, None]:
+                    for document in increment.documents:
+                        yield from self.frontend.store_document(
+                            document.uri, increment.data[document.uri])
+                self.cloud.env.run_process(store_driver(),
+                                           name="ingest-store")
 
         for built in indexes:
             reports.append(self._index_increment(
@@ -469,9 +518,10 @@ class Warehouse:
             return results
 
         started_at = self.cloud.env.now
-        with self.cloud.meter.tagged(tag):
-            stats = self.cloud.env.run_process(
-                driver(), name="ingest-{}".format(built.strategy.name))
+        with self._span("ingest-index", strategy=built.strategy.name):
+            with self.cloud.meter.tagged(tag):
+                stats = self.cloud.env.run_process(
+                    driver(), name="ingest-{}".format(built.strategy.name))
         self.cloud.ec2.stop_all()
         phase = PhaseRecord(tag=tag, instance_type=instance_type,
                             instances=instances, started_at=started_at,
@@ -670,9 +720,12 @@ class Warehouse:
             return results
 
         started_at = self.cloud.env.now
-        with self.cloud.meter.tagged(tag):
-            self.cloud.env.run_process(
-                driver(), name="ckpt-build-{}".format(plan.name))
+        with self._span("index-build", strategy=plan.strategy.name,
+                        index=plan.name, epoch=plan.epoch,
+                        checkpointed=True):
+            with self.cloud.meter.tagged(tag):
+                self.cloud.env.run_process(
+                    driver(), name="ckpt-build-{}".format(plan.name))
         stats = [worker.stats for worker in workers]
         self.cloud.ec2.stop_all()
         self.phases.append(PhaseRecord(
@@ -691,9 +744,10 @@ class Warehouse:
         from repro.consistency.build import BuildCoordinator
         tag = tag or "index-commit:{}:e{}".format(plan.name, plan.epoch)
         coordinator = BuildCoordinator(self.cloud, plan)
-        with self.cloud.meter.tagged(tag):
-            record = self.cloud.env.run_process(
-                coordinator.commit(), name="commit-{}".format(plan.name))
+        with self._span("index-commit", index=plan.name, epoch=plan.epoch):
+            with self.cloud.meter.tagged(tag):
+                record = self.cloud.env.run_process(
+                    coordinator.commit(), name="commit-{}".format(plan.name))
         return record
 
     def resume_build(self, plan: Any,
@@ -803,10 +857,11 @@ class Warehouse:
                             built.table_names, name, epoch,
                             DOCUMENT_BUCKET, health=self.health,
                             batch_groups=batch_groups)
-        with self.cloud.meter.tagged(tag):
-            report = self.cloud.env.run_process(
-                scrubber.scrub(repair=repair),
-                name="scrub-{}".format(name))
+        with self._span("scrub", index=name, epoch=epoch, repair=repair):
+            with self.cloud.meter.tagged(tag):
+                report = self.cloud.env.run_process(
+                    scrubber.scrub(repair=repair),
+                    name="scrub-{}".format(name))
         return report
 
     def run_degraded_workload(self, queries: Sequence[Query],
@@ -907,16 +962,33 @@ class Warehouse:
                 yield proc
 
         started_at = self.cloud.env.now
-        with self.cloud.meter.tagged(tag):
-            self.cloud.env.run_process(driver(), name="workload")
+        with self._span("workload", strategy=strategy_name,
+                        instances=instances,
+                        instance_type=instance_type) as workload_span:
+            with self.cloud.meter.tagged(tag):
+                self.cloud.env.run_process(driver(), name="workload")
         self.cloud.ec2.stop_all()
         self.phases.append(PhaseRecord(
             tag=tag, instance_type=instance_type, instances=instances,
             started_at=started_at, ended_at=self.cloud.env.now))
 
+        # Price every span subtree once; each execution then picks its
+        # own query span's rollup out of the map.
+        hub = self.telemetry
+        trace = hub.tracer if hub is not None else None
+        inclusive: Dict[int, Any] = {}
+        if trace is not None:
+            from repro.telemetry.costing import span_inclusive_costs
+            inclusive = span_inclusive_costs(trace, self.cloud.meter,
+                                             self.cloud.price_book)
+
         executions: List[QueryExecution] = []
         for query_id in sorted(submitted):
             work = stats_sink[query_id]
+            downgrade = ""
+            if work.index_mode not in ("", "index", "none",
+                                       strategy_name):
+                downgrade = work.index_mode
             executions.append(QueryExecution(
                 name=names[query_id],
                 strategy_name=strategy_name,
@@ -938,14 +1010,22 @@ class Warehouse:
                 rows_processed=work.rows_processed,
                 query_id=query_id,
                 index_mode=work.index_mode,
+                span_id=work.span_id,
+                downgrade=downgrade,
+                cost=inclusive.get(work.span_id) if work.span_id else None,
             ))
         makespan = (max(fetched.values()) - min(submitted.values())
                     if fetched else 0.0)
+        workload_span_id = (workload_span.span_id
+                            if workload_span is not None else 0)
         return WorkloadReport(executions=executions,
                               strategy_name=strategy_name,
                               instance_type=instance_type,
                               instances=instances, tag=tag,
-                              makespan_s=makespan)
+                              makespan_s=makespan,
+                              trace=trace,
+                              cost=inclusive.get(workload_span_id),
+                              span_id=workload_span_id)
 
     def run_query(self, query: Query, index: Optional[BuiltIndex],
                   instance_type: str = "xl",

@@ -1,0 +1,113 @@
+"""Exporter tests: golden trace bytes, Perfetto shape, determinism."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sim import Environment
+from repro.telemetry import (TelemetryHub, chrome_trace_json,
+                             metrics_snapshot_json, render_tree)
+from tests.telemetry.conftest import traced_run
+
+pytestmark = pytest.mark.telemetry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_trace.json")
+
+
+def golden_scenario() -> TelemetryHub:
+    """A tiny fixed span tree: workload → query → (fetch ∥ join)."""
+    env = Environment()
+    hub = TelemetryHub(env)
+
+    def fetcher():
+        with hub.span("fetch", key="doc-1"):
+            yield env.timeout(0.25)
+
+    def driver():
+        with hub.span("query", query="q1"):
+            yield env.timeout(0.5)
+            task = env.process(fetcher(), name="fetcher")
+            yield task
+            with hub.span("join", rows=3):
+                yield env.timeout(0.125)
+
+    with hub.span("workload", strategy="LU"):
+        env.run_process(driver(), name="driver")
+    return hub
+
+
+def test_chrome_trace_matches_golden_file():
+    rendered = chrome_trace_json(golden_scenario().tracer)
+    with open(GOLDEN, "r", encoding="utf-8") as handle:
+        assert rendered == handle.read()
+
+
+def test_same_seed_full_runs_export_byte_identical_traces(traced_warehouse):
+    first = chrome_trace_json(traced_warehouse.telemetry.tracer)
+    second = chrome_trace_json(traced_run().telemetry.tracer)
+    assert first == second
+
+
+def test_trace_events_are_perfetto_shaped(traced_warehouse):
+    doc = json.loads(chrome_trace_json(traced_warehouse.telemetry.tracer,
+                                       metadata={"seed": 20130318}))
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {"seed": 20130318}
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    threads = [e for e in events if e["ph"] == "M"]
+    assert complete and threads
+    for event in complete:
+        assert {"name", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        assert event["args"]["span_id"] >= 1
+    tids = {e["tid"] for e in threads}
+    assert {e["tid"] for e in complete} <= tids
+    names = {e["name"] for e in complete}
+    # The instrumented pipeline of the paper's Figure 1 path.
+    for expected in ("workload", "query", "index-lookup", "pattern-lookup",
+                     "fetch-eval", "write-results", "s3.get", "s3.put",
+                     "sqs.send", "sqs.receive", "dynamodb.batch_get",
+                     "frontend.submit_query", "index-build"):
+        assert expected in names, expected
+
+
+def test_trace_parent_ids_resolve(traced_warehouse):
+    tracer = traced_warehouse.telemetry.tracer
+    ids = {span.span_id for span in tracer.spans}
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            assert tracer.get(span.parent_id) is not None
+    assert len(ids) == len(tracer.spans)
+
+
+def test_render_tree_aggregates_same_named_siblings():
+    rendered = render_tree(golden_scenario().tracer)
+    lines = rendered.splitlines()
+    assert lines[0].startswith("workload [strategy=LU]")
+    assert any(line.strip().startswith("query") for line in lines)
+    assert any(line.strip().startswith("fetch") for line in lines)
+
+
+def test_render_tree_collapses_repeated_names():
+    env = Environment()
+    hub = TelemetryHub(env)
+    with hub.span("parent"):
+        for _ in range(3):
+            with hub.span("get"):
+                pass
+    rendered = render_tree(hub.tracer)
+    assert "get ×3" in rendered
+
+
+def test_metrics_snapshot_json_round_trips(traced_warehouse):
+    hub = traced_warehouse.telemetry
+    rendered = metrics_snapshot_json(hub.registry)
+    snap = json.loads(rendered)
+    assert "cloud_requests_total" in snap
+    series = snap["cloud_requests_total"]["series"]
+    assert any(entry["labels"] == {"service": "s3", "operation": "get"}
+               for entry in series)
+    assert rendered == metrics_snapshot_json(hub.registry)
