@@ -1,0 +1,45 @@
+"""Regenerates the store-layer amortisation bench (cache on vs. off).
+
+Benchmark kernel: routing one batch of keys through the BatchPipeline.
+Also emits ``BENCH_store.json`` — the machine-readable per-run series —
+next to the repository root.
+"""
+
+import json
+import os
+
+from conftest import report
+
+from repro.bench.experiments import store_amortization as experiment
+from repro.store import BatchPipeline
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_store.json")
+
+
+def test_store_amortization(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    keys = ["key-{:04d}".format(i % 600) for i in range(2000)]
+
+    def route():
+        pipeline = BatchPipeline(shards=4)
+        pipeline.add_all(keys)
+        return pipeline.batches("idx-bench-table")
+
+    batches = benchmark(route)
+    assert sum(len(chunk) for _, _, chunk in batches) == 600
+    assert all(len(chunk) <= 100 for _, _, chunk in batches)

@@ -11,6 +11,7 @@ monetary cost.  This CLI does the same over the simulated substrate::
     repro-warehouse scrub --documents 24 --strategy 2LUPI --damage corrupt-item
     repro-warehouse resume --documents 24 --strategy LUP --interrupt-after 4
     repro-warehouse trace --documents 60 --out /tmp/trace.json
+    repro-warehouse workload --documents 60 --runs 3 --cache-bytes 262144
     repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
     repro-warehouse prices --provider google
 
@@ -32,7 +33,7 @@ from typing import List, Optional
 from repro.advisor import IndexAdvisor
 from repro.bench.reporting import Reporter, format_money, format_table
 from repro.config import ScaleProfile
-from repro.costs.estimator import build_phase_cost, query_cost
+from repro.costs.estimator import build_phase_cost, phase_cost, query_cost
 from repro.costs.metrics import DatasetMetrics
 from repro.costs.pricing import price_book, render_table3
 from repro.faults.scenarios import (SCENARIO_NAMES, run_scenario,
@@ -41,6 +42,7 @@ from repro.indexing.registry import ALL_STRATEGY_NAMES
 from repro.query.parser import parse_query
 from repro.query.workload import WORKLOAD_ORDER, workload, workload_query
 from repro.query.xquery import to_xquery
+from repro.store import StoreConfig
 from repro.warehouse import Warehouse
 from repro.warehouse.monitoring import resource_report
 from repro.xmark import generate_corpus
@@ -70,6 +72,16 @@ def _strategy_name(value: str) -> str:
             "unknown strategy {!r}; choose from {}".format(
                 value, ", ".join(ALL_STRATEGY_NAMES)))
     return name
+
+
+def _store_config(args) -> StoreConfig:
+    """The storage-access configuration from ``--shards``/``--cache-bytes``.
+
+    Subcommands without the store flags fall back to the default
+    (single-table, uncached) configuration.
+    """
+    return StoreConfig(shards=getattr(args, "shards", 1),
+                       cache_bytes=getattr(args, "cache_bytes", 0))
 
 
 def _require_checkpoint_backend(args) -> None:
@@ -110,7 +122,7 @@ def _parse_query_names(spec: str) -> List[str]:
 def cmd_demo(args) -> int:
     """Full pipeline: upload, build one index, run queries, show costs."""
     corpus = _corpus(args)
-    warehouse = Warehouse()
+    warehouse = Warehouse(store_config=_store_config(args))
     warehouse.upload_corpus(corpus)
     out.line("uploaded {} documents ({:.2f} MB)".format(
         len(corpus), corpus.total_mb))
@@ -198,7 +210,7 @@ def cmd_scrub(args) -> int:
     from repro.faults.corruption import CorruptionMonkey
 
     _require_checkpoint_backend(args)
-    warehouse = Warehouse()
+    warehouse = Warehouse(store_config=_store_config(args))
     warehouse.upload_corpus(_corpus(args))
     built, record = warehouse.build_index_checkpointed(
         args.strategy, instances=args.instances,
@@ -281,7 +293,7 @@ def cmd_trace(args) -> int:
     from repro.telemetry import chrome_trace_json, priced_breakdown
 
     corpus = _corpus(args)
-    warehouse = Warehouse()
+    warehouse = Warehouse(store_config=_store_config(args))
     warehouse.upload_corpus(corpus)
     index = warehouse.build_index(args.strategy, instances=args.instances,
                                   backend=args.backend)
@@ -328,6 +340,50 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_workload(args) -> int:
+    """Run the 10-query workload K times; show per-run billed reads.
+
+    The amortisation view of the store layer: with ``--cache-bytes``
+    set, runs 2..K serve repeated index look-ups from the epoch-aware
+    cache, so billed DynamoDB gets (and the priced cost) drop after the
+    first run.  With the cache off every run bills identically.
+    """
+    corpus = _corpus(args)
+    warehouse = Warehouse(store_config=_store_config(args))
+    warehouse.upload_corpus(corpus)
+    index = warehouse.build_index(args.strategy, instances=args.instances,
+                                  backend=args.backend)
+    names = _parse_query_names(args.queries) if args.queries \
+        else list(WORKLOAD_ORDER)
+    queries = [workload_query(name) for name in names]
+    book = warehouse.cloud.price_book
+    meter = warehouse.cloud.meter
+    rows = []
+    for run in range(1, args.runs + 1):
+        tag = "workload:run{}".format(run)
+        report = warehouse.run_workload(queries, index,
+                                        instance_type=args.instance_type,
+                                        tag=tag)
+        billed_gets = meter.request_count("dynamodb", "get", tag=tag)
+        cache_hits = sum(e.store_cache_hits for e in report.executions)
+        cost = phase_cost(meter, book, tag)
+        rows.append([run, billed_gets, cache_hits,
+                     "{:.3f}s".format(report.makespan_s),
+                     format_money(cost.total)])
+    out.table(["run", "billed gets", "cache hits", "makespan", "cost"],
+              rows)
+    if warehouse.index_cache is not None:
+        stats = warehouse.index_cache.stats()
+        out.line("cache: {:.0f} entries, {:.0f}/{:.0f} bytes, "
+                 "hit ratio {:.1%} ({:.0f} hits / {:.0f} misses)".format(
+                     stats["entries"], stats["bytes"], stats["max_bytes"],
+                     stats["hit_ratio"], stats["hits"], stats["misses"]))
+    if args.monitor:
+        out.blank()
+        out.line(resource_report(warehouse).render())
+    return 0
+
+
 def cmd_xquery(args) -> int:
     """Translate a tree-pattern query into XQuery (§4)."""
     query = parse_query(args.query)
@@ -353,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--document-kb", type=int, default=8)
         p.add_argument("--seed", type=int, default=20130318)
 
+    def add_store_args(p):
+        # The normalized storage-access surface: same spelling and
+        # defaults wherever the store layer is configurable.
+        p.add_argument("--shards", type=int, default=1,
+                       help="physical tables per logical index table")
+        p.add_argument("--cache-bytes", type=int, default=0,
+                       help="byte budget of the epoch-aware read cache "
+                            "(0 disables)")
+
     def add_build_args(p, instances=4):
         # The normalized build surface: identical spelling, defaults
         # and semantics on every subcommand that builds an index.
@@ -372,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     add_corpus_args(p_demo)
     add_build_args(p_demo)
+    add_store_args(p_demo)
     p_demo.add_argument("--instance-type", default="xl",
                         choices=("l", "xl"), help="query processor type")
     p_demo.add_argument("--queries",
@@ -400,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scrub = sub.add_parser("scrub", help=cmd_scrub.__doc__)
     add_corpus_args(p_scrub)
     add_build_args(p_scrub)
+    add_store_args(p_scrub)
     p_scrub.add_argument("--batch-size", type=int, default=8,
                          help="documents per checkpointed batch")
     p_scrub.add_argument("--damage",
@@ -424,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser("trace", help=cmd_trace.__doc__)
     add_corpus_args(p_trace, documents=60)
     add_build_args(p_trace)
+    add_store_args(p_trace)
     p_trace.add_argument("--instance-type", default="xl",
                          choices=("l", "xl"), help="query processor type")
     p_trace.add_argument("--queries",
@@ -438,6 +506,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--tree", action="store_true",
                          help="print the span tree with per-span costs")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_workload = sub.add_parser("workload", help=cmd_workload.__doc__)
+    add_corpus_args(p_workload, documents=60)
+    add_build_args(p_workload)
+    add_store_args(p_workload)
+    p_workload.add_argument("--instance-type", default="xl",
+                            choices=("l", "xl"),
+                            help="query processor type")
+    p_workload.add_argument("--queries",
+                            help="comma-separated q1..q10 (default: all)")
+    p_workload.add_argument("--runs", type=int, default=3,
+                            help="workload repetitions (K)")
+    p_workload.add_argument("--monitor", action="store_true",
+                            help="print the resource report afterwards")
+    p_workload.set_defaults(func=cmd_workload)
 
     p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
     p_xquery.add_argument("query", help="tree-pattern query text")

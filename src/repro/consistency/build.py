@@ -100,6 +100,9 @@ class BuildPlan:
     instances: int = 8
     instance_type: str = "l"
     tag: str = ""
+    #: Physical shard tables per logical table (routing metadata the
+    #: store layer configures; recorded in the epoch manifest).
+    shards: int = 1
 
     @property
     def documents(self) -> int:
@@ -153,17 +156,27 @@ class BuildCoordinator:
             name=plan.name, epoch=plan.epoch, status="pending",
             strategy=plan.strategy.name, tables=dict(plan.table_names),
             ledger_table=plan.ledger_table, batches=len(plan.batches),
-            batch_size=plan.batch_size)
+            batch_size=plan.batch_size, shards=plan.shards)
 
     # -- prepare -----------------------------------------------------------
 
     def prepare(self, store: Any) -> Generator[Any, Any, None]:
-        """Create tables (idempotently) and record the pending epoch."""
+        """Create tables (idempotently) and record the pending epoch.
+
+        Under sharding each logical table is backed by several physical
+        tables; existence is checked shard by shard so a resume after a
+        partial create finishes the job without clobbering anything.
+        """
+        from repro.store.sharding import shard_table_names
         db = self._cloud.resilient.dynamodb
         existing = set(db.table_names())
+        creator = getattr(store, "create_physical_table",
+                          store.create_table)
         for physical in self.plan.table_names.values():
-            if physical not in existing:
-                store.create_table(physical)
+            for shard_table in shard_table_names(physical,
+                                                 self.plan.shards):
+                if shard_table not in existing:
+                    creator(shard_table)
         self.ledger.ensure_table()
         if META_BUCKET not in self._cloud.s3.bucket_names():
             self._cloud.s3.create_bucket(META_BUCKET)
@@ -217,11 +230,21 @@ class BuildCoordinator:
                     len(self.plan.batches), missing[0]))
 
         # Ground-truth inventories + content digest, from a full scan of
-        # the freshly-built (undamaged) tables.
+        # the freshly-built (undamaged) tables.  A sharded logical table
+        # is scanned shard by shard (ascending shard order) and
+        # inventoried as one logical coverage map, so scrub/repair and
+        # the 2LUPI cross-table invariants see a coherent logical view
+        # regardless of the physical layout.
+        from repro.store.sharding import shard_table_names
         digest_forms: List[bytes] = []
         for logical in sorted(self.plan.table_names):
             physical = self.plan.table_names[logical]
-            items = yield from self._cloud.resilient.dynamodb.scan(physical)
+            items = []
+            for shard_table in shard_table_names(physical,
+                                                 self.plan.shards):
+                shard_items = yield from \
+                    self._cloud.resilient.dynamodb.scan(shard_table)
+                items.extend(shard_items)
             coverage = coverage_of_items(items)
             payload = json.dumps(coverage, sort_keys=True).encode("utf-8")
             yield from self._cloud.resilient.s3.put(
@@ -242,7 +265,7 @@ class BuildCoordinator:
             tables=dict(self.plan.table_names),
             ledger_table=self.plan.ledger_table,
             batches=len(self.plan.batches), digest=digest,
-            batch_size=self.plan.batch_size)
+            batch_size=self.plan.batch_size, shards=self.plan.shards)
         committed = yield from self.manifest.commit(record, expected_epoch)
         yield from self.manifest.clear_pending(self.plan.name)
         return committed

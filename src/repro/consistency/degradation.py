@@ -93,6 +93,16 @@ class DegradingLookup(BaseLookup):
         #: Every resolution used during the current query.
         self.resolutions_used: List[str] = []
 
+    @property
+    def store_cache(self) -> Optional[Any]:
+        """The chain's shared read cache (every candidate store of one
+        warehouse holds the same cache object), or ``None``."""
+        for built in self._candidates:
+            cache = getattr(built.store, "cache", None)
+            if cache is not None:
+                return cache
+        return None
+
     def _note_downgrade(self, skipped: str, reason: str) -> None:
         self._cloud.meter.record(
             self._cloud.env.now, CONSISTENCY_SERVICE,
@@ -118,9 +128,15 @@ class DegradingLookup(BaseLookup):
                 continue
             except (IntegrityError, EncodingError):
                 # Damage discovered mid-read: quarantine the index and
-                # fall through; the scrubber will repair it.
+                # fall through; the scrubber will repair it.  Cached
+                # reads of the quarantined tables are dropped so the
+                # post-repair index is re-read, never masked by
+                # pre-damage entries.
+                cache = getattr(built.store, "cache", None)
                 for table in tables:
                     self._health.mark(table, "suspect")
+                    if cache is not None:
+                        cache.invalidate_table(table)
                 self._note_downgrade(name, "integrity")
                 continue
             self._resolve(name)

@@ -49,6 +49,10 @@ class EpochRecord:
     #: Documents per batch; lets a scrub reconstruct the exact batch
     #: partition (0 when unknown, e.g. hand-built records).
     batch_size: int = 0
+    #: Physical shard tables per logical table — the routing metadata
+    #: scrub/repair needs to expand logical names (1 = unsharded, the
+    #: default for records written before sharding existed).
+    shards: int = 1
 
     def to_attributes(self) -> Dict[str, Tuple[str, ...]]:
         """Attribute map stored in the manifest item."""
@@ -61,6 +65,7 @@ class EpochRecord:
             "batches": (str(self.batches),),
             "digest": (self.digest,),
             "batch_size": (str(self.batch_size),),
+            "shards": (str(self.shards),),
         }
 
     @staticmethod
@@ -83,6 +88,7 @@ class EpochRecord:
             digest=one("digest"),
             batch_size=(int(one("batch_size"))
                         if "batch_size" in attrs else 0),
+            shards=(int(one("shards")) if "shards" in attrs else 1),
         )
 
 
@@ -171,7 +177,8 @@ class Manifest:
             name=record.name, epoch=record.epoch, status="committed",
             strategy=record.strategy, tables=record.tables,
             ledger_table=record.ledger_table, batches=record.batches,
-            digest=record.digest, batch_size=record.batch_size)
+            digest=record.digest, batch_size=record.batch_size,
+            shards=record.shards)
         item = DynamoItem(hash_key=record.name, range_key=None,
                           attributes=committed.to_attributes())
         expected = {"epoch": (None if expected_epoch is None

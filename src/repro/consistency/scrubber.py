@@ -169,25 +169,32 @@ class Scrubber:
         corpses: List[Tuple[str, str, Optional[str]]] = []
 
         db = self._cloud.resilient.dynamodb
+        #: shard table -> the logical table's base physical name, so
+        #: corpse bookkeeping deletes from real (shard) tables while
+        #: health marks stay on the base names degradation checks.
+        base_of: Dict[str, str] = {}
         for logical in sorted(self._table_names):
             physical = self._table_names[logical]
-            try:
-                items = yield from db.scan(physical)
-            except NoSuchTable:
-                # The whole table is gone: everything the inventory
-                # promises is missing.
-                self._mark(physical, "missing")
-                items = []
-                if repair:
-                    self._store.create_table(physical)
-                report.note("missing table: {}".format(physical))
-            report.items_scanned += len(items)
             good = []
-            for item in items:
-                if self._check_item(logical, item, report):
-                    good.append(item)
-                else:
-                    corpses.append((physical, item.hash_key, item.range_key))
+            for shard_table in self._shard_tables(physical):
+                base_of[shard_table] = physical
+                try:
+                    shard_items = yield from db.scan(shard_table)
+                except NoSuchTable:
+                    # The whole shard is gone: everything the inventory
+                    # promises for its keys is missing.
+                    self._mark(physical, "missing")
+                    shard_items = []
+                    if repair:
+                        self._create_shard_table(shard_table)
+                    report.note("missing table: {}".format(shard_table))
+                report.items_scanned += len(shard_items)
+                for item in shard_items:
+                    if self._check_item(logical, item, report):
+                        good.append(item)
+                    else:
+                        corpses.append((shard_table, item.hash_key,
+                                        item.range_key))
             coverage[logical] = coverage_of_items(good)
 
             inventory = yield from self._load_inventory(logical)
@@ -211,7 +218,8 @@ class Scrubber:
 
         damaged_tables = {self._table_names[logical]
                           for logical in damaged}
-        damaged_tables.update(physical for physical, _, _ in corpses)
+        damaged_tables.update(base_of.get(shard_table, shard_table)
+                              for shard_table, _, _ in corpses)
         for physical in sorted(damaged_tables):
             self._mark(physical, "suspect")
 
@@ -257,7 +265,11 @@ class Scrubber:
                 inventory = yield from self._load_inventory(logical)
                 if inventory is None:
                     continue
-                items = yield from db.scan(self._table_names[logical])
+                items = []
+                for shard_table in self._shard_tables(
+                        self._table_names[logical]):
+                    shard_items = yield from db.scan(shard_table)
+                    items.extend(shard_items)
                 good = coverage_of_items(items)
                 missing: Set[Tuple[str, str]] = set()
                 for key, uris in inventory.items():
@@ -318,6 +330,23 @@ class Scrubber:
         grouped = {uri for group in groups for uri in group}
         groups.extend([uri] for uri in sorted(damaged_set - grouped))
         return groups
+
+    def _shard_tables(self, physical: str) -> List[str]:
+        """The physical shard tables behind one logical table.
+
+        Asks the store for its routing (a
+        :class:`~repro.store.router.StoreRouter` expands to its shard
+        layout); plain stores scrub the single unsuffixed table — the
+        pre-sharding behaviour.
+        """
+        from repro.store.sharding import expand_physical
+        return expand_physical(self._store, physical)
+
+    def _create_shard_table(self, shard_table: str) -> None:
+        """Recreate one missing (already-routed) shard table."""
+        creator = getattr(self._store, "create_physical_table",
+                          self._store.create_table)
+        creator(shard_table)
 
     def _mark(self, physical: str, state: str) -> None:
         if self._health is not None:

@@ -36,9 +36,18 @@ class CorruptionMonkey:
 
     def damage_index(self, built: Any,
                      specs: List[DamageSpec]) -> List[str]:
-        """Apply ``specs`` to ``built``'s tables; returns the trail."""
+        """Apply ``specs`` to ``built``'s tables; returns the trail.
+
+        ``spec.table`` indexes the *real* (shard) tables: a sharded
+        index exposes every physical shard as a separate target, so
+        damage can land on any one shard.
+        """
+        from repro.store.sharding import expand_physical
         before = len(self.applied)
-        tables = sorted(built.physical_tables)
+        tables = sorted(
+            shard_table
+            for physical in built.physical_tables
+            for shard_table in expand_physical(built.store, physical))
         if not tables:
             return []
         for spec in specs:

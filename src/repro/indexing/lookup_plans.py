@@ -238,6 +238,15 @@ class BaseLookup:
         self._store = store
         self.include_words = include_words
 
+    @property
+    def store_cache(self) -> Optional[Any]:
+        """The store's shared read cache, when one is attached.
+
+        Query workers read its hit counter around a look-up to report
+        per-query cache effectiveness; ``None`` for plain stores.
+        """
+        return getattr(self._store, "cache", None)
+
     def lookup_pattern(self, pattern: TreePattern,
                        ) -> Generator[Any, Any, LookupOutcome]:
         """URIs of documents possibly matching ``pattern``."""
@@ -291,16 +300,33 @@ class LUPLookup(BaseLookup):
 
     def lookup_pattern(self, pattern: TreePattern,
                        ) -> Generator[Any, Any, LookupOutcome]:
-        """URIs of documents possibly matching ``pattern``."""
+        """URIs of documents possibly matching ``pattern``.
+
+        Two query paths ending in the same last key (e.g. ``//a//b``
+        and ``//c//b``) need the same index item, so each distinct key
+        is read exactly once (the dedupe-audit invariant).  Stores that
+        coalesce (:attr:`~repro.store.router.StoreRouter.
+        coalesce_reads`) get all distinct keys as one batched read;
+        plain stores are read key by key in first-seen order — the
+        seed's exact request sequence when no key repeats.
+        """
         paths = pattern_query_paths(pattern, self.include_words)
         stats = PlanStats()
-        per_path_uris: List[List[str]] = []
+        unique_keys = list(dict.fromkeys(path[-1][1] for path in paths))
         gets = 0
+        if getattr(self._store, "coalesce_reads", False):
+            data, gets = yield from self._store.read_keys(
+                self._table, unique_keys, "paths")
+        else:
+            data = {}
+            for last_key in unique_keys:
+                payloads, requests = yield from self._store.read_key(
+                    self._table, last_key, "paths")
+                data[last_key] = payloads
+                gets += requests
+        per_path_uris: List[List[str]] = []
         for path in paths:
-            last_key = path[-1][1]
-            payloads, requests = yield from self._store.read_key(
-                self._table, last_key, "paths")
-            gets += requests
+            payloads = data.get(path[-1][1], {})
             regex = query_path_regex(path)
             matching: List[str] = []
             for uri in sorted(payloads):

@@ -90,6 +90,11 @@ class ResourceReport:
     table_health: Dict[str, str] = field(default_factory=dict)
     #: Degraded-resolution use counts (strategy name or "s3-scan").
     downgrades: Dict[str, int] = field(default_factory=dict)
+    #: Shared store-cache snapshot (empty when no cache is configured).
+    store_cache: Dict[str, float] = field(default_factory=dict)
+    #: Per-shard stored item balance: shard suffix (".s0", ... or
+    #: "unsharded") -> DynamoDB items (empty without index tables).
+    shard_items: Dict[str, int] = field(default_factory=dict)
 
     def store(self, name: str) -> ThroughputUtilization:
         """Look a store's utilisation up by name."""
@@ -152,6 +157,25 @@ class ResourceReport:
             for name in sorted(self.downgrades):
                 lines.append("    {:<28} {}".format(
                     name, self.downgrades[name]))
+        if self.store_cache:
+            lines.append("  store cache:")
+            lines.append(
+                "    {:.0f} entries  {:.0f}/{:.0f} bytes  "
+                "hit ratio {:.1%}  hits {:.0f}  misses {:.0f}  "
+                "evictions {:.0f}  invalidations {:.0f}".format(
+                    self.store_cache.get("entries", 0.0),
+                    self.store_cache.get("bytes", 0.0),
+                    self.store_cache.get("max_bytes", 0.0),
+                    self.store_cache.get("hit_ratio", 0.0),
+                    self.store_cache.get("hits", 0.0),
+                    self.store_cache.get("misses", 0.0),
+                    self.store_cache.get("evictions", 0.0),
+                    self.store_cache.get("invalidations", 0.0)))
+        if self.shard_items:
+            lines.append("  shard balance (stored items):")
+            for shard in sorted(self.shard_items):
+                lines.append("    {:<28} {}".format(
+                    shard, self.shard_items[shard]))
         lines.append("  requests:")
         for key in sorted(self.request_counts):
             lines.append("    {:<28} {}".format(key,
@@ -215,4 +239,19 @@ def resource_report(warehouse) -> ResourceReport:
     if health is not None:
         report.table_health = health.suspect_tables()
         report.downgrades = health.downgrade_counts()
+    # Storage-access layer state: the shared cache's counters and the
+    # per-shard item balance over the deployment's index tables.
+    cache = getattr(warehouse, "index_cache", None)
+    if cache is not None:
+        report.store_cache = cache.stats()
+    from repro.store.sharding import SHARD_SEPARATOR
+    for table_name in cloud.dynamodb.table_names():
+        if not table_name.startswith("idx-"):
+            continue
+        base, sep, ordinal = table_name.rpartition(SHARD_SEPARATOR)
+        bucket = (SHARD_SEPARATOR + ordinal
+                  if sep and ordinal.isdigit() else "unsharded")
+        items = len(cloud.dynamodb.table(table_name).all_items())
+        report.shard_items[bucket] = \
+            report.shard_items.get(bucket, 0) + items
     return report

@@ -69,6 +69,9 @@ class QueryWorkStats:
     index_mode: str = ""
     #: Telemetry span id of the worker's query span (0 untraced).
     span_id: int = 0
+    #: Index reads served by the shared store cache during this query's
+    #: look-up (0 when no cache is configured).
+    store_cache_hits: int = 0
 
     @property
     def processing_s(self) -> float:
@@ -164,12 +167,22 @@ class QueryWorker:
             # Steps 9-10: index look-up (or the no-index full scan list).
             if self._lookup is not None:
                 self._lookup.tracer = tracer
+                cache = getattr(self._lookup, "store_cache", None)
+                hits_before = cache.hits if cache is not None else 0
                 lookup_start = env.now
                 with maybe_span(tracer, "index-lookup"):
                     outcome: QueryLookupOutcome = \
                         yield from self._lookup.lookup_query(query)
                 stats.lookup_get_s = env.now - lookup_start
                 stats.index_gets = outcome.index_gets
+                if cache is not None:
+                    # Exact under the sequential per-query protocol;
+                    # under pipelining, concurrent queries' hits may
+                    # interleave — the shared cache keeps exact totals.
+                    stats.store_cache_hits = cache.hits - hits_before
+                    if query_span is not None:
+                        query_span.attributes["store_cache_hits"] = \
+                            stats.store_cache_hits
                 stats.rows_processed = outcome.rows_processed
                 stats.per_pattern_docs = [o.document_count
                                           for o in outcome.per_pattern]

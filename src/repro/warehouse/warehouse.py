@@ -34,6 +34,7 @@ from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
 from repro.indexing.registry import strategy as strategy_by_name
 from repro.query.parser import query_to_source
 from repro.query.pattern import Query
+from repro.store import IndexCache, StoreConfig, StoreRouter, expand_physical
 from repro.telemetry.spans import maybe_span
 from repro.warehouse.frontend import Frontend
 from repro.warehouse.loader import IndexerWorker, LoaderWorkerStats
@@ -169,6 +170,9 @@ class QueryExecution:
     index_mode: str = ""
     #: Telemetry span id of this query's processing span (0 untraced).
     span_id: int = 0
+    #: Index reads served by the shared store cache during this query's
+    #: look-up (0 when no cache is configured).
+    store_cache_hits: int = 0
     #: Non-empty when the query did not run on the workload's nominal
     #: strategy: the fallback actually used ("s3-scan", "mixed", or
     #: another strategy's name).
@@ -226,9 +230,19 @@ class Warehouse:
 
     def __init__(self, cloud: Optional[CloudProvider] = None,
                  visibility_timeout: float = QUEUE_VISIBILITY_TIMEOUT,
+                 store_config: Optional[StoreConfig] = None,
                  ) -> None:
         self.cloud = cloud or CloudProvider()
         self.visibility_timeout = visibility_timeout
+        #: Storage-access layer configuration (sharding + caching); the
+        #: default is the seed's single-table, uncached behaviour.
+        self.store_config = store_config or StoreConfig()
+        #: One epoch-aware read cache shared by every index store of
+        #: the deployment, so repeated workload runs hit across builds;
+        #: ``None`` unless the configuration grants it a byte budget.
+        self.index_cache: Optional[IndexCache] = (
+            IndexCache(self.store_config.cache_bytes)
+            if self.store_config.cache_enabled else None)
         self.cloud.s3.create_bucket(DOCUMENT_BUCKET)
         self.cloud.s3.create_bucket(RESULTS_BUCKET)
         # Dead-letter queues exist only on chaos deployments, so a
@@ -571,28 +585,38 @@ class Warehouse:
         """
         freed = built.store.stored_bytes(built.physical_tables)
         for physical in built.physical_tables:
-            if built.store.backend_name == "dynamodb":
-                self.cloud.dynamodb.delete_table(physical)
-            else:
-                self.cloud.simpledb.delete_domain(physical)
+            for shard_table in expand_physical(built.store, physical):
+                if built.store.backend_name == "dynamodb":
+                    self.cloud.dynamodb.delete_table(shard_table)
+                else:
+                    self.cloud.simpledb.delete_domain(shard_table)
         return freed
 
     def _make_store(self, backend: str, seed: int,
-                    range_key_mode: str = "uuid") -> IndexStore:
+                    range_key_mode: str = "uuid",
+                    epoch: int = 0) -> IndexStore:
         # Stores talk to the resilient facade: the raw service on a
-        # fault-free cloud, the retry/breaker proxy under chaos.
+        # fault-free cloud, the retry/breaker proxy under chaos.  Every
+        # store is handed out behind a StoreRouter; with the default
+        # configuration the router is a pure passthrough.
         if backend == "dynamodb":
-            return DynamoIndexStore(self.cloud.resilient.dynamodb, seed=seed,
-                                    range_key_mode=range_key_mode)
-        if backend == "simpledb":
+            base: IndexStore = DynamoIndexStore(
+                self.cloud.resilient.dynamodb, seed=seed,
+                range_key_mode=range_key_mode)
+        elif backend == "simpledb":
             if range_key_mode != "uuid":
                 raise WarehouseError(
                     "checkpointed builds need content-addressed items; "
                     "the simpledb backend does not support them")
-            return SimpleDBIndexStore(self.cloud.resilient.simpledb,
+            base = SimpleDBIndexStore(self.cloud.resilient.simpledb,
                                       seed=seed)
-        raise WarehouseError(
-            "unknown index backend {!r} (dynamodb or simpledb)".format(backend))
+        else:
+            raise WarehouseError(
+                "unknown index backend {!r} (dynamodb or simpledb)".format(
+                    backend))
+        return StoreRouter(base, config=self.store_config,
+                           cache=self.index_cache,
+                           telemetry=self.telemetry, epoch=epoch)
 
     # -- crash-consistent builds (repro.consistency) -----------------------------
 
@@ -641,6 +665,7 @@ class Warehouse:
         return BuildPlan(
             name=name, strategy=strategy, epoch=epoch,
             batch_size=batch_size,
+            shards=self.store_config.shards,
             batches=partition_batches(name, epoch, self._all_uris,
                                       batch_size),
             table_names={
@@ -665,7 +690,8 @@ class Warehouse:
             plan.name, plan.epoch)
         coordinator = BuildCoordinator(self.cloud, plan)
         store = self._make_store("dynamodb", seed=plan.epoch,
-                                 range_key_mode="content")
+                                 range_key_mode="content",
+                                 epoch=plan.epoch)
         fleet = self.cloud.ec2.launch_fleet(plan.instance_type,
                                             plan.instances)
         workers = [IndexerWorker(self.cloud, instance, store, plan.strategy,
@@ -748,6 +774,10 @@ class Warehouse:
             with self.cloud.meter.tagged(tag):
                 record = self.cloud.env.run_process(
                     coordinator.commit(), name="commit-{}".format(plan.name))
+        # Manifest-flip coherence: nothing cached before the flip may be
+        # served against the newly committed epoch.
+        if self.index_cache is not None:
+            self.index_cache.invalidate_all()
         return record
 
     def resume_build(self, plan: Any,
@@ -1011,6 +1041,7 @@ class Warehouse:
                 query_id=query_id,
                 index_mode=work.index_mode,
                 span_id=work.span_id,
+                store_cache_hits=work.store_cache_hits,
                 downgrade=downgrade,
                 cost=inclusive.get(work.span_id) if work.span_id else None,
             ))

@@ -1,0 +1,8 @@
+"""Tests for the storage-access layer (``repro.store``).
+
+Covers the sharding math, the batch-coalescing pipeline, the
+epoch-aware read cache, and the :class:`~repro.store.router.StoreRouter`
+that composes them — including the passthrough-equivalence guarantee
+(default configuration is byte-identical to the seed) and the cache
+coherence hooks the consistency layer relies on.
+"""

@@ -1,0 +1,91 @@
+"""Unit tests for the read-coalescing pipeline (``repro.store.batch``).
+
+Includes the ``batch_get`` boundary cases the satellite audit asks
+for: a chunk of exactly the 100-key cap, cap+1 splitting into two
+requests, and the empty-key case (no request at all — the simulated
+DynamoDB, like the real one, rejects an empty ``batch_get``).
+"""
+
+import pytest
+
+from repro.cloud.dynamodb import BATCH_GET_LIMIT
+from repro.errors import ValidationError
+from repro.store import BatchPipeline, shard_of
+
+pytestmark = pytest.mark.store
+
+
+def test_add_dedupes_and_counts_savings():
+    """The dedupe-audit invariant: one key is never collected twice."""
+    pipeline = BatchPipeline()
+    assert pipeline.add("ename") is True
+    assert pipeline.add("ename") is False
+    assert pipeline.add("aid") is True
+    assert pipeline.requested == 3
+    assert pipeline.unique == len(pipeline) == 2
+    assert pipeline.coalesced_savings == 1
+
+
+def test_batches_preserve_first_seen_order():
+    """Within a shard, keys come out in the order they went in."""
+    pipeline = BatchPipeline()  # one shard: order fully preserved
+    pipeline.add_all(["k3", "k1", "k2", "k1"])
+    batches = pipeline.batches("idx")
+    assert batches == [(0, "idx", ["k3", "k1", "k2"])]
+
+
+def test_batches_partition_by_shard_in_ascending_order():
+    """Sharded batches come out grouped, ascending by shard ordinal."""
+    pipeline = BatchPipeline(shards=3)
+    keys = ["key-{}".format(i) for i in range(30)]
+    pipeline.add_all(keys)
+    batches = pipeline.batches("idx")
+    assert [shard for shard, _, _ in batches] == \
+        sorted(shard for shard, _, _ in batches)
+    for shard, shard_table, chunk in batches:
+        assert shard_table == "idx.s{}".format(shard)
+        assert all(shard_of(key, 3) == shard for key in chunk)
+    flattened = [key for _, _, chunk in batches for key in chunk]
+    assert sorted(flattened) == sorted(keys)
+
+
+def test_exactly_at_cap_is_one_batch():
+    """100 distinct keys fill exactly one ``batch_get`` request."""
+    pipeline = BatchPipeline()
+    pipeline.add_all("k{}".format(i) for i in range(BATCH_GET_LIMIT))
+    batches = pipeline.batches("idx")
+    assert len(batches) == 1
+    assert len(batches[0][2]) == BATCH_GET_LIMIT
+
+
+def test_cap_plus_one_splits_into_two_batches():
+    """The 101st key spills into a second request, never an oversized one."""
+    pipeline = BatchPipeline()
+    pipeline.add_all("k{}".format(i) for i in range(BATCH_GET_LIMIT + 1))
+    batches = pipeline.batches("idx")
+    assert [len(chunk) for _, _, chunk in batches] == [BATCH_GET_LIMIT, 1]
+
+
+def test_empty_pipeline_emits_no_batches():
+    """No keys collected → no request issued (empty batch_get is invalid)."""
+    assert BatchPipeline().batches("idx") == []
+    pipeline = BatchPipeline()
+    pipeline.add("k")
+    pipeline.add("k")
+    assert sum(len(chunk) for _, _, chunk in pipeline.batches("idx")) == 1
+
+
+def test_simulated_dynamodb_enforces_the_boundaries(cloud):
+    """The service itself rejects what the pipeline is shaped to avoid."""
+    cloud.dynamodb.create_table("idx", has_range_key=True)
+
+    def oversized():
+        keys = ["k{}".format(i) for i in range(BATCH_GET_LIMIT + 1)]
+        yield from cloud.dynamodb.batch_get("idx", keys)
+    with pytest.raises(ValidationError):
+        cloud.env.run_process(oversized())
+
+    def empty():
+        yield from cloud.dynamodb.batch_get("idx", [])
+    with pytest.raises(ValidationError):
+        cloud.env.run_process(empty())

@@ -1,0 +1,138 @@
+"""Cache coherence across epochs, and scrubbing under sharding.
+
+The two system-level guarantees the store layer owes the consistency
+machinery:
+
+- a manifest flip (``commit_build``) invalidates the shared read cache
+  wholesale, so no entry cached against the old epoch is ever served
+  against the new one;
+- the integrity scrubber still detects and repairs damage — and the
+  cross-table invariants still aggregate correctly — when every
+  logical table is hash-partitioned over several shard tables.
+"""
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.faults import FaultPlan
+from repro.faults.corruption import CorruptionMonkey
+from repro.query.workload import workload_query
+from repro.store import StoreConfig, expand_physical
+from repro.warehouse import Warehouse
+from repro.xmark import generate_corpus
+
+pytestmark = pytest.mark.store
+
+DOCUMENTS = 12
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Small deterministic corpus shared by the module."""
+    return generate_corpus(ScaleProfile(documents=DOCUMENTS, seed=SEED))
+
+
+def _queries():
+    """Two workload queries that exercise index reads."""
+    return [workload_query("q1"), workload_query("q2")]
+
+
+def test_manifest_flip_invalidates_the_cache(corpus):
+    """Nothing cached before a flip survives into the new epoch."""
+    warehouse = Warehouse(
+        store_config=StoreConfig(cache_bytes=256 * 1024))
+    warehouse.upload_corpus(corpus)
+    built1, rec1 = warehouse.build_index_checkpointed(
+        "LUP", instances=2, batch_size=4)
+    cache = warehouse.index_cache
+
+    warehouse.run_workload(_queries(), built1, instances=1,
+                           tag="flip:cold")
+    assert len(cache) > 0
+    cold_gets = warehouse.cloud.meter.request_count(
+        "dynamodb", "get", tag="flip:cold")
+
+    report = warehouse.run_workload(_queries(), built1, instances=1,
+                                    tag="flip:warm")
+    warm_gets = warehouse.cloud.meter.request_count(
+        "dynamodb", "get", tag="flip:warm")
+    assert warm_gets < cold_gets
+    assert sum(e.store_cache_hits for e in report.executions) > 0
+
+    built2, rec2 = warehouse.build_index_checkpointed(
+        "LUP", instances=2, batch_size=4)
+    assert rec2.epoch == rec1.epoch + 1
+    # The flip emptied the cache wholesale.
+    assert len(cache) == 0
+    assert cache.invalidations > 0
+
+    # The first post-flip run pays full price again: no stale entry
+    # from epoch 1 is served against epoch 2.
+    warehouse.run_workload(_queries(), built2, instances=1,
+                           tag="flip:after")
+    after_gets = warehouse.cloud.meter.request_count(
+        "dynamodb", "get", tag="flip:after")
+    assert after_gets == cold_gets
+
+
+def test_epoch_record_carries_shard_routing_metadata(corpus):
+    """The committed manifest records how its epoch was partitioned."""
+    warehouse = Warehouse(store_config=StoreConfig(shards=2))
+    warehouse.upload_corpus(corpus)
+    _, record = warehouse.build_index_checkpointed(
+        "LU", instances=2, batch_size=4)
+    assert record.shards == 2
+
+
+def _sharded_snapshot(warehouse, built):
+    """Byte-level content of every shard table (order-insensitive)."""
+    cloud = warehouse.cloud
+    snapshot = {}
+    for logical in sorted(built.table_names):
+        for shard_table in expand_physical(built.store,
+                                           built.table_names[logical]):
+            snapshot[shard_table] = sorted(
+                (item.hash_key, item.range_key,
+                 tuple(sorted((name, tuple(values))
+                              for name, values in item.attributes.items())))
+                for item in cloud.dynamodb.table(shard_table).all_items())
+    return snapshot
+
+
+def test_scrubber_repairs_damage_across_shard_tables(corpus):
+    """2LUPI scrub detects + repairs with every logical table split in
+    two — corruption in one shard, a dropped partition in another —
+    and the cross-table invariants aggregate over all shards."""
+    warehouse = Warehouse(store_config=StoreConfig(shards=2))
+    warehouse.upload_corpus(corpus)
+    built, record = warehouse.build_index_checkpointed(
+        "2LUPI", instances=2, batch_size=4)
+    shard_tables = [shard_table
+                    for physical in built.table_names.values()
+                    for shard_table in expand_physical(built.store,
+                                                       physical)]
+    assert len(shard_tables) == 2 * len(built.table_names)
+    pristine = _sharded_snapshot(warehouse, built)
+
+    plan = (FaultPlan(seed=SEED)
+            .corrupt_item(table=0, count=2)
+            .drop_table_partition(table=len(shard_tables) - 1))
+    trail = CorruptionMonkey(warehouse.cloud, seed=SEED).damage_index(
+        built, plan.damage)
+    assert trail  # damage landed on real shard tables
+
+    detect = warehouse.scrub_index(built, record.name, record.epoch,
+                                   repair=False)
+    assert not detect.clean
+    assert detect.checksum_failures == 2
+    assert detect.missing_entries > 0
+
+    repair = warehouse.scrub_index(built, record.name, record.epoch)
+    assert repair.repaired
+
+    verify = warehouse.scrub_index(built, record.name, record.epoch,
+                                   repair=False)
+    assert verify.clean
+    assert verify.invariant_violations == 0
+    assert _sharded_snapshot(warehouse, built) == pristine

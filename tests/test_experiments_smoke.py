@@ -14,7 +14,8 @@ from repro.bench.experiments import (figure9_response_times,
                                      figure11_query_costs,
                                      figure12_cost_details,
                                      figure13_amortization,
-                                     figure15_sensitivity, table3_pricing,
+                                     figure15_sensitivity,
+                                     store_amortization, table3_pricing,
                                      table4_indexing_times,
                                      table5_query_details,
                                      table6_indexing_costs)
@@ -82,3 +83,12 @@ def test_figure15_structure(tiny_ctx):
     result = figure15_sensitivity.run(tiny_ctx)
     assert result.series  # per-query savings present
     assert any("dominant component" in note for note in result.notes)
+
+
+def test_store_amortization_runs_and_checks(tiny_ctx):
+    # The store-layer claims (cold run parity, strictly fewer billed
+    # gets on warm runs, span/estimator cost tie-out) hold at any
+    # scale, so the full check runs here too.
+    result = store_amortization.run(tiny_ctx)
+    store_amortization.check(result, tiny_ctx)
+    assert len(result.rows) == 2 * store_amortization.RUNS
