@@ -1,0 +1,45 @@
+"""Regenerates the serving-elasticity bench (autoscaled vs. fixed).
+
+Benchmark kernel: drawing one seeded burst arrival schedule.  Also
+emits ``BENCH_serving.json`` — the per-fleet latency/dollar series —
+next to the repository root.
+"""
+
+import json
+import os
+
+from conftest import report
+
+from repro.bench.experiments import serving_elasticity as experiment
+from repro.serving import TrafficGenerator, TrafficProfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_serving.json")
+
+
+def test_serving_elasticity(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    profile = TrafficProfile(arrival="burst",
+                             rate_qps=experiment.RATE_QPS,
+                             queries=experiment.QUERIES,
+                             seed=experiment.SEED)
+
+    def draw():
+        return TrafficGenerator(profile).schedule()
+
+    schedule = benchmark(draw)
+    assert len(schedule) == experiment.QUERIES

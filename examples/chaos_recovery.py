@@ -18,6 +18,7 @@ from repro.faults import FaultPlan
 from repro.faults.scenarios import index_snapshot
 from repro.warehouse import Warehouse
 from repro.warehouse.monitoring import resource_report
+from repro.telemetry import counter_dict
 from repro.cloud.provider import CloudProvider
 from repro.config import ScaleProfile
 from repro.xmark import generate_corpus
@@ -26,10 +27,10 @@ from repro import workload_query
 
 def build_and_query(cloud, corpus):
     """Upload, build the LU index, answer q6; return (index, answer)."""
-    warehouse = Warehouse(cloud, visibility_timeout=6.0)
+    warehouse = Warehouse(cloud, deployment={"visibility_timeout": 6.0})
     warehouse.upload_corpus(corpus)
-    index = warehouse.build_index("LU", instances=2, instance_type="l",
-                                  batch_size=4)
+    index = warehouse.build_index("LU", config={
+        "loaders": 2, "loader_type": "l", "batch_size": 4})
     execution = warehouse.run_query(workload_query("q6"), index)
     return warehouse, index, execution
 
@@ -50,8 +51,9 @@ def main() -> None:
     stormy, stormy_index, stormy_answer = build_and_query(
         CloudProvider(fault_plan=plan), corpus)
 
-    faults = stormy.cloud.faults.fault_counts()
-    retries = stormy.cloud.resilient.client.retry_counts()
+    registry = stormy.cloud.telemetry.registry
+    faults = counter_dict(registry, "faults_injected_total")
+    retries = counter_dict(registry, "retries_total")
     print("chaos run: faults {}, retries {}, {} messages redelivered"
           .format(faults or "{}", retries or "{}",
                   stormy.cloud.sqs.redelivered_count("loader-requests")))

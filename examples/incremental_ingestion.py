@@ -31,7 +31,7 @@ def make_increment(batch: int, documents: int = 40):
 def main() -> None:
     warehouse = Warehouse()
     warehouse.upload_corpus(generate_corpus(ScaleProfile(documents=80)))
-    index = warehouse.build_index("LUI", instances=4)
+    index = warehouse.build_index("LUI", config={"loaders": 4})
     query = workload_query("q6")
     book = warehouse.cloud.price_book
 
@@ -44,7 +44,7 @@ def main() -> None:
         increment = make_increment(batch)
         tag = "ingest:batch{}".format(batch)
         reports = warehouse.ingest_increment(increment, [index],
-                                             instances=2, tag=tag)
+                                             config={"loaders": 2}, tag=tag)
         cost = phase_cost(
             warehouse.cloud.meter, book, tag,
             vm_hours_by_type={reports[0].instance_type:

@@ -47,7 +47,8 @@ def main() -> None:
     print("\nBuilding {} for real...".format(choice.strategy_name))
     warehouse = Warehouse()
     warehouse.upload_corpus(corpus)
-    index = warehouse.build_index(choice.strategy_name, instances=4)
+    index = warehouse.build_index(choice.strategy_name,
+                                  config={"loaders": 4})
     report = warehouse.run_workload(queries, index)
     dataset = DatasetMetrics.of_corpus(corpus)
     measured = workload_cost(report.executions, dataset,

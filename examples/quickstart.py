@@ -26,7 +26,8 @@ def main() -> None:
     warehouse.upload_corpus(corpus)
 
     # 3. Build the LUP index on 4 large loader instances (Figure 1).
-    index = warehouse.build_index("LUP", instances=4, instance_type="l")
+    index = warehouse.build_index("LUP",
+                                  config={"loaders": 4, "loader_type": "l"})
     report = index.report
     print("LUP index built in {:.1f} simulated seconds "
           "({} put operations, {:.2f} MB stored)".format(

@@ -29,7 +29,8 @@ def main() -> None:
     indexes = {}
     build_rows = []
     for name in ALL_STRATEGY_NAMES:
-        built = warehouse.build_index(name, instances=4, instance_type="l")
+        built = warehouse.build_index(
+            name, config={"loaders": 4, "loader_type": "l"})
         indexes[name] = built
         report = built.report
         build_rows.append([

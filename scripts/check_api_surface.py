@@ -10,12 +10,19 @@ parameter that existed in the snapshot has disappeared or changed
 shape.  Additions never fail: new API is backwards-compatible and is
 declared by regenerating the snapshot.
 
+The check also cross-references the deprecation registry
+(``repro.deprecations.DEPRECATIONS``) against the DESIGN.md section 12
+migration table: every deprecated old spelling must appear there
+verbatim, so no warning a user can hit lacks a documented replacement.
+
 Usage::
 
-    python scripts/check_api_surface.py           # check, exit 1 on breaks
-    python scripts/check_api_surface.py --update  # regenerate the snapshot
+    python scripts/check_api_surface.py                # check, exit 1 on breaks
+    python scripts/check_api_surface.py --update       # regenerate the snapshot
+    python scripts/check_api_surface.py --deprecations # registry/docs check only
 
-The test suite runs the check, so an undeclared break fails tier-1.
+The test suite runs the check, so an undeclared break or an
+undocumented deprecation fails tier-1.
 """
 
 from __future__ import annotations
@@ -31,6 +38,12 @@ from typing import Any, Dict, List, Optional
 
 SNAPSHOT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "api_surface.json")
+
+DESIGN = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "DESIGN.md")
+
+#: Heading prefix of the migration-table section in DESIGN.md.
+MIGRATION_SECTION = "## 12."
 
 CONSTANT_TYPES = (bool, int, float, str, bytes, tuple, frozenset)
 
@@ -146,13 +159,51 @@ def find_breaks(snapshot: Dict[str, Any],
     return breaks
 
 
+def _migration_section(design_path: str) -> str:
+    """The DESIGN.md migration-table section's text ("" if absent)."""
+    if not os.path.exists(design_path):
+        return ""
+    with open(design_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    start = text.find("\n" + MIGRATION_SECTION)
+    if start < 0:
+        return ""
+    end = text.find("\n## ", start + 1)
+    return text[start:end if end > 0 else len(text)]
+
+
+def find_undocumented_deprecations(design_path: str = DESIGN) -> List[str]:
+    """Registered deprecations whose old spelling the migration table
+    in DESIGN.md section 12 does not show verbatim."""
+    from repro.deprecations import DEPRECATIONS
+    section = _migration_section(design_path)
+    return ["{}: {!r} not in DESIGN.md section 12".format(key, old)
+            for key, (old, _new) in sorted(DEPRECATIONS.items())
+            if old not in section]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="regenerate the snapshot from current code")
     parser.add_argument("--snapshot", default=SNAPSHOT,
                         help="snapshot path (default: scripts/api_surface.json)")
+    parser.add_argument("--deprecations", action="store_true",
+                        help="only check the deprecation registry against "
+                             "the DESIGN.md migration table")
     args = parser.parse_args(argv)
+
+    undocumented = find_undocumented_deprecations()
+    if undocumented:
+        print("undocumented deprecations ({}):".format(len(undocumented)))
+        for entry in undocumented:
+            print("  " + entry)
+        print("add the old spelling to the DESIGN.md section 12 "
+              "migration table")
+        return 1
+    if args.deprecations:
+        print("deprecations OK (all documented in DESIGN.md section 12)")
+        return 0
 
     current = collect_surface()
     if args.update:

@@ -79,10 +79,10 @@ class ExperimentContext:
         if key not in self._indexes:
             self._indexes[key] = self.warehouse.build_index(
                 strategy_name,
-                instances=BUILD_INSTANCES,
-                instance_type=BUILD_INSTANCE_TYPE,
-                include_words=include_words,
-                backend=backend)
+                config={"loaders": BUILD_INSTANCES,
+                        "loader_type": BUILD_INSTANCE_TYPE,
+                        "backend": backend},
+                include_words=include_words)
         return self._indexes[key]
 
     def all_indexes(self, include_words: bool = True,
@@ -105,8 +105,8 @@ class ExperimentContext:
             index = (self.index(strategy_name, backend=backend)
                      if strategy_name else None)
             self._workloads[key] = self.warehouse.run_workload(
-                self.queries, index, instances=1,
-                instance_type=instance_type)
+                self.queries, index,
+                config={"workers": 1, "worker_type": instance_type})
         return self._workloads[key]
 
     def execution(self, strategy_name: Optional[str], query_name: str,

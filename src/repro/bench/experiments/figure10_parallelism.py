@@ -33,8 +33,9 @@ def run(ctx) -> ExperimentResult:
             index = ctx.index(strategy_name)
             for fleet in FLEETS:
                 report = ctx.warehouse.run_workload(
-                    ctx.queries, index, instances=fleet,
-                    instance_type=itype, repeats=REPEATS, pipeline=True,
+                    ctx.queries, index,
+                    config={"workers": fleet, "worker_type": itype},
+                    repeats=REPEATS, pipeline=True,
                     tag="figure10:{}:{}x{}".format(
                         strategy_name, fleet, itype))
                 makespans[(strategy_name, itype, fleet)] = report.makespan_s

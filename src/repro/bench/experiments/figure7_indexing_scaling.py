@@ -53,8 +53,8 @@ def run(ctx) -> ExperimentResult:
         warehouse.upload_corpus(sub_corpus)
         for name in ALL_STRATEGY_NAMES:
             built = warehouse.build_index(
-                name, instances=BUILD_INSTANCES,
-                instance_type=BUILD_INSTANCE_TYPE)
+                name, config={"loaders": BUILD_INSTANCES,
+                              "loader_type": BUILD_INSTANCE_TYPE})
             series[name][round(sub_corpus.total_mb, 2)] = built.report.total_s
     rows = []
     for name in ALL_STRATEGY_NAMES:

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional
 
 from repro.bench.reporting import ExperimentResult
 from repro.costs.estimator import phase_cost
-from repro.store import StoreConfig
 from repro.warehouse import Warehouse
 
 #: Workload repetitions per deployment (the "K" of the K-repeat bench).
@@ -41,17 +40,18 @@ STRATEGY = "LUP"
 
 def _run_deployment(ctx, cache_bytes: int) -> List[Dict[str, float]]:
     """Build one deployment and repeat the workload; per-run numbers."""
-    warehouse = Warehouse(store_config=StoreConfig(cache_bytes=cache_bytes))
+    warehouse = Warehouse(deployment={"cache_bytes": cache_bytes})
     warehouse.upload_corpus(ctx.corpus)
-    index = warehouse.build_index(STRATEGY, instances=4,
-                                  instance_type="l")
+    index = warehouse.build_index(STRATEGY, config={
+        "loaders": 4, "loader_type": "l"})
     meter = warehouse.cloud.meter
     book = warehouse.cloud.price_book
     rows = []
     for run in range(1, RUNS + 1):
         tag = "store-bench:run{}".format(run)
-        report = warehouse.run_workload(ctx.queries, index, instances=1,
-                                        instance_type="l", tag=tag)
+        report = warehouse.run_workload(
+            ctx.queries, index,
+            config={"workers": 1, "worker_type": "l"}, tag=tag)
         estimator_total = phase_cost(meter, book, tag).total
         span_total = report.cost.total if report.cost is not None else 0.0
         rows.append({

@@ -12,14 +12,20 @@ monetary cost.  This CLI does the same over the simulated substrate::
     repro-warehouse resume --documents 24 --strategy LUP --interrupt-after 4
     repro-warehouse trace --documents 60 --out /tmp/trace.json
     repro-warehouse workload --documents 60 --runs 3 --cache-bytes 262144
+    repro-warehouse serve --seed 7 --strategy 2LUPI --autoscale
     repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
     repro-warehouse prices --provider google
 
 Every subcommand is a plain function taking parsed args and returning
-an exit code, so the test suite drives them directly.  The shared flags
-``--seed``, ``--strategy`` and ``--backend`` carry the same spelling,
-default and semantics on every subcommand that accepts them, and all
-output flows through one :class:`~repro.bench.reporting.Reporter`.
+an exit code, so the test suite drives them directly.  The deployment
+flags (``--strategy``, ``--backend``, ``--instances``, ``--workers``,
+``--instance-type``, ``--batch-size``, ``--shards``, ``--cache-bytes``)
+come from one shared parser — :func:`add_deployment_args` — and are
+folded into a single :class:`~repro.warehouse.deployment.
+DeploymentConfig` by :func:`_deployment`, so ``serve``, ``workload``,
+``demo``, ``trace`` and ``scrub`` all provision the warehouse the same
+way.  All output flows through one
+:class:`~repro.bench.reporting.Reporter`.
 """
 
 from __future__ import annotations
@@ -42,7 +48,6 @@ from repro.indexing.registry import ALL_STRATEGY_NAMES
 from repro.query.parser import parse_query
 from repro.query.workload import WORKLOAD_ORDER, workload, workload_query
 from repro.query.xquery import to_xquery
-from repro.store import StoreConfig
 from repro.warehouse import Warehouse
 from repro.warehouse.monitoring import resource_report
 from repro.xmark import generate_corpus
@@ -74,14 +79,20 @@ def _strategy_name(value: str) -> str:
     return name
 
 
-def _store_config(args) -> StoreConfig:
-    """The storage-access configuration from ``--shards``/``--cache-bytes``.
+def _deployment(args) -> dict:
+    """Deployment-config overrides from the shared deployment flags.
 
-    Subcommands without the store flags fall back to the default
-    (single-table, uncached) configuration.
+    Subcommands without a given flag fall back to the
+    :class:`~repro.warehouse.deployment.DeploymentConfig` default, so
+    the dict is safe to build from any parsed namespace.
     """
-    return StoreConfig(shards=getattr(args, "shards", 1),
-                       cache_bytes=getattr(args, "cache_bytes", 0))
+    return {"loaders": getattr(args, "instances", 4),
+            "backend": getattr(args, "backend", "dynamodb"),
+            "batch_size": getattr(args, "batch_size", 8),
+            "workers": getattr(args, "workers", 1),
+            "worker_type": getattr(args, "instance_type", "xl"),
+            "shards": getattr(args, "shards", 1),
+            "cache_bytes": getattr(args, "cache_bytes", 0)}
 
 
 def _require_checkpoint_backend(args) -> None:
@@ -122,13 +133,12 @@ def _parse_query_names(spec: str) -> List[str]:
 def cmd_demo(args) -> int:
     """Full pipeline: upload, build one index, run queries, show costs."""
     corpus = _corpus(args)
-    warehouse = Warehouse(store_config=_store_config(args))
+    warehouse = Warehouse(deployment=_deployment(args))
     warehouse.upload_corpus(corpus)
     out.line("uploaded {} documents ({:.2f} MB)".format(
         len(corpus), corpus.total_mb))
 
-    index = warehouse.build_index(args.strategy, instances=args.instances,
-                                  backend=args.backend)
+    index = warehouse.build_index(args.strategy)
     report = index.report
     book = warehouse.cloud.price_book
     out.line("built {} in {:.1f}s simulated on {} {} instances; "
@@ -145,8 +155,7 @@ def cmd_demo(args) -> int:
     rows = []
     for name in names:
         query = workload_query(name)
-        execution = warehouse.run_query(query, index,
-                                        instance_type=args.instance_type)
+        execution = warehouse.run_query(query, index)
         rows.append([name, "{:.3f}s".format(execution.response_s),
                      execution.docs_from_index,
                      execution.docs_with_results,
@@ -210,11 +219,9 @@ def cmd_scrub(args) -> int:
     from repro.faults.corruption import CorruptionMonkey
 
     _require_checkpoint_backend(args)
-    warehouse = Warehouse(store_config=_store_config(args))
+    warehouse = Warehouse(deployment=_deployment(args))
     warehouse.upload_corpus(_corpus(args))
-    built, record = warehouse.build_index_checkpointed(
-        args.strategy, instances=args.instances,
-        batch_size=args.batch_size)
+    built, record = warehouse.build_index_checkpointed(args.strategy)
     out.line("built {} epoch {} ({} batches, digest {})".format(
         record.name, record.epoch, record.batches, record.digest[:12]))
 
@@ -262,10 +269,9 @@ def cmd_resume(args) -> int:
     epoch committed.
     """
     _require_checkpoint_backend(args)
-    warehouse = Warehouse()
+    warehouse = Warehouse(deployment=_deployment(args))
     warehouse.upload_corpus(_corpus(args))
-    plan = warehouse.plan_build(args.strategy, instances=args.instances,
-                                batch_size=args.batch_size)
+    plan = warehouse.plan_build(args.strategy)
     first = warehouse.run_build(plan, interrupt_after_s=args.interrupt_after)
     out.line("build {} e{}: interrupted={} applied {}/{} batches".format(
         plan.name, plan.epoch, first.interrupted, first.applied_batches,
@@ -293,15 +299,13 @@ def cmd_trace(args) -> int:
     from repro.telemetry import chrome_trace_json, priced_breakdown
 
     corpus = _corpus(args)
-    warehouse = Warehouse(store_config=_store_config(args))
+    warehouse = Warehouse(deployment=_deployment(args))
     warehouse.upload_corpus(corpus)
-    index = warehouse.build_index(args.strategy, instances=args.instances,
-                                  backend=args.backend)
+    index = warehouse.build_index(args.strategy)
     names = _parse_query_names(args.queries) if args.queries \
         else list(WORKLOAD_ORDER)
     queries = [workload_query(name) for name in names]
-    report = warehouse.run_workload(queries, index, instances=args.workers,
-                                    instance_type=args.instance_type)
+    report = warehouse.run_workload(queries, index)
 
     hub = warehouse.telemetry
     metadata = {"backend": args.backend, "documents": args.documents,
@@ -349,10 +353,9 @@ def cmd_workload(args) -> int:
     first run.  With the cache off every run bills identically.
     """
     corpus = _corpus(args)
-    warehouse = Warehouse(store_config=_store_config(args))
+    warehouse = Warehouse(deployment=_deployment(args))
     warehouse.upload_corpus(corpus)
-    index = warehouse.build_index(args.strategy, instances=args.instances,
-                                  backend=args.backend)
+    index = warehouse.build_index(args.strategy)
     names = _parse_query_names(args.queries) if args.queries \
         else list(WORKLOAD_ORDER)
     queries = [workload_query(name) for name in names]
@@ -361,9 +364,7 @@ def cmd_workload(args) -> int:
     rows = []
     for run in range(1, args.runs + 1):
         tag = "workload:run{}".format(run)
-        report = warehouse.run_workload(queries, index,
-                                        instance_type=args.instance_type,
-                                        tag=tag)
+        report = warehouse.run_workload(queries, index, tag=tag)
         billed_gets = meter.request_count("dynamodb", "get", tag=tag)
         cache_hits = sum(e.store_cache_hits for e in report.executions)
         cost = phase_cost(meter, book, tag)
@@ -382,6 +383,50 @@ def cmd_workload(args) -> int:
         out.blank()
         out.line(resource_report(warehouse).render())
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve an open workload on a (optionally autoscaled) query fleet.
+
+    Generates a seeded arrival schedule (``--arrival`` process at
+    ``--rate`` qps, ``--queries`` arrivals), builds one index, then
+    serves the stream: with ``--autoscale`` the fleet grows and shrinks
+    between ``--min-workers`` and ``--max-workers`` on queue depth/age;
+    without it the fixed ``--workers`` fleet serves everything.
+    ``--max-queue-depth`` enables admission control (shedding), and
+    ``--degrade-depth`` adds the degraded band below it.  Prints the
+    serving report; ``--report-out`` also writes its deterministic JSON
+    form.  Exit status 0 iff the span-attributed request dollars tie
+    out exactly against the cost estimator.
+    """
+    from repro.serving import AdmissionPolicy, AutoscalePolicy
+
+    deployment = _deployment(args)
+    if args.autoscale:
+        deployment["autoscale"] = AutoscalePolicy(
+            min_workers=args.min_workers, max_workers=args.max_workers,
+            drain=not args.no_drain)
+    if args.max_queue_depth:
+        deployment["admission"] = AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            degrade_queue_depth=args.degrade_depth or None)
+    warehouse = Warehouse(deployment=deployment)
+    warehouse.upload_corpus(_corpus(args))
+    index = warehouse.build_index(args.strategy)
+
+    mix = tuple(_parse_query_names(args.mix)) if args.mix else None
+    traffic = {"arrival": args.arrival, "rate_qps": args.rate,
+               "queries": args.queries, "seed": args.seed}
+    if mix:
+        traffic["mix"] = mix
+    report = warehouse.serve(traffic, index)
+    out.line(report.render())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.to_dict(), indent=2,
+                                    sort_keys=True) + "\n")
+        out.line("report: {}".format(args.report_out))
+    return 0 if report.cost_tied_out else 1
 
 
 def cmd_xquery(args) -> int:
@@ -409,15 +454,6 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--document-kb", type=int, default=8)
         p.add_argument("--seed", type=int, default=20130318)
 
-    def add_store_args(p):
-        # The normalized storage-access surface: same spelling and
-        # defaults wherever the store layer is configurable.
-        p.add_argument("--shards", type=int, default=1,
-                       help="physical tables per logical index table")
-        p.add_argument("--cache-bytes", type=int, default=0,
-                       help="byte budget of the epoch-aware read cache "
-                            "(0 disables)")
-
     def add_build_args(p, instances=4):
         # The normalized build surface: identical spelling, defaults
         # and semantics on every subcommand that builds an index.
@@ -429,6 +465,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--instances", type=int, default=instances,
                        help="loader instances")
 
+    def add_deployment_args(p, instances=4, workers=1):
+        # The one deployment surface: every flag maps onto a
+        # DeploymentConfig field (see _deployment), with identical
+        # spelling, defaults and semantics on serve, workload, demo,
+        # trace and scrub.
+        add_build_args(p, instances=instances)
+        p.add_argument("--batch-size", type=int, default=8,
+                       help="documents per loader write batch")
+        p.add_argument("--workers", type=int, default=workers,
+                       help="query-processor instances")
+        p.add_argument("--instance-type", default="xl",
+                       choices=("l", "xl"), help="query processor type")
+        p.add_argument("--shards", type=int, default=1,
+                       help="physical tables per logical index table")
+        p.add_argument("--cache-bytes", type=int, default=0,
+                       help="byte budget of the epoch-aware read cache "
+                            "(0 disables)")
+
     p_generate = sub.add_parser("generate", help=cmd_generate.__doc__)
     add_corpus_args(p_generate)
     p_generate.add_argument("--out", help="directory for the XML files")
@@ -436,10 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     add_corpus_args(p_demo)
-    add_build_args(p_demo)
-    add_store_args(p_demo)
-    p_demo.add_argument("--instance-type", default="xl",
-                        choices=("l", "xl"), help="query processor type")
+    add_deployment_args(p_demo)
     p_demo.add_argument("--queries",
                         help="comma-separated q1..q10 (default: all)")
     p_demo.add_argument("--monitor", action="store_true",
@@ -465,10 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_scrub = sub.add_parser("scrub", help=cmd_scrub.__doc__)
     add_corpus_args(p_scrub)
-    add_build_args(p_scrub)
-    add_store_args(p_scrub)
-    p_scrub.add_argument("--batch-size", type=int, default=8,
-                         help="documents per checkpointed batch")
+    add_deployment_args(p_scrub)
     p_scrub.add_argument("--damage",
                          help="comma-separated damage kinds to inject "
                               "before scrubbing (corrupt-item, "
@@ -481,23 +529,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_resume = sub.add_parser("resume", help=cmd_resume.__doc__)
     add_corpus_args(p_resume)
-    add_build_args(p_resume)
-    p_resume.add_argument("--batch-size", type=int, default=8,
-                          help="documents per checkpointed batch")
+    add_deployment_args(p_resume)
     p_resume.add_argument("--interrupt-after", type=float, default=4.0,
                           help="seconds into the build the fleet crashes")
     p_resume.set_defaults(func=cmd_resume)
 
     p_trace = sub.add_parser("trace", help=cmd_trace.__doc__)
     add_corpus_args(p_trace, documents=60)
-    add_build_args(p_trace)
-    add_store_args(p_trace)
-    p_trace.add_argument("--instance-type", default="xl",
-                         choices=("l", "xl"), help="query processor type")
+    add_deployment_args(p_trace, workers=2)
     p_trace.add_argument("--queries",
                          help="comma-separated q1..q10 (default: all)")
-    p_trace.add_argument("--workers", type=int, default=2,
-                         help="query-processor instances")
     p_trace.add_argument("--out", default="trace.json",
                          help="Chrome trace-event JSON output path")
     p_trace.add_argument("--costs-out",
@@ -509,11 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_workload = sub.add_parser("workload", help=cmd_workload.__doc__)
     add_corpus_args(p_workload, documents=60)
-    add_build_args(p_workload)
-    add_store_args(p_workload)
-    p_workload.add_argument("--instance-type", default="xl",
-                            choices=("l", "xl"),
-                            help="query processor type")
+    add_deployment_args(p_workload)
     p_workload.add_argument("--queries",
                             help="comma-separated q1..q10 (default: all)")
     p_workload.add_argument("--runs", type=int, default=3,
@@ -521,6 +558,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_workload.add_argument("--monitor", action="store_true",
                             help="print the resource report afterwards")
     p_workload.set_defaults(func=cmd_workload)
+
+    p_serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    add_corpus_args(p_serve, documents=60)
+    add_deployment_args(p_serve, instances=4, workers=1)
+    p_serve.add_argument("--arrival", default="poisson",
+                         choices=("poisson", "burst", "diurnal"),
+                         help="arrival process of the open workload")
+    p_serve.add_argument("--rate", type=float, default=2.0,
+                         help="base arrival rate (queries/second)")
+    p_serve.add_argument("--queries", type=int, default=500,
+                         help="total arrivals offered")
+    p_serve.add_argument("--mix",
+                         help="comma-separated q1..q10 drawn uniformly "
+                              "per arrival (default: all ten)")
+    p_serve.add_argument("--autoscale", action="store_true",
+                         help="serve on an autoscaled fleet instead of "
+                              "the fixed --workers fleet")
+    p_serve.add_argument("--min-workers", type=int, default=1,
+                         help="autoscaler fleet floor")
+    p_serve.add_argument("--max-workers", type=int, default=4,
+                         help="autoscaler fleet ceiling")
+    p_serve.add_argument("--no-drain", action="store_true",
+                         help="allow scale-in to reclaim a busy worker "
+                              "(its lease lapses and SQS redelivers)")
+    p_serve.add_argument("--max-queue-depth", type=int, default=0,
+                         help="shed arrivals above this visible queue "
+                              "depth (0 disables admission control)")
+    p_serve.add_argument("--degrade-depth", type=int, default=0,
+                         help="admit degraded above this depth "
+                              "(0 disables the degraded band)")
+    p_serve.add_argument("--report-out",
+                         help="write the JSON serving report here")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
     p_xquery.add_argument("query", help="tree-pattern query text")

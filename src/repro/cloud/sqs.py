@@ -319,6 +319,19 @@ class SQS:
         """Visible messages currently waiting (excludes in-flight)."""
         return len(self._queue(queue_name).store)
 
+    def oldest_message_age(self, queue_name: str) -> float:
+        """Age (seconds) of the oldest *visible* message; 0.0 if empty.
+
+        Mirrors the CloudWatch ``ApproximateAgeOfOldestMessage`` metric
+        the autoscaler alarms on: depth alone cannot distinguish a
+        short fresh backlog from a slow trickle that is blowing the
+        latency SLO.
+        """
+        messages = self._queue(queue_name).store.peek_all()
+        if not messages:
+            return 0.0
+        return self._env.now - min(m.sent_at for m in messages)
+
     def in_flight_count(self, queue_name: str) -> int:
         """Messages received but neither deleted nor redelivered yet."""
         return len(self._queue(queue_name).in_flight)

@@ -1,0 +1,80 @@
+"""Central deprecation registry for the public API.
+
+Every backwards-compatibility shim in the codebase funnels through
+:func:`warn_deprecated` with a key registered in :data:`DEPRECATIONS`.
+This buys two guarantees cheaply:
+
+* the test suite can run *warning-clean* — ``pyproject.toml`` escalates
+  :class:`ReproDeprecationWarning` (and only it — third-party
+  ``DeprecationWarning`` noise is untouched) to an error, so no in-repo
+  code path may rely on a deprecated spelling;
+* ``scripts/check_api_surface.py --deprecations`` fails when a
+  registered deprecation is missing from the DESIGN.md section 12
+  migration table, so every warning a user can hit documents its
+  replacement.
+
+Keys are stable identifiers; the values are the *old* spelling (which
+must appear verbatim in the migration table) and the replacement.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Tuple
+
+__all__ = ["ReproDeprecationWarning", "DEPRECATIONS", "warn_deprecated"]
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecation emitted by this codebase's own compatibility shims."""
+
+
+#: key -> (old spelling, replacement).  The old spelling must appear
+#: verbatim in the DESIGN.md migration table (section 12).
+DEPRECATIONS: Dict[str, Tuple[str, str]] = {
+    "warehouse-visibility-timeout": (
+        "Warehouse(visibility_timeout=...)",
+        "DeploymentConfig(visibility_timeout=...)"),
+    "warehouse-store-config": (
+        "Warehouse(store_config=...)",
+        "DeploymentConfig(shards=..., cache_bytes=...)"),
+    "build-instances": (
+        "build_index(instances=...)",
+        "DeploymentConfig.loaders (config={'loaders': n})"),
+    "build-instance-type": (
+        "build_index(instance_type=...)",
+        "DeploymentConfig.loader_type (config={'loader_type': t})"),
+    "build-batch-size": (
+        "build_index(batch_size=...)",
+        "DeploymentConfig.batch_size (config={'batch_size': n})"),
+    "build-backend": (
+        "build_index(backend=...)",
+        "DeploymentConfig.backend (config={'backend': b})"),
+    "workload-instances": (
+        "run_workload(instances=...)",
+        "DeploymentConfig.workers (config={'workers': n})"),
+    "workload-instance-type": (
+        "run_workload(instance_type=...)",
+        "DeploymentConfig.worker_type (config={'worker_type': t})"),
+    "parse-tag": (
+        "repro.telemetry.parse_tag(tag)",
+        "Attribution.from_tag(tag)"),
+    "fault-counts": (
+        "FaultDomain.fault_counts()",
+        "MetricsRegistry counter 'faults_injected_total'"),
+    "retry-counts": (
+        "ResilientClient.retry_counts()",
+        "MetricsRegistry counter 'retries_total'"),
+    "downgrade-counts": (
+        "HealthRegistry.downgrade_counts()",
+        "MetricsRegistry counter 'downgrades_total'"),
+}
+
+
+def warn_deprecated(key: str, stacklevel: int = 3) -> None:
+    """Emit the registered :class:`ReproDeprecationWarning` for ``key``."""
+    old, new = DEPRECATIONS[key]
+    warnings.warn(
+        "{} is deprecated; use {} (see the migration table in DESIGN.md "
+        "section 12)".format(old, new),
+        ReproDeprecationWarning, stacklevel=stacklevel)

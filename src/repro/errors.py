@@ -172,6 +172,17 @@ class InstanceCrashed(InstanceError):
     """
 
 
+class InstanceRetired(InstanceError):
+    """A virtual instance was retired by the autoscaler.
+
+    Unlike :class:`InstanceCrashed` this is a *planned* removal, but the
+    recovery contract is identical: the worker's process is interrupted,
+    any in-flight message lease is simply allowed to lapse, and SQS
+    redelivers the work to a surviving instance.  Distinguishing the two
+    keeps scale-in events out of the chaos accounting.
+    """
+
+
 # --------------------------------------------------------------------------
 # Client-side resilience errors
 # --------------------------------------------------------------------------

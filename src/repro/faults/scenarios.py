@@ -41,6 +41,7 @@ from repro.costs.estimator import CostBreakdown, _price_requests
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
 from repro.query.workload import workload_query
+from repro.telemetry.registry import counter_dict
 from repro.warehouse.warehouse import RESULTS_BUCKET, Warehouse
 from repro.xmark.corpus import generate_corpus
 
@@ -280,13 +281,15 @@ def _execute_run(plan: Optional[FaultPlan], throttle_mode: bool,
     cloud = CloudProvider(fault_plan=plan)
     if throttle_mode:
         cloud.dynamodb.enable_throttle_mode()
-    warehouse = Warehouse(cloud, visibility_timeout=visibility_timeout)
+    warehouse = Warehouse(cloud, deployment={
+        "visibility_timeout": visibility_timeout})
     warehouse.upload_corpus(corpus)
-    built = warehouse.build_index(strategy, instances=instances,
-                                  instance_type=instance_type,
-                                  backend=backend, batch_size=batch_size)
+    built = warehouse.build_index(strategy, config={
+        "loaders": instances, "loader_type": instance_type,
+        "backend": backend, "batch_size": batch_size})
     report = warehouse.run_workload(
-        [workload_query(name) for name in queries], built, instances=1)
+        [workload_query(name) for name in queries], built,
+        config={"workers": 1})
 
     answers = []
     for execution in report.executions:
@@ -306,9 +309,11 @@ def _execute_run(plan: Optional[FaultPlan], throttle_mode: bool,
         answers=answers,
         cost=_run_cost(warehouse),
         documents_indexed=built.report.documents,
-        fault_counts=(cloud.faults.fault_counts()
+        fault_counts=(counter_dict(cloud.telemetry.registry,
+                                   "faults_injected_total")
                       if cloud.faults is not None else {}),
-        retry_counts=(cloud.resilient.client.retry_counts()
+        retry_counts=(counter_dict(cloud.telemetry.registry,
+                                   "retries_total")
                       if cloud.resilient.client is not None else {}),
         redelivered=redelivered,
         dead_lettered=dead_lettered,
@@ -536,15 +541,16 @@ def run_scrub_repair_scenario(documents: int = 12, seed: int = 7,
     corpus = generate_corpus(ScaleProfile(documents=documents, seed=seed))
     warehouse = Warehouse(CloudProvider())
     warehouse.upload_corpus(corpus)
+    build_config = {"loaders": instances, "batch_size": batch_size}
     primary, record = warehouse.build_index_checkpointed(
-        strategy, instances=instances, batch_size=batch_size)
+        strategy, config=build_config)
     fallback, _ = warehouse.build_index_checkpointed(
-        fallback_strategy, instances=instances, batch_size=batch_size)
+        fallback_strategy, config=build_config)
     query_list = [workload_query(name) for name in queries]
 
     before = physical_snapshot(warehouse, primary)
     baseline = _workload_answers(warehouse, warehouse.run_workload(
-        query_list, primary, instances=1))
+        query_list, primary, config={"workers": 1}))
 
     plan = (FaultPlan(seed=seed)
             .corrupt_item(table=0, count=corrupt_items)
@@ -556,8 +562,9 @@ def run_scrub_repair_scenario(documents: int = 12, seed: int = 7,
     pre = warehouse.scrub_index(primary, record.name, record.epoch,
                                 repair=False)
     degraded = _workload_answers(warehouse, warehouse.run_degraded_workload(
-        query_list, [primary, fallback], instances=1))
-    downgrades = dict(warehouse.health.downgrade_counts())
+        query_list, [primary, fallback], config={"workers": 1}))
+    downgrades = counter_dict(warehouse.cloud.telemetry.registry,
+                              "downgrades_total")
 
     repair = warehouse.scrub_index(primary, record.name, record.epoch,
                                    repair=True)
@@ -565,7 +572,7 @@ def run_scrub_repair_scenario(documents: int = 12, seed: int = 7,
                                    repair=False)
     after = physical_snapshot(warehouse, primary)
     repaired = _workload_answers(warehouse, warehouse.run_workload(
-        query_list, primary, instances=1))
+        query_list, primary, config={"workers": 1}))
 
     from repro.costs.estimator import scrub_cost as _scrub_cost
     return ScrubScenarioReport(

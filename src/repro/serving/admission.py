@@ -1,0 +1,71 @@
+"""Admission control at the serving front door.
+
+Each arrival is judged *synchronously* against the visible depth of the
+query queue — the one signal a real front end can read cheaply (the
+``ApproximateNumberOfMessages`` attribute).  Three outcomes:
+
+``admit``
+    Below every bound: the query takes the primary index path.
+``degrade``
+    Over the degrade bound: admitted, but flagged for the coarser
+    access path (the crash-consistency 2LUPI → LU → scan ladder) so it
+    costs the overloaded fleet less index work.
+``shed``
+    Over the hard bound: rejected outright.  The arrival never reaches
+    a queue; an open workload keeps offering regardless.
+
+Decisions are counted on the metrics registry
+(``serving_admission_total{decision=...}``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.serving.policy import AdmissionPolicy
+from repro.warehouse.messages import QUERY_QUEUE
+
+__all__ = ["AdmissionController", "ADMIT", "DEGRADE", "SHED"]
+
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` to arrivals; counts outcomes."""
+
+    def __init__(self, cloud: Any, policy: Optional[AdmissionPolicy],
+                 queue_name: str = QUERY_QUEUE) -> None:
+        self._cloud = cloud
+        self.policy = policy
+        self._queue_name = queue_name
+        self.offered = 0
+        self.admitted = 0
+        self.degraded = 0
+        self.shed = 0
+
+    def decide(self) -> str:
+        """Judge one arrival now; returns ``admit``/``degrade``/``shed``."""
+        self.offered += 1
+        decision = ADMIT
+        if self.policy is not None:
+            depth = self._cloud.sqs.approximate_depth(self._queue_name)
+            if depth >= self.policy.max_queue_depth:
+                decision = SHED
+            elif (self.policy.degradation_enabled
+                  and depth >= self.policy.degrade_queue_depth):
+                decision = DEGRADE
+        if decision == SHED:
+            self.shed += 1
+        elif decision == DEGRADE:
+            self.degraded += 1
+            self.admitted += 1
+        else:
+            self.admitted += 1
+        hub = getattr(self._cloud, "telemetry", None)
+        if hub is not None:
+            hub.counter("serving_admission_total",
+                        "Admission decisions at the serving front door.",
+                        ("decision",)).inc(decision=decision)
+        return decision

@@ -1,0 +1,195 @@
+"""The query-fleet autoscaler and its fleet bookkeeping.
+
+The paper's core economic observation — instance count trades time for
+(roughly) constant cost — only pays off continuously if something
+*changes* the instance count as load changes.  The :class:`Autoscaler`
+is that something: a tick-driven policy loop over two queue signals
+(visible backlog per worker, age of the oldest waiting message) that
+launches and retires EC2 instances inside a :class:`Fleet`.
+
+Retirement reuses the §3 fault-tolerance contract instead of inventing
+a hand-off protocol: the worker's process is interrupted with
+:class:`~repro.errors.InstanceRetired`, any lease it held simply
+lapses, and SQS redelivers the message to a surviving worker.  With
+``policy.drain`` (the default) only idle workers are retired, so the
+lease path is never exercised by scale-in; with ``drain=False`` a busy
+worker may be reclaimed mid-query — the spot-instance scenario the
+at-least-once tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
+
+from repro.errors import InstanceRetired
+from repro.serving.policy import AutoscalePolicy
+from repro.warehouse.messages import QUERY_QUEUE
+
+__all__ = ["Fleet", "Autoscaler"]
+
+
+@dataclass
+class _Member:
+    """One fleet slot: instance + worker + the worker's process."""
+
+    instance: Any
+    worker: Any
+    proc: Any
+
+
+class Fleet:
+    """Live query-processor fleet: launch, retire, timeline.
+
+    ``worker_factory(instance)`` builds a worker object exposing
+    ``run()`` (the process generator) and a ``busy`` flag; the fleet
+    stays agnostic of the worker's actual type.
+    """
+
+    def __init__(self, cloud: Any, instance_type: str,
+                 worker_factory: Callable[[Any], Any]) -> None:
+        self._cloud = cloud
+        self._instance_type = instance_type
+        self._factory = worker_factory
+        self.members: List[_Member] = []
+        #: Every instance the fleet ever launched, in launch order
+        #: (retired ones included — their uptime is still billed).
+        self.instances_ever: List[Any] = []
+        #: Every size change as ``(simulated time, new size)``.
+        self.timeline: List[Tuple[float, int]] = []
+        self.launched_total = 0
+        self.retired_total = 0
+        self.retired_busy_total = 0
+        self._serial = 0
+
+    @property
+    def size(self) -> int:
+        """Current fleet size."""
+        return len(self.members)
+
+    def idle_members(self) -> List[_Member]:
+        """Members whose worker holds no query right now."""
+        return [m for m in self.members if not m.worker.busy]
+
+    def _mark(self) -> None:
+        now = self._cloud.env.now
+        if self.timeline and self.timeline[-1][0] == now:
+            self.timeline[-1] = (now, self.size)
+        else:
+            self.timeline.append((now, self.size))
+
+    def launch(self, count: int) -> List[_Member]:
+        """Grow the fleet by ``count`` instances."""
+        added: List[_Member] = []
+        for _ in range(count):
+            self._serial += 1
+            instance = self._cloud.ec2.launch(self._instance_type)
+            self.instances_ever.append(instance)
+            worker = self._factory(instance)
+            proc = self._cloud.env.process(
+                worker.run(), name="serve-worker-{}".format(self._serial))
+            member = _Member(instance=instance, worker=worker, proc=proc)
+            self.members.append(member)
+            added.append(member)
+        self.launched_total += count
+        self._mark()
+        return added
+
+    def retire(self, member: _Member) -> None:
+        """Remove one member: interrupt its process, stop its instance.
+
+        An idle member is blocked in ``receive`` and holds no message
+        (the kernel's Store skips dead getters, so nothing is lost); a
+        busy member's lease lapses and SQS redelivers its query.
+        """
+        if member.worker.busy:
+            self.retired_busy_total += 1
+        self.members.remove(member)
+        if member.proc.is_alive:
+            member.proc.interrupt(
+                InstanceRetired(member.instance.instance_id))
+        if member.instance.running:
+            self._cloud.ec2.stop(member.instance)
+        self.retired_total += 1
+        self._mark()
+
+    def uptime_hours(self) -> float:
+        """Fractional instance-hours over every member that ever ran.
+
+        Retired members are included (their clocks stopped at
+        retirement), so this is exactly what §7's ``VM$h`` multiplies.
+        """
+        return sum(i.uptime_hours for i in self.instances_ever)
+
+
+class Autoscaler:
+    """Tick-driven scaling loop over a :class:`Fleet`.
+
+    Runs as its own simulated process; the serving runtime interrupts
+    it when the workload completes.
+    """
+
+    def __init__(self, cloud: Any, policy: AutoscalePolicy, fleet: Fleet,
+                 queue_name: str = QUERY_QUEUE) -> None:
+        self._cloud = cloud
+        self.policy = policy
+        self.fleet = fleet
+        self._queue_name = queue_name
+        self.scale_outs = 0
+        self.scale_ins = 0
+        self._idle_ticks = 0
+        self._last_action_at = float("-inf")
+
+    def run(self):
+        """The scaling process: evaluate the policy every tick forever."""
+        env = self._cloud.env
+        while True:
+            yield env.timeout(self.policy.tick_s)
+            self.evaluate()
+
+    def evaluate(self) -> None:
+        """One policy evaluation against the current queue signals."""
+        policy = self.policy
+        cloud = self._cloud
+        now = cloud.env.now
+        depth = cloud.sqs.approximate_depth(self._queue_name)
+        age = cloud.sqs.oldest_message_age(self._queue_name)
+        size = self.fleet.size
+        cooling = now - self._last_action_at < policy.cooldown_s
+        hub = getattr(cloud, "telemetry", None)
+        if hub is not None:
+            hub.gauge("serving_fleet_size",
+                      "Query-processor fleet size.").set(size)
+            hub.gauge("serving_queue_depth",
+                      "Visible query-queue backlog.").set(depth)
+
+        pressed = (depth / max(size, 1) > policy.scale_out_depth
+                   or age > policy.max_queue_age_s)
+        if pressed:
+            self._idle_ticks = 0
+            if size < policy.max_workers and not cooling:
+                step = min(policy.scale_out_step,
+                           policy.max_workers - size)
+                self.fleet.launch(step)
+                self.scale_outs += 1
+                self._last_action_at = now
+            return
+
+        busy = any(m.worker.busy for m in self.fleet.members)
+        in_flight = cloud.sqs.in_flight_count(self._queue_name)
+        idle = depth == 0 and (not policy.drain
+                               or (in_flight == 0 and not busy))
+        if not idle:
+            self._idle_ticks = 0
+            return
+        self._idle_ticks += 1
+        if (size > policy.min_workers
+                and self._idle_ticks >= policy.scale_in_idle_ticks
+                and not cooling):
+            candidates = (self.fleet.idle_members() if policy.drain
+                          else list(self.fleet.members))
+            if candidates:
+                self.fleet.retire(candidates[-1])
+                self.scale_ins += 1
+                self._last_action_at = now
+                self._idle_ticks = 0

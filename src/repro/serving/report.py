@@ -1,0 +1,210 @@
+"""The serving run's outcome: latency, elasticity and exact dollars.
+
+A :class:`ServingReport` is to :meth:`Warehouse.serve` what
+:class:`~repro.warehouse.warehouse.WorkloadReport` is to
+``run_workload``, reshaped for an open workload: latency percentiles
+instead of a makespan, admission outcomes, the fleet-size timeline, and
+a dollar tie-out — the serve span's inclusive request cost must equal
+the estimator's phase total to the last float bit (the PR 3 invariant,
+now holding across an elastic fleet).
+
+Everything in the report is a plain number, string or list, and
+:meth:`ServingReport.to_dict` is deterministic — same seed, same bytes
+— which is what the golden-report tests serialise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServingReport", "QueryOutcome", "percentile"]
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = int(math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[max(rank, 1) - 1]
+
+
+@dataclass
+class QueryOutcome:
+    """One served query, as the user experienced it."""
+
+    query_id: int
+    name: str
+    #: Offset of the arrival from the start of serving (seconds).
+    arrived_at: float
+    #: Arrival → results fetched (queueing included).
+    response_s: float
+    #: Admission flagged this query for the degraded access path.
+    degraded: bool
+    #: How the look-up resolved (strategy name / "s3-scan" / "mixed").
+    index_mode: str
+    #: Request dollars of this query's span subtree (0.0 untraced).
+    cost: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view (nested in the serving report's)."""
+        return {
+            "query_id": self.query_id,
+            "name": self.name,
+            "arrived_at": self.arrived_at,
+            "response_s": self.response_s,
+            "degraded": self.degraded,
+            "index_mode": self.index_mode,
+            "cost": self.cost,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one open-workload serving run."""
+
+    strategy_name: str
+    tag: str
+    arrival: str
+    rate_qps: float
+    seed: int
+    worker_type: str
+    elastic: bool
+
+    # -- admission ---------------------------------------------------------
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    degraded: int = 0
+    completed: int = 0
+    #: Queue-level redeliveries (lease lapses, incl. mid-query retirement).
+    redelivered: int = 0
+
+    # -- latency / throughput ---------------------------------------------
+    duration_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    mean_s: float = 0.0
+    max_s: float = 0.0
+
+    # -- fleet -------------------------------------------------------------
+    initial_workers: int = 0
+    peak_workers: int = 0
+    mean_workers: float = 0.0
+    launched: int = 0
+    retired: int = 0
+    retired_busy: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    fleet_timeline: List[Tuple[float, int]] = field(default_factory=list)
+
+    # -- dollars -----------------------------------------------------------
+    vm_hours: float = 0.0
+    ec2_cost: float = 0.0
+    #: Request dollars of the serve span's inclusive subtree.
+    request_cost: float = 0.0
+    #: Request dollars the estimator prices for the serve tag — must
+    #: equal :attr:`request_cost` exactly on a traced run.
+    estimator_request_cost: float = 0.0
+    total_cost: float = 0.0
+    cost_per_query: float = 0.0
+    #: Per-service split of the request dollars (estimator shape).
+    request_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    queries: List[QueryOutcome] = field(default_factory=list)
+    #: The run's tracer (None untraced) — not serialised.
+    trace: Optional[Any] = None
+    #: Serve-phase span id (0 untraced).
+    span_id: int = 0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per simulated second of serving."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def cost_tied_out(self) -> bool:
+        """Whether span attribution and the estimator agree exactly."""
+        return self.request_cost == self.estimator_request_cost
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic, JSON-serialisable view (golden-test shape)."""
+        return {
+            "strategy": self.strategy_name,
+            "tag": self.tag,
+            "arrival": self.arrival,
+            "rate_qps": self.rate_qps,
+            "seed": self.seed,
+            "worker_type": self.worker_type,
+            "elastic": self.elastic,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "completed": self.completed,
+            "redelivered": self.redelivered,
+            "duration_s": self.duration_s,
+            "throughput_qps": self.throughput_qps,
+            "latency_s": {
+                "p50": self.p50_s, "p95": self.p95_s, "p99": self.p99_s,
+                "mean": self.mean_s, "max": self.max_s,
+            },
+            "fleet": {
+                "initial": self.initial_workers,
+                "peak": self.peak_workers,
+                "mean": self.mean_workers,
+                "launched": self.launched,
+                "retired": self.retired,
+                "retired_busy": self.retired_busy,
+                "scale_outs": self.scale_outs,
+                "scale_ins": self.scale_ins,
+                "timeline": [[t, n] for t, n in self.fleet_timeline],
+            },
+            "dollars": {
+                "vm_hours": self.vm_hours,
+                "ec2": self.ec2_cost,
+                "requests_span": self.request_cost,
+                "requests_estimator": self.estimator_request_cost,
+                "request_breakdown": dict(self.request_breakdown),
+                "total": self.total_cost,
+                "per_query": self.cost_per_query,
+            },
+            "queries": [q.to_dict() for q in self.queries],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            "serving run [{}] {} arrivals @ {:g} qps on {} ({})".format(
+                self.strategy_name, self.arrival, self.rate_qps,
+                self.worker_type,
+                "autoscaled" if self.elastic else "fixed fleet"),
+            "  offered {}  admitted {}  shed {}  degraded {}  "
+            "completed {}  redelivered {}".format(
+                self.offered, self.admitted, self.shed, self.degraded,
+                self.completed, self.redelivered),
+            "  duration {:.1f}s  throughput {:.3f} q/s".format(
+                self.duration_s, self.throughput_qps),
+            "  latency p50 {:.3f}s  p95 {:.3f}s  p99 {:.3f}s  "
+            "mean {:.3f}s  max {:.3f}s".format(
+                self.p50_s, self.p95_s, self.p99_s, self.mean_s,
+                self.max_s),
+            "  fleet initial {}  peak {}  mean {:.2f}  launched {}  "
+            "retired {} ({} busy)".format(
+                self.initial_workers, self.peak_workers,
+                self.mean_workers, self.launched, self.retired,
+                self.retired_busy),
+            "  dollars: ec2 ${:.6f} ({:.4f} VM-h)  requests ${:.6f}  "
+            "total ${:.6f}  (${:.8f}/query)".format(
+                self.ec2_cost, self.vm_hours, self.request_cost,
+                self.total_cost, self.cost_per_query),
+            "  cost tie-out: span ${:.10f} vs estimator ${:.10f} -> "
+            "{}".format(self.request_cost, self.estimator_request_cost,
+                        "exact" if self.cost_tied_out else "MISMATCH"),
+        ]
+        return "\n".join(lines)

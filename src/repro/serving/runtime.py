@@ -1,0 +1,337 @@
+"""The serving runtime: traffic, admission, elastic fleet, report.
+
+One :class:`ServingRuntime` drives a complete open-workload run on an
+already-provisioned warehouse:
+
+1. a :class:`~repro.serving.traffic.TrafficGenerator` materialises the
+   arrival schedule; a traffic process replays it against the front
+   end, consulting the :class:`~repro.serving.admission.
+   AdmissionController` at each arrival (shed arrivals never enqueue;
+   degraded ones carry the flag into their ``QueryRequest``);
+2. a :class:`~repro.serving.autoscaler.Fleet` of long-lived
+   :class:`~repro.warehouse.query_processor.QueryWorker` processes
+   consumes the query queue, grown and shrunk by the
+   :class:`~repro.serving.autoscaler.Autoscaler` (or held fixed when
+   the deployment has no autoscale policy);
+3. a collector process fetches responses as they appear (so measured
+   latency is the user's: arrival → results in hand), deduplicating
+   redelivered answers by query id;
+4. when every admitted query has answered, workers drain through the
+   usual poison pills, instances stop, and the run is folded into a
+   :class:`~repro.serving.report.ServingReport` with the exact
+   span-vs-estimator dollar tie-out.
+
+The whole run executes under one ``serve`` span and one meter tag, so
+the report's request dollars are attributable to the last float bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.costs.estimator import phase_cost
+from repro.errors import ProcessInterrupted
+from repro.query.parser import query_to_source
+from repro.query.pattern import Query
+from repro.query.workload import workload_query
+from repro.serving.admission import DEGRADE, SHED, AdmissionController
+from repro.serving.autoscaler import Autoscaler, Fleet
+from repro.serving.report import QueryOutcome, ServingReport, percentile
+from repro.serving.traffic import TrafficGenerator, TrafficProfile
+from repro.warehouse.messages import QUERY_QUEUE, StopWorker
+from repro.warehouse.query_processor import QueryWorker, QueryWorkStats
+from repro.warehouse.warehouse import DOCUMENT_BUCKET, RESULTS_BUCKET
+
+__all__ = ["ServingRuntime"]
+
+#: How often the driver re-checks the completion condition (simulated
+#: seconds).  Purely a bookkeeping poll — no metered requests.
+COMPLETION_POLL_S = 0.25
+
+_serve_serials = itertools.count(1)
+
+
+class ServingRuntime:
+    """Orchestrates one open-workload serving run."""
+
+    def __init__(self, warehouse: Any, profile: TrafficProfile,
+                 index: Optional[Any], deployment: Any,
+                 degraded_indexes: Optional[Sequence[Any]] = None,
+                 queries: Optional[Mapping[str, Query]] = None,
+                 tag: Optional[str] = None) -> None:
+        self.warehouse = warehouse
+        self.profile = profile
+        self.index = index
+        self.deployment = deployment
+        self.degraded_indexes = list(degraded_indexes or [])
+        self.strategy_name = index.strategy.name if index else "none"
+        self.tag = tag or "serve:{}:{}:{}".format(
+            self.strategy_name, profile.arrival, next(_serve_serials))
+        self._queries: Dict[str, Query] = (
+            dict(queries) if queries is not None
+            else {name: workload_query(name) for name in profile.mix})
+
+    # -- pieces ------------------------------------------------------------
+
+    def _worker_factory(self, stats_sink: Dict[int, QueryWorkStats]):
+        """Factory building one QueryWorker per launched instance."""
+        warehouse = self.warehouse
+        index = self.index
+        admission = self.deployment.admission
+        degraded_factory = None
+        if admission is not None and admission.degradation_enabled:
+            if self.degraded_indexes:
+                from repro.consistency import DegradedIndexChain
+                chain = DegradedIndexChain(
+                    warehouse.cloud, self.degraded_indexes,
+                    warehouse._all_uris, health=warehouse.health)
+                degraded_factory = chain.make_lookup
+            else:
+                # No fallback indexes: degraded queries take the ladder's
+                # last rung — the full S3 scan, the paper's no-index path.
+                from repro.consistency.degradation import DegradingLookup
+                degraded_factory = lambda: DegradingLookup(  # noqa: E731
+                    warehouse.cloud, [], warehouse._all_uris,
+                    warehouse.health)
+
+        def factory(instance: Any) -> QueryWorker:
+            return QueryWorker(
+                warehouse.cloud, instance,
+                index.make_lookup() if index else None,
+                DOCUMENT_BUCKET, RESULTS_BUCKET,
+                warehouse._all_uris, stats_sink,
+                parsed_documents=warehouse._parse_cache,
+                degraded_lookup=(degraded_factory()
+                                 if degraded_factory is not None else None))
+        return factory
+
+    @staticmethod
+    def _mean_fleet(timeline: List[Tuple[float, int]], start: float,
+                    end: float) -> float:
+        """Time-weighted mean fleet size over ``[start, end]``."""
+        if not timeline:
+            return 0.0
+        if end <= start:
+            return float(timeline[-1][1])
+        weighted = 0.0
+        for i, (t, size) in enumerate(timeline):
+            t0 = max(t, start)
+            t1 = timeline[i + 1][0] if i + 1 < len(timeline) else end
+            t1 = min(t1, end)
+            if t1 > t0:
+                weighted += (t1 - t0) * size
+        return weighted / (end - start)
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> ServingReport:
+        """Execute the serving run to completion; returns the report."""
+        warehouse = self.warehouse
+        cloud = warehouse.cloud
+        env = cloud.env
+        deployment = self.deployment
+        profile = self.profile
+
+        generator = TrafficGenerator(profile)
+        schedule = generator.schedule()
+        admission = AdmissionController(cloud, deployment.admission)
+        stats_sink: Dict[int, QueryWorkStats] = {}
+        fleet = Fleet(cloud, deployment.worker_type,
+                      self._worker_factory(stats_sink))
+        autoscaler = (Autoscaler(cloud, deployment.autoscale, fleet)
+                      if deployment.autoscale is not None else None)
+        initial = (deployment.autoscale.min_workers
+                   if deployment.autoscale is not None
+                   else deployment.workers)
+
+        arrivals: Dict[int, float] = {}
+        names: Dict[int, str] = {}
+        fetched: Dict[int, float] = {}
+        degraded_ids: Set[int] = set()
+        redelivered_before = cloud.sqs.redelivered_count(QUERY_QUEUE)
+        dead_before = cloud.sqs.dead_lettered_count(QUERY_QUEUE)
+        start_at = env.now
+
+        def submit_one(name: str, degraded: bool, arrived_at: float,
+                       ) -> Generator[Any, Any, None]:
+            query = self._queries[name]
+            query_id = yield from warehouse.frontend.submit_query(
+                query_to_source(query), name=name, degraded=degraded)
+            arrivals[query_id] = arrived_at
+            names[query_id] = name
+            if degraded:
+                degraded_ids.add(query_id)
+
+        traffic_done = [False]
+
+        def traffic() -> Generator[Any, Any, None]:
+            for seq, (offset, name) in enumerate(schedule):
+                delay = start_at + offset - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                decision = admission.decide()
+                if decision == SHED:
+                    continue
+                # Submission runs in a child process so its SQS latency
+                # cannot delay (or reorder) later arrivals.
+                env.process(
+                    submit_one(name, decision == DEGRADE, env.now),
+                    name="serve-submit-{}".format(seq))
+            traffic_done[0] = True
+
+        def collector() -> Generator[Any, Any, None]:
+            # Fetch responses as they appear; redelivered queries answer
+            # twice, so dedup by query id (first response wins — it is
+            # the one the user saw).
+            try:
+                while True:
+                    result = yield from warehouse.frontend.await_response()
+                    fetched.setdefault(result.query_id, result.fetched_at)
+            except ProcessInterrupted:
+                return
+
+        def driver() -> Generator[Any, Any, None]:
+            fleet.launch(initial)
+            collect_proc = env.process(collector(), name="serve-collector")
+            auto_proc = (env.process(autoscaler.run(),
+                                     name="serve-autoscaler")
+                         if autoscaler is not None else None)
+            traffic_proc = env.process(traffic(), name="serve-traffic")
+            yield traffic_proc
+            # Dead-lettered queries (chaotic deployments only) will never
+            # answer; without the correction the poll would spin forever.
+            def outstanding() -> int:
+                dead = (cloud.sqs.dead_lettered_count(QUERY_QUEUE)
+                        - dead_before)
+                return admission.admitted - dead - len(fetched)
+            while outstanding() > 0:
+                yield env.timeout(COMPLETION_POLL_S)
+            if auto_proc is not None and auto_proc.is_alive:
+                auto_proc.interrupt(
+                    ProcessInterrupted("serving complete"))
+            if collect_proc.is_alive:
+                collect_proc.interrupt(
+                    ProcessInterrupted("serving complete"))
+            # Drain the fleet through the usual poison pills.
+            pills = sum(1 for m in fleet.members if m.proc.is_alive)
+            for _ in range(pills):
+                yield from cloud.resilient.sqs.send(
+                    QUERY_QUEUE, StopWorker())
+            for member in list(fleet.members):
+                yield member.proc
+
+        with warehouse._span("serve", strategy=self.strategy_name,
+                             arrival=profile.arrival,
+                             rate_qps=profile.rate_qps,
+                             elastic=deployment.elastic) as serve_span:
+            with cloud.meter.tagged(self.tag):
+                env.run_process(driver(), name="serve")
+        end_at = env.now
+        for instance in fleet.instances_ever:
+            if instance.running:
+                cloud.ec2.stop(instance)
+
+        return self._build_report(
+            admission, fleet, autoscaler, arrivals, names, fetched,
+            degraded_ids, stats_sink, start_at, end_at,
+            redelivered_before, serve_span, initial)
+
+    # -- report assembly ---------------------------------------------------
+
+    def _build_report(self, admission: AdmissionController, fleet: Fleet,
+                      autoscaler: Optional[Autoscaler],
+                      arrivals: Dict[int, float], names: Dict[int, str],
+                      fetched: Dict[int, float], degraded_ids: Set[int],
+                      stats_sink: Dict[int, QueryWorkStats],
+                      start_at: float, end_at: float,
+                      redelivered_before: int, serve_span: Optional[Any],
+                      initial: int) -> ServingReport:
+        warehouse = self.warehouse
+        cloud = warehouse.cloud
+        book = cloud.price_book
+        deployment = self.deployment
+
+        hub = warehouse.telemetry
+        trace = hub.tracer if hub is not None else None
+        inclusive: Dict[int, Any] = {}
+        if trace is not None:
+            from repro.telemetry.costing import span_inclusive_costs
+            inclusive = span_inclusive_costs(trace, cloud.meter, book)
+
+        latencies = [fetched[qid] - arrivals[qid] for qid in sorted(fetched)]
+        duration = (max(fetched.values()) - start_at) if fetched \
+            else (end_at - start_at)
+        vm_hours = fleet.uptime_hours()
+        ec2_cost = book.vm_hourly(deployment.worker_type) * vm_hours
+
+        serve_span_id = serve_span.span_id if serve_span is not None else 0
+        span_breakdown = inclusive.get(serve_span_id)
+        estimator_breakdown = phase_cost(cloud.meter, book, self.tag)
+        request_cost = (span_breakdown.total
+                        if span_breakdown is not None else 0.0)
+        total_cost = request_cost + ec2_cost
+        completed = len(fetched)
+
+        queries: List[QueryOutcome] = []
+        for query_id in sorted(fetched):
+            work = stats_sink.get(query_id)
+            cost = 0.0
+            if work is not None and work.span_id:
+                rollup = inclusive.get(work.span_id)
+                cost = rollup.total if rollup is not None else 0.0
+            queries.append(QueryOutcome(
+                query_id=query_id,
+                name=names[query_id],
+                arrived_at=arrivals[query_id] - start_at,
+                response_s=fetched[query_id] - arrivals[query_id],
+                degraded=query_id in degraded_ids,
+                index_mode=work.index_mode if work is not None else "",
+                cost=cost))
+
+        timeline = [(t - start_at, n) for t, n in fleet.timeline]
+        return ServingReport(
+            strategy_name=self.strategy_name,
+            tag=self.tag,
+            arrival=self.profile.arrival,
+            rate_qps=self.profile.rate_qps,
+            seed=self.profile.seed,
+            worker_type=deployment.worker_type,
+            elastic=deployment.elastic,
+            offered=admission.offered,
+            admitted=admission.admitted,
+            shed=admission.shed,
+            degraded=admission.degraded,
+            completed=completed,
+            redelivered=(cloud.sqs.redelivered_count(QUERY_QUEUE)
+                         - redelivered_before),
+            duration_s=duration,
+            p50_s=percentile(latencies, 50.0),
+            p95_s=percentile(latencies, 95.0),
+            p99_s=percentile(latencies, 99.0),
+            mean_s=(sum(latencies) / len(latencies)) if latencies else 0.0,
+            max_s=max(latencies) if latencies else 0.0,
+            initial_workers=initial,
+            peak_workers=max((n for _, n in fleet.timeline), default=0),
+            mean_workers=self._mean_fleet(fleet.timeline, start_at, end_at),
+            launched=fleet.launched_total,
+            retired=fleet.retired_total,
+            retired_busy=fleet.retired_busy_total,
+            scale_outs=autoscaler.scale_outs if autoscaler else 0,
+            scale_ins=autoscaler.scale_ins if autoscaler else 0,
+            fleet_timeline=timeline,
+            vm_hours=vm_hours,
+            ec2_cost=ec2_cost,
+            request_cost=request_cost,
+            estimator_request_cost=estimator_breakdown.total,
+            total_cost=total_cost,
+            cost_per_query=(total_cost / completed) if completed else 0.0,
+            request_breakdown={
+                "s3": estimator_breakdown.s3,
+                "dynamodb": estimator_breakdown.dynamodb,
+                "simpledb": estimator_breakdown.simpledb,
+                "sqs": estimator_breakdown.sqs,
+            },
+            queries=queries,
+            trace=trace,
+            span_id=serve_span_id)

@@ -12,7 +12,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.telemetry.attribution import Attribution, parse_tag
+from repro.telemetry.attribution import Attribution
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,7 @@ class MeterRecord:
     @property
     def attribution(self) -> Attribution:
         """The record's tag parsed into a structured attribution."""
-        return parse_tag(self.tag, span_id=self.span_id)
+        return Attribution.from_tag(self.tag, span_id=self.span_id)
 
 
 @dataclass

@@ -37,12 +37,14 @@ from repro.telemetry.costing import (breakdown_as_dict, priced_breakdown,
 from repro.telemetry.export import (chrome_trace_json, metrics_snapshot_json,
                                     render_tree)
 from repro.telemetry.registry import (DEFAULT_BUCKETS, Counter, Gauge,
-                                      Histogram, MetricsRegistry)
+                                      Histogram, MetricsRegistry,
+                                      counter_dict)
 from repro.telemetry.spans import Span, Tracer, maybe_span
 
 __all__ = [
     "TelemetryHub", "Tracer", "Span", "maybe_span",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "counter_dict",
     "Attribution", "parse_tag",
     "chrome_trace_json", "render_tree", "metrics_snapshot_json",
     "span_direct_costs", "span_inclusive_costs", "priced_breakdown",

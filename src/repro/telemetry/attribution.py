@@ -19,13 +19,17 @@ names the parts explicitly:
     untraced), linking billing records into the trace tree.
 
 The legacy string form stays available as :attr:`Attribution.tag` and
-:func:`parse_tag` converts old tags forward, so existing meters, phase
-records and tests keep working unchanged.
+:meth:`Attribution.from_tag` converts old tags forward, so existing
+meters, phase records and tests keep working unchanged.  The original
+module-level :func:`parse_tag` still works but is deprecated in favour
+of the classmethod.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.deprecations import warn_deprecated
 
 __all__ = ["Attribution", "parse_tag"]
 
@@ -59,21 +63,29 @@ class Attribution:
     def __str__(self) -> str:
         return self.tag
 
+    @classmethod
+    def from_tag(cls, tag: str, span_id: int = 0) -> "Attribution":
+        """Parse a legacy tag string into an :class:`Attribution`.
+
+        The first colon-separated component is the activity; the
+        remainder is the query id for per-query activities and the
+        detail otherwise::
+
+            Attribution.from_tag("query:q3")
+                -> Attribution("query", query="q3")
+            Attribution.from_tag("index-build:LUP:1")
+                -> Attribution("index-build", detail="LUP:1")
+            Attribution.from_tag("") -> Attribution()
+        """
+        if not tag:
+            return cls(span_id=span_id)
+        activity, _, rest = tag.partition(":")
+        if activity in _QUERY_ACTIVITIES:
+            return cls(activity=activity, query=rest, span_id=span_id)
+        return cls(activity=activity, detail=rest, span_id=span_id)
+
 
 def parse_tag(tag: str, span_id: int = 0) -> Attribution:
-    """Parse a legacy tag string into an :class:`Attribution`.
-
-    The first colon-separated component is the activity; the remainder
-    is the query id for per-query activities and the detail otherwise::
-
-        parse_tag("query:q3")         -> Attribution("query", query="q3")
-        parse_tag("index-build:LUP:1") -> Attribution("index-build",
-                                                      detail="LUP:1")
-        parse_tag("")                  -> Attribution()
-    """
-    if not tag:
-        return Attribution(span_id=span_id)
-    activity, _, rest = tag.partition(":")
-    if activity in _QUERY_ACTIVITIES:
-        return Attribution(activity=activity, query=rest, span_id=span_id)
-    return Attribution(activity=activity, detail=rest, span_id=span_id)
+    """Deprecated alias of :meth:`Attribution.from_tag`."""
+    warn_deprecated("parse-tag")
+    return Attribution.from_tag(tag, span_id=span_id)

@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError, LabelCardinalityError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+           "DEFAULT_BUCKETS", "counter_dict"]
 
 #: Default histogram bucket upper bounds (simulated seconds): spans the
 #: request-latency range of the calibrated performance profile.
@@ -300,3 +300,20 @@ class MetricsRegistry:
                                 "{:.6g}".format(value))
                     lines.append("{}{} {}".format(name, label_part, rendered))
         return "\n".join(lines)
+
+
+def counter_dict(registry: Optional["MetricsRegistry"],
+                 name: str) -> Dict[str, int]:
+    """One counter's series as ``{"label1[:label2...]": int}``.
+
+    The migration shape for the retired per-object accessors
+    (``FaultDomain.fault_counts`` and friends): colon-joined label
+    values keyed to integer counts, sorted by label values.  Returns an
+    empty dict when the registry is missing or the counter was never
+    incremented.
+    """
+    metric = registry.get(name) if registry is not None else None
+    if not isinstance(metric, Counter):
+        return {}
+    return {":".join(key): int(series[0])
+            for key, series in metric.series()}

@@ -62,13 +62,19 @@ class Frontend:
     # -- querying --------------------------------------------------------------
 
     def submit_query(self, text: str, name: str = "",
-                     ) -> Generator[Any, Any, int]:
-        """Steps 7-8: post a query; returns its query id."""
+                     degraded: bool = False) -> Generator[Any, Any, int]:
+        """Steps 7-8: post a query; returns its query id.
+
+        ``degraded`` marks the request for the coarser access path —
+        set by admission control when the queue is over its degrade
+        bound.
+        """
         query_id = next(self._query_ids)
         with self._span("submit_query", query=name, query_id=query_id):
             yield from self._cloud.resilient.sqs.send(
                 QUERY_QUEUE,
-                QueryRequest(query_id=query_id, text=text, name=name))
+                QueryRequest(query_id=query_id, text=text, name=name,
+                             degraded=degraded))
         return query_id
 
     def await_response(self) -> Generator[Any, Any, FetchedResult]:

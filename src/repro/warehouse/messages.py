@@ -46,6 +46,9 @@ class QueryRequest:
     text: str
     #: Query display name (e.g. "q3"), for reporting only.
     name: str = ""
+    #: Admission control marked this query for the degraded access path
+    #: (the 2LUPI → LU → scan ladder) instead of the primary index.
+    degraded: bool = False
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.telemetry.registry import counter_dict
+
 
 @dataclass(frozen=True)
 class ThroughputUtilization:
@@ -223,10 +225,13 @@ def resource_report(warehouse) -> ResourceReport:
     report.request_counts = {
         "{}:{}".format(service, operation): count
         for (service, operation), count in sorted(totals.requests.items())}
+    hub = getattr(cloud, "telemetry", None)
+    registry = hub.registry if hub is not None else None
     if cloud.faults is not None:
-        report.fault_counts = cloud.faults.fault_counts()
+        report.fault_counts = counter_dict(registry,
+                                           "faults_injected_total")
     if cloud.resilient.client is not None:
-        report.retry_counts = cloud.resilient.client.retry_counts()
+        report.retry_counts = counter_dict(registry, "retries_total")
     # Consistency subsystem state, when the deployment has any: the
     # manifest's epoch records and the health registry's findings.
     from repro.consistency import Manifest
@@ -238,7 +243,7 @@ def resource_report(warehouse) -> ResourceReport:
     health = getattr(warehouse, "_health", None)
     if health is not None:
         report.table_health = health.suspect_tables()
-        report.downgrades = health.downgrade_counts()
+        report.downgrades = counter_dict(registry, "downgrades_total")
     # Storage-access layer state: the shared cache's counters and the
     # per-shard item balance over the deployment's index tables.
     cache = getattr(warehouse, "index_cache", None)

@@ -91,7 +91,8 @@ class QueryWorker:
                  lookup: Optional[BaseLookup], document_bucket: str,
                  results_bucket: str, all_uris: Sequence[str],
                  stats_sink: Dict[int, QueryWorkStats],
-                 parsed_documents: Optional[Dict[str, Any]] = None) -> None:
+                 parsed_documents: Optional[Dict[str, Any]] = None,
+                 degraded_lookup: Optional[BaseLookup] = None) -> None:
         self._cloud = cloud
         self._instance = instance
         self._lookup = lookup
@@ -104,6 +105,14 @@ class QueryWorker:
         #: re-doing the host-side parse work for hot documents.
         self._parsed_documents = parsed_documents if parsed_documents \
             is not None else {}
+        #: Alternative look-up used for requests flagged ``degraded``
+        #: by admission control (typically a DegradingLookup over the
+        #: 2LUPI → LU → scan ladder).
+        self._degraded_lookup = degraded_lookup
+        #: Whether the worker currently holds a query (observed by the
+        #: autoscaler when picking a drain-safe retirement candidate;
+        #: False while blocked in ``receive``).
+        self.busy = False
 
     # -- main loop -----------------------------------------------------------
 
@@ -115,7 +124,9 @@ class QueryWorker:
         sqs = self._cloud.resilient.sqs
         served = 0
         while True:
+            self.busy = False
             body, handle = yield from sqs.receive(QUERY_QUEUE)
+            self.busy = True
             if isinstance(body, StopWorker):
                 try:
                     yield from sqs.delete(QUERY_QUEUE, handle)
@@ -158,6 +169,10 @@ class QueryWorker:
         stats = QueryWorkStats(query_id=request.query_id, name=request.name,
                                received_at=env.now)
         query = parse_query(request.text, name=request.name)
+        lookup = self._lookup
+        if getattr(request, "degraded", False) \
+                and self._degraded_lookup is not None:
+            lookup = self._degraded_lookup
 
         with maybe_span(tracer, "query", query=request.name,
                         query_id=request.query_id) as query_span:
@@ -165,14 +180,14 @@ class QueryWorker:
                 stats.span_id = query_span.span_id
 
             # Steps 9-10: index look-up (or the no-index full scan list).
-            if self._lookup is not None:
-                self._lookup.tracer = tracer
-                cache = getattr(self._lookup, "store_cache", None)
+            if lookup is not None:
+                lookup.tracer = tracer
+                cache = getattr(lookup, "store_cache", None)
                 hits_before = cache.hits if cache is not None else 0
                 lookup_start = env.now
                 with maybe_span(tracer, "index-lookup"):
                     outcome: QueryLookupOutcome = \
-                        yield from self._lookup.lookup_query(query)
+                        yield from lookup.lookup_query(query)
                 stats.lookup_get_s = env.now - lookup_start
                 stats.index_gets = outcome.index_gets
                 if cache is not None:
@@ -194,7 +209,7 @@ class QueryWorker:
                     yield from self._instance.run(
                         outcome.rows_processed * profile.plan_ecu_s_per_row)
                 stats.lookup_plan_s = env.now - plan_start
-                stats.index_mode = getattr(self._lookup, "query_resolution",
+                stats.index_mode = getattr(lookup, "query_resolution",
                                            "index") or "index"
             else:
                 per_pattern_uris = [list(self._all_uris)

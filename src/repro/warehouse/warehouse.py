@@ -27,6 +27,7 @@ from typing import (Any, Dict, Generator, List, Optional, Sequence, Tuple,
 
 from repro.cloud.provider import CloudProvider
 from repro.cloud.sqs import RedrivePolicy
+from repro.deprecations import warn_deprecated
 from repro.errors import InstanceCrashed, WarehouseError
 from repro.indexing.base import IndexingStrategy
 from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
@@ -36,6 +37,7 @@ from repro.query.parser import query_to_source
 from repro.query.pattern import Query
 from repro.store import IndexCache, StoreConfig, StoreRouter, expand_physical
 from repro.telemetry.spans import maybe_span
+from repro.warehouse.deployment import DeploymentConfig
 from repro.warehouse.frontend import Frontend
 from repro.warehouse.loader import IndexerWorker, LoaderWorkerStats
 from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
@@ -57,6 +59,23 @@ DLQ_SUFFIX = "-dlq"
 #: How often a chaos build polls the loader queue for drain before
 #: sending the poison pills (simulated seconds).
 DRAIN_POLL_INTERVAL_S = 0.25
+
+#: Legacy keyword → (deprecation key, DeploymentConfig field) for the
+#: build-side methods; the query-side ones map to the worker fields.
+_BUILD_KWARGS = {
+    "instances": ("build-instances", "loaders"),
+    "instance_type": ("build-instance-type", "loader_type"),
+    "batch_size": ("build-batch-size", "batch_size"),
+    "backend": ("build-backend", "backend"),
+}
+_QUERY_KWARGS = {
+    "instances": ("workload-instances", "workers"),
+    "instance_type": ("workload-instance-type", "worker_type"),
+}
+_INIT_KWARGS = {
+    "visibility_timeout": "warehouse-visibility-timeout",
+    "store_config": "warehouse-store-config",
+}
 
 
 @dataclass
@@ -229,14 +248,40 @@ class Warehouse:
     """A deployed warehouse on one simulated cloud."""
 
     def __init__(self, cloud: Optional[CloudProvider] = None,
-                 visibility_timeout: float = QUEUE_VISIBILITY_TIMEOUT,
-                 store_config: Optional[StoreConfig] = None,
-                 ) -> None:
+                 deployment: Optional[Any] = None, **legacy: Any) -> None:
+        """Deploy a warehouse on ``cloud`` under one deployment config.
+
+        ``deployment`` is a :class:`DeploymentConfig` (or a mapping of
+        field overrides over the default one).  The pre-config keywords
+        ``visibility_timeout=`` and ``store_config=`` still work but
+        emit a :class:`~repro.deprecations.ReproDeprecationWarning`; see
+        the migration table in DESIGN.md section 12.
+        """
         self.cloud = cloud or CloudProvider()
-        self.visibility_timeout = visibility_timeout
+        resolved = DeploymentConfig.resolve(DeploymentConfig(), deployment)
+        for key in sorted(legacy):
+            if key not in _INIT_KWARGS:
+                raise TypeError(
+                    "Warehouse() got an unexpected keyword argument "
+                    "{!r}".format(key))
+            warn_deprecated(_INIT_KWARGS[key])
+        if "visibility_timeout" in legacy:
+            resolved = resolved.override(
+                visibility_timeout=legacy["visibility_timeout"])
+        if "store_config" in legacy:
+            legacy_store = legacy["store_config"] or StoreConfig()
+            resolved = resolved.override(
+                shards=legacy_store.shards,
+                cache_bytes=legacy_store.cache_bytes)
+        #: The deployment's frozen configuration: fleet shapes, store
+        #: layout, queue lease, optional fault/autoscale/admission
+        #: policies.  Per-call ``config=`` arguments override it.
+        self.deployment = resolved
+        self.visibility_timeout = resolved.visibility_timeout
         #: Storage-access layer configuration (sharding + caching); the
         #: default is the seed's single-table, uncached behaviour.
-        self.store_config = store_config or StoreConfig()
+        self.store_config = resolved.store_config
+        visibility_timeout = resolved.visibility_timeout
         #: One epoch-aware read cache shared by every index store of
         #: the deployment, so repeated workload runs hit across builds;
         #: ``None`` unless the configuration grants it a byte budget.
@@ -284,6 +329,45 @@ class Warehouse:
         return maybe_span(hub.tracer if hub is not None else None,
                           name, **attributes)
 
+    @classmethod
+    def deploy(cls, config: Optional[Any] = None,
+               cloud: Optional[CloudProvider] = None) -> "Warehouse":
+        """Deploy a warehouse from one :class:`DeploymentConfig`.
+
+        The one-stop constructor: when no ``cloud`` is supplied, one is
+        provisioned from the config itself (its ``faults`` plan becomes
+        the cloud's fault plan).  ``config`` may also be a mapping of
+        overrides over the default config.
+        """
+        resolved = DeploymentConfig.resolve(DeploymentConfig(), config)
+        if cloud is None:
+            cloud = CloudProvider(fault_plan=resolved.faults)
+        return cls(cloud=cloud, deployment=resolved)
+
+    def _resolve_deployment(self, config: Optional[Any],
+                            legacy: Dict[str, Any],
+                            mapping: Dict[str, Tuple[str, str]],
+                            method: str) -> DeploymentConfig:
+        """Per-call config: deployment ← ``config=`` ← legacy keywords.
+
+        Legacy keywords (the pre-config ``instances=`` spellings) are
+        honoured but warn; unknown keywords raise exactly like a normal
+        signature mismatch would.
+        """
+        resolved = DeploymentConfig.resolve(self.deployment, config)
+        overrides: Dict[str, Any] = {}
+        for key in sorted(legacy):
+            if key not in mapping:
+                raise TypeError(
+                    "{}() got an unexpected keyword argument {!r}".format(
+                        method, key))
+            dep_key, field = mapping[key]
+            warn_deprecated(dep_key, stacklevel=4)
+            overrides[field] = legacy[key]
+        if overrides:
+            resolved = resolved.override(**overrides)
+        return resolved
+
     # -- corpus upload -----------------------------------------------------------
 
     def upload_corpus(self, corpus: Corpus, tag: str = "upload") -> None:
@@ -303,18 +387,23 @@ class Warehouse:
     # -- index building ------------------------------------------------------------
 
     def build_index(self, strategy: Union[str, IndexingStrategy],
-                    instances: int = 8, instance_type: str = "l",
-                    batch_size: int = 8, include_words: bool = True,
-                    backend: str = "dynamodb",
-                    tag: Optional[str] = None) -> BuiltIndex:
+                    config: Optional[Any] = None, include_words: bool = True,
+                    tag: Optional[str] = None, **legacy: Any) -> BuiltIndex:
         """Build one strategy's index over the uploaded corpus.
 
-        Launches ``instances`` loader VMs of ``instance_type``, enqueues
-        one load request per document, and runs the pipeline to
-        completion.  ``backend`` selects the index store ("dynamodb" or
-        "simpledb" — the latter reproduces the [8] baseline of Tables
-        7-8).
+        Launches ``config.loaders`` loader VMs of ``config.loader_type``,
+        enqueues one load request per document, and runs the pipeline to
+        completion.  ``config.backend`` selects the index store
+        ("dynamodb" or "simpledb" — the latter reproduces the [8]
+        baseline of Tables 7-8).  ``config`` defaults to the
+        deployment's config; a mapping overrides individual fields.
         """
+        cfg = self._resolve_deployment(config, legacy, _BUILD_KWARGS,
+                                       "build_index")
+        instances = cfg.loaders
+        instance_type = cfg.loader_type
+        batch_size = cfg.batch_size
+        backend = cfg.backend
         if self.corpus is None:
             raise WarehouseError("upload_corpus() must run before build_index()")
         if isinstance(strategy, str):
@@ -453,9 +542,9 @@ class Warehouse:
 
     def ingest_increment(self, increment: Corpus,
                          indexes: Sequence[BuiltIndex],
-                         instances: int = 2, instance_type: str = "l",
-                         batch_size: int = 8,
-                         tag: Optional[str] = None) -> List[IndexBuildReport]:
+                         config: Optional[Any] = None,
+                         tag: Optional[str] = None,
+                         **legacy: Any) -> List[IndexBuildReport]:
         """Incrementally warehouse newly-arrived documents (steps 1-6).
 
         The paper's indexes "only depend on data", so new documents
@@ -463,7 +552,15 @@ class Warehouse:
         document is stored in S3, a load request is posted, and loader
         workers extract entries into the *existing* tables of every
         index in ``indexes``.  Returns one report per extended index.
+        The loader fleet comes from ``config`` (``loaders`` /
+        ``loader_type`` / ``batch_size``), defaulting to the
+        deployment's.
         """
+        cfg = self._resolve_deployment(config, legacy, _BUILD_KWARGS,
+                                       "ingest_increment")
+        instances = cfg.loaders
+        instance_type = cfg.loader_type
+        batch_size = cfg.batch_size
         if self.corpus is None:
             raise WarehouseError(
                 "upload_corpus() must run before ingest_increment()")
@@ -633,9 +730,9 @@ class Warehouse:
         return self._health
 
     def plan_build(self, strategy: Union[str, IndexingStrategy],
-                   name: Optional[str] = None, instances: int = 8,
-                   instance_type: str = "l", batch_size: int = 8,
-                   include_words: bool = True) -> Any:
+                   name: Optional[str] = None,
+                   config: Optional[Any] = None,
+                   include_words: bool = True, **legacy: Any) -> Any:
         """Plan a checkpointed build of the next epoch of ``name``.
 
         The corpus is partitioned into fixed-composition batches *now*,
@@ -645,6 +742,11 @@ class Warehouse:
         """
         from repro.consistency import Manifest
         from repro.consistency.build import BuildPlan, partition_batches
+        cfg = self._resolve_deployment(config, legacy, _BUILD_KWARGS,
+                                       "plan_build")
+        instances = cfg.loaders
+        instance_type = cfg.loader_type
+        batch_size = cfg.batch_size
         if self.corpus is None:
             raise WarehouseError(
                 "upload_corpus() must run before plan_build()")
@@ -843,19 +945,18 @@ class Warehouse:
 
     def build_index_checkpointed(self, strategy: Union[str, IndexingStrategy],
                                  name: Optional[str] = None,
-                                 instances: int = 8, instance_type: str = "l",
-                                 batch_size: int = 8,
+                                 config: Optional[Any] = None,
                                  include_words: bool = True,
                                  tag: Optional[str] = None,
-                                 ) -> Tuple[BuiltIndex, Any]:
+                                 **legacy: Any) -> Tuple[BuiltIndex, Any]:
         """One-call checkpointed build: plan → run → commit.
 
         Returns the ``BuiltIndex`` handle plus the committed
         :class:`~repro.consistency.manifest.EpochRecord`.
         """
-        plan = self.plan_build(strategy, name=name, instances=instances,
-                               instance_type=instance_type,
-                               batch_size=batch_size,
+        cfg = self._resolve_deployment(config, legacy, _BUILD_KWARGS,
+                                       "build_index_checkpointed")
+        plan = self.plan_build(strategy, name=name, config=cfg,
                                include_words=include_words)
         result = self.run_build(plan, tag=tag)
         if not result.complete:
@@ -896,9 +997,10 @@ class Warehouse:
 
     def run_degraded_workload(self, queries: Sequence[Query],
                               indexes: Sequence[BuiltIndex],
-                              instances: int = 1, instance_type: str = "xl",
+                              config: Optional[Any] = None,
                               repeats: int = 1, pipeline: bool = False,
-                              tag: Optional[str] = None) -> WorkloadReport:
+                              tag: Optional[str] = None,
+                              **legacy: Any) -> WorkloadReport:
         """Run a workload over a graceful-degradation chain of indexes.
 
         The chain tries the highest-ranked healthy candidate per
@@ -906,12 +1008,13 @@ class Warehouse:
         scan when nothing is usable; every downgrade is metered.
         """
         from repro.consistency import DegradedIndexChain
+        cfg = self._resolve_deployment(config, legacy, _QUERY_KWARGS,
+                                       "run_degraded_workload")
         chain = DegradedIndexChain(self.cloud, list(indexes),
                                    self._all_uris, health=self.health)
         tag = tag or "workload:degraded:{}x{}".format(
-            instances, instance_type)
-        return self.run_workload(queries, chain, instances=instances,
-                                 instance_type=instance_type,
+            cfg.workers, cfg.worker_type)
+        return self.run_workload(queries, chain, config=cfg,
                                  repeats=repeats, pipeline=pipeline,
                                  tag=tag)
 
@@ -919,10 +1022,11 @@ class Warehouse:
 
     def run_workload(self, queries: Sequence[Query],
                      index: Optional[BuiltIndex],
-                     instances: int = 1, instance_type: str = "xl",
+                     config: Optional[Any] = None,
                      repeats: int = 1, pipeline: bool = False,
-                     tag: Optional[str] = None) -> WorkloadReport:
-        """Run ``queries`` (``repeats`` times) over ``instances`` VMs.
+                     tag: Optional[str] = None,
+                     **legacy: Any) -> WorkloadReport:
+        """Run ``queries`` (``repeats`` times) over ``config.workers`` VMs.
 
         With ``index=None`` the no-index baseline runs: every document
         is fetched and evaluated for every query.
@@ -935,6 +1039,10 @@ class Warehouse:
         Figure 10 ("we sent to the front-end all our workload queries,
         successively, 16 times").
         """
+        cfg = self._resolve_deployment(config, legacy, _QUERY_KWARGS,
+                                       "run_workload")
+        instances = cfg.workers
+        instance_type = cfg.worker_type
         if self.corpus is None:
             raise WarehouseError("upload_corpus() must run before queries")
         strategy_name = index.strategy.name if index else "none"
@@ -1059,9 +1167,46 @@ class Warehouse:
                               span_id=workload_span_id)
 
     def run_query(self, query: Query, index: Optional[BuiltIndex],
-                  instance_type: str = "xl",
-                  tag: Optional[str] = None) -> QueryExecution:
+                  config: Optional[Any] = None,
+                  tag: Optional[str] = None, **legacy: Any) -> QueryExecution:
         """Run a single query on a single instance."""
-        report = self.run_workload([query], index, instances=1,
-                                   instance_type=instance_type, tag=tag)
+        cfg = self._resolve_deployment(config, legacy, _QUERY_KWARGS,
+                                       "run_query")
+        report = self.run_workload([query], index,
+                                   config=cfg.override(workers=1), tag=tag)
         return report.executions[0]
+
+    # -- serving (repro.serving) -------------------------------------------------
+
+    def serve(self, traffic: Any, index: Optional[BuiltIndex],
+              config: Optional[Any] = None,
+              degraded_indexes: Optional[Sequence[BuiltIndex]] = None,
+              queries: Optional[Dict[str, Query]] = None,
+              tag: Optional[str] = None, **legacy: Any) -> Any:
+        """Serve an *open* workload: traffic, admission, elastic fleet.
+
+        ``traffic`` is a :class:`~repro.serving.traffic.TrafficProfile`
+        (or a mapping of its fields): a seeded arrival process over the
+        paper's query mix that keeps offering queries regardless of
+        whether the fleet keeps up.  The fleet starts at
+        ``config.workers`` (or ``config.autoscale.min_workers`` when an
+        autoscale policy is set, in which case it grows and shrinks
+        against queue depth and age), and ``config.admission`` sheds or
+        degrades arrivals over its queue bounds — degraded arrivals run
+        a :class:`~repro.consistency.DegradedIndexChain` over
+        ``degraded_indexes``.  Returns a
+        :class:`~repro.serving.report.ServingReport` whose request
+        dollars tie out exactly against the cost estimator.
+        """
+        from repro.serving.runtime import ServingRuntime
+        from repro.serving.traffic import TrafficProfile
+        if self.corpus is None:
+            raise WarehouseError("upload_corpus() must run before serve()")
+        cfg = self._resolve_deployment(config, legacy, _QUERY_KWARGS,
+                                       "serve")
+        if isinstance(traffic, dict):
+            traffic = TrafficProfile(**traffic)
+        runtime = ServingRuntime(self, traffic, index, cfg,
+                                 degraded_indexes=degraded_indexes,
+                                 queries=queries, tag=tag)
+        return runtime.run()

@@ -19,13 +19,14 @@ def setup():
     warehouse = Warehouse()
     warehouse.upload_corpus(
         generate_corpus(ScaleProfile(documents=DOCUMENTS, seed=SEED)))
-    primary, _ = warehouse.build_index_checkpointed("2LUPI", instances=2,
-                                                    batch_size=4)
-    fallback, _ = warehouse.build_index_checkpointed("LU", instances=2,
-                                                     batch_size=4)
+    primary, _ = warehouse.build_index_checkpointed(
+        "2LUPI", config={"loaders": 2, "batch_size": 4})
+    fallback, _ = warehouse.build_index_checkpointed(
+        "LU", config={"loaders": 2, "batch_size": 4})
     queries = [workload_query(name) for name in QUERIES]
     baseline = _workload_answers(
-        warehouse, warehouse.run_workload(queries, primary, instances=1))
+        warehouse, warehouse.run_workload(queries, primary,
+                                          config={"workers": 1}))
     return warehouse, primary, fallback, queries, baseline
 
 
@@ -41,7 +42,7 @@ def test_healthy_chain_uses_the_primary(setup):
 @pytest.mark.scrub
 def test_suspect_primary_falls_back_and_is_metered(setup):
     warehouse, primary, fallback, queries, baseline = setup
-    before = dict(warehouse.health.downgrade_counts())
+    before = dict(warehouse.health.downgrades)
     for table in primary.physical_tables:
         warehouse.health.mark(table, "suspect")
     try:
@@ -53,7 +54,7 @@ def test_suspect_primary_falls_back_and_is_metered(setup):
         assert all(e.index_mode == fallback.strategy.name
                    for e in report.executions)
         # ...and every downgrade is accounted for.
-        after = warehouse.health.downgrade_counts()
+        after = warehouse.health.downgrades
         assert after.get("LU", 0) > before.get("LU", 0)
         downgrade_records = [
             r for r in warehouse.cloud.meter.records("consistency")
@@ -78,7 +79,7 @@ def test_nothing_usable_degrades_to_full_scan(setup):
         # paper's no-index baseline.
         assert _workload_answers(warehouse, report) == baseline
         assert all(e.index_mode == FULL_SCAN for e in report.executions)
-        assert warehouse.health.downgrade_counts().get(FULL_SCAN, 0) > 0
+        assert warehouse.health.downgrades.get(FULL_SCAN, 0) > 0
     finally:
         for table in marked:
             warehouse.health.mark(table, "healthy")

@@ -22,7 +22,7 @@ def checkpointed(corpus, strategy):
     warehouse = Warehouse()
     warehouse.upload_corpus(corpus)
     built, record = warehouse.build_index_checkpointed(
-        strategy, instances=2, batch_size=4)
+        strategy, config={"loaders": 2, "batch_size": 4})
     return warehouse, built, record
 
 

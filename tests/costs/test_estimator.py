@@ -23,7 +23,7 @@ def warehouse():
 
 @pytest.fixture(scope="module")
 def lu_index(warehouse):
-    return warehouse.build_index("LU", instances=2)
+    return warehouse.build_index("LU", config={"loaders": 2})
 
 
 class TestCostBreakdown:

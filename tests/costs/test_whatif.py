@@ -18,7 +18,7 @@ def measured():
     warehouse = Warehouse()
     corpus = generate_corpus(ScaleProfile(documents=40, seed=83))
     warehouse.upload_corpus(corpus)
-    index = warehouse.build_index("LUP", instances=2)
+    index = warehouse.build_index("LUP", config={"loaders": 2})
     indexed = warehouse.run_query(workload_query("q2"), index)
     scanned = warehouse.run_query(workload_query("q2"), None)
     return corpus, indexed, scanned

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.deprecations import ReproDeprecationWarning
+
 from repro.errors import ThroughputExceeded, TransientServiceError
 from repro.faults import FaultDomain, FaultInjector, FaultPlan
 from repro.sim import Environment, Meter
@@ -114,7 +116,8 @@ def test_fault_counts_and_events_merge_across_services():
     with pytest.raises(TransientServiceError):
         drive(env, domain.injector_for("s3").perturb("get"))
     drive(env, domain.injector_for("sqs").perturb("send"))
-    assert domain.fault_counts() == {"s3:error": 1, "sqs:latency": 1}
+    with pytest.warns(ReproDeprecationWarning, match="faults_injected_total"):
+        assert domain.fault_counts() == {"s3:error": 1, "sqs:latency": 1}
     events = domain.events()
     assert [e.kind for e in events] == ["error", "latency"]
     assert events[0].time <= events[1].time

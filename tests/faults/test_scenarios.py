@@ -73,11 +73,12 @@ def _chaotic_meter_records(seed):
             .crash(role="loader", after_s=0.5, worker=0)
             .transient_errors("s3", rate=0.1))
     cloud = CloudProvider(fault_plan=plan)
-    warehouse = Warehouse(cloud, visibility_timeout=6.0)
+    warehouse = Warehouse(cloud, deployment={"visibility_timeout": 6.0})
     warehouse.upload_corpus(corpus)
-    built = warehouse.build_index("LU", instances=2, instance_type="l",
-                                  batch_size=2)
-    warehouse.run_workload([workload_query("q1")], built, instances=1)
+    built = warehouse.build_index("LU", config={
+        "loaders": 2, "loader_type": "l", "batch_size": 2})
+    warehouse.run_workload([workload_query("q1")], built,
+                           config={"workers": 1})
     return cloud.meter.records()
 
 

@@ -45,7 +45,7 @@ def test_succeeds_after_transient_failures():
     op = FlakyOp(failures=2)
     assert run_call(client, env, "s3", "get", op) == "ok"
     assert op.attempts == 3
-    assert client.retry_counts() == {"s3": 2}
+    assert client.retries == {"s3": 2}
     # Each retry waits a positive backoff delay on the simulated clock...
     assert env.now > 0.0
     # ...and is metered under the cost-invisible pseudo-service.

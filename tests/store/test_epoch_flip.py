@@ -17,7 +17,7 @@ from repro.config import ScaleProfile
 from repro.faults import FaultPlan
 from repro.faults.corruption import CorruptionMonkey
 from repro.query.workload import workload_query
-from repro.store import StoreConfig, expand_physical
+from repro.store import expand_physical
 from repro.warehouse import Warehouse
 from repro.xmark import generate_corpus
 
@@ -40,28 +40,27 @@ def _queries():
 
 def test_manifest_flip_invalidates_the_cache(corpus):
     """Nothing cached before a flip survives into the new epoch."""
-    warehouse = Warehouse(
-        store_config=StoreConfig(cache_bytes=256 * 1024))
+    warehouse = Warehouse(deployment={"cache_bytes": 256 * 1024})
     warehouse.upload_corpus(corpus)
     built1, rec1 = warehouse.build_index_checkpointed(
-        "LUP", instances=2, batch_size=4)
+        "LUP", config={"loaders": 2, "batch_size": 4})
     cache = warehouse.index_cache
 
-    warehouse.run_workload(_queries(), built1, instances=1,
+    warehouse.run_workload(_queries(), built1, config={"workers": 1},
                            tag="flip:cold")
     assert len(cache) > 0
     cold_gets = warehouse.cloud.meter.request_count(
         "dynamodb", "get", tag="flip:cold")
 
-    report = warehouse.run_workload(_queries(), built1, instances=1,
-                                    tag="flip:warm")
+    report = warehouse.run_workload(_queries(), built1,
+                                    config={"workers": 1}, tag="flip:warm")
     warm_gets = warehouse.cloud.meter.request_count(
         "dynamodb", "get", tag="flip:warm")
     assert warm_gets < cold_gets
     assert sum(e.store_cache_hits for e in report.executions) > 0
 
     built2, rec2 = warehouse.build_index_checkpointed(
-        "LUP", instances=2, batch_size=4)
+        "LUP", config={"loaders": 2, "batch_size": 4})
     assert rec2.epoch == rec1.epoch + 1
     # The flip emptied the cache wholesale.
     assert len(cache) == 0
@@ -69,7 +68,7 @@ def test_manifest_flip_invalidates_the_cache(corpus):
 
     # The first post-flip run pays full price again: no stale entry
     # from epoch 1 is served against epoch 2.
-    warehouse.run_workload(_queries(), built2, instances=1,
+    warehouse.run_workload(_queries(), built2, config={"workers": 1},
                            tag="flip:after")
     after_gets = warehouse.cloud.meter.request_count(
         "dynamodb", "get", tag="flip:after")
@@ -78,10 +77,10 @@ def test_manifest_flip_invalidates_the_cache(corpus):
 
 def test_epoch_record_carries_shard_routing_metadata(corpus):
     """The committed manifest records how its epoch was partitioned."""
-    warehouse = Warehouse(store_config=StoreConfig(shards=2))
+    warehouse = Warehouse(deployment={"shards": 2})
     warehouse.upload_corpus(corpus)
     _, record = warehouse.build_index_checkpointed(
-        "LU", instances=2, batch_size=4)
+        "LU", config={"loaders": 2, "batch_size": 4})
     assert record.shards == 2
 
 
@@ -104,10 +103,10 @@ def test_scrubber_repairs_damage_across_shard_tables(corpus):
     """2LUPI scrub detects + repairs with every logical table split in
     two — corruption in one shard, a dropped partition in another —
     and the cross-table invariants aggregate over all shards."""
-    warehouse = Warehouse(store_config=StoreConfig(shards=2))
+    warehouse = Warehouse(deployment={"shards": 2})
     warehouse.upload_corpus(corpus)
     built, record = warehouse.build_index_checkpointed(
-        "2LUPI", instances=2, batch_size=4)
+        "2LUPI", config={"loaders": 2, "batch_size": 4})
     shard_tables = [shard_table
                     for physical in built.table_names.values()
                     for shard_table in expand_physical(built.store,

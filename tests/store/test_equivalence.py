@@ -15,7 +15,6 @@ import pytest
 from repro.config import ScaleProfile
 from repro.indexing.mapper import DynamoIndexStore
 from repro.query.workload import workload_query
-from repro.store import StoreConfig
 from repro.warehouse import Warehouse
 from repro.warehouse.warehouse import Warehouse as WarehouseClass
 from repro.xmark import generate_corpus
@@ -31,10 +30,11 @@ def _pipeline(make_warehouse):
     corpus = generate_corpus(ScaleProfile(documents=DOCUMENTS, seed=SEED))
     warehouse = make_warehouse()
     warehouse.upload_corpus(corpus)
-    built = warehouse.build_index("LUP", instances=2, instance_type="l",
-                                  batch_size=4)
+    built = warehouse.build_index("LUP", config={
+        "loaders": 2, "loader_type": "l", "batch_size": 4})
     report = warehouse.run_workload(
-        [workload_query("q1"), workload_query("q2")], built, instances=1)
+        [workload_query("q1"), workload_query("q2")], built,
+        config={"workers": 1})
     return warehouse.cloud.meter.records(), len(report.executions)
 
 
@@ -57,26 +57,24 @@ def test_explicit_default_config_matches_implicit():
     """``StoreConfig()`` spelled out changes nothing either."""
     implicit = _pipeline(Warehouse)
     explicit = _pipeline(
-        lambda: Warehouse(store_config=StoreConfig(shards=1,
-                                                   cache_bytes=0)))
+        lambda: Warehouse(deployment={"shards": 1, "cache_bytes": 0}))
     assert explicit == implicit
 
 
 def test_active_config_still_returns_the_same_answers():
     """Sharding + caching change the bill, never the query results."""
-    def uris(store_config):
+    def uris(deployment):
         corpus = generate_corpus(ScaleProfile(documents=DOCUMENTS,
                                               seed=SEED))
-        warehouse = Warehouse(store_config=store_config)
+        warehouse = Warehouse(deployment=deployment)
         warehouse.upload_corpus(corpus)
-        built = warehouse.build_index("LUP", instances=2,
-                                      instance_type="l", batch_size=4)
+        built = warehouse.build_index("LUP", config={
+            "loaders": 2, "loader_type": "l", "batch_size": 4})
         report = warehouse.run_workload(
             [workload_query("q1"), workload_query("q2")], built,
-            instances=1)
+            config={"workers": 1})
         return [(execution.name, execution.docs_with_results,
                  execution.result_rows, execution.result_bytes)
                 for execution in report.executions]
 
-    assert uris(StoreConfig(shards=3, cache_bytes=1 << 20)) == \
-        uris(None)
+    assert uris({"shards": 3, "cache_bytes": 1 << 20}) == uris(None)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim import Environment, Meter
+from repro.deprecations import ReproDeprecationWarning
 from repro.telemetry import Attribution, TelemetryHub, parse_tag
 
 pytestmark = pytest.mark.telemetry
@@ -13,7 +14,7 @@ pytestmark = pytest.mark.telemetry
 def test_tag_round_trip_for_query_activity():
     attribution = Attribution(activity="query", query="q3")
     assert attribution.tag == "query:q3"
-    assert parse_tag(attribution.tag) == attribution
+    assert Attribution.from_tag(attribution.tag) == attribution
     assert attribution.matches_activity("query")
     assert not attribution.matches_activity("scrub")
 
@@ -21,19 +22,25 @@ def test_tag_round_trip_for_query_activity():
 def test_tag_round_trip_for_detail_activity():
     attribution = Attribution(activity="index-build", detail="LUP:1")
     assert attribution.tag == "index-build:LUP:1"
-    assert parse_tag(attribution.tag) == attribution
+    assert Attribution.from_tag(attribution.tag) == attribution
 
 
 def test_empty_attribution_has_empty_tag():
     assert Attribution().tag == ""
-    assert parse_tag("") == Attribution()
+    assert Attribution.from_tag("") == Attribution()
     assert str(Attribution(activity="scrub", detail="e1")) == "scrub:e1"
 
 
-def test_parse_tag_carries_span_id():
-    attribution = parse_tag("query:q7", span_id=42)
+def test_from_tag_carries_span_id():
+    attribution = Attribution.from_tag("query:q7", span_id=42)
     assert attribution.span_id == 42
     assert attribution.query == "q7"
+
+
+def test_parse_tag_still_works_but_warns():
+    with pytest.warns(ReproDeprecationWarning, match="Attribution.from_tag"):
+        attribution = parse_tag("query:q7", span_id=42)
+    assert attribution == Attribution.from_tag("query:q7", span_id=42)
 
 
 def test_meter_accepts_attribution_in_tagged():

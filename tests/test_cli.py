@@ -120,3 +120,33 @@ def test_resume_command_recovers_interrupted_build(capsys):
     assert "interrupted=True" in out
     assert "committed=True" in out
     assert "committed epoch 1" in out
+
+
+@pytest.mark.serving
+def test_serve_command_fixed_fleet(capsys):
+    assert main(["serve", "--documents", "12", "--seed", "7",
+                 "--strategy", "LUI", "--workers", "2",
+                 "--queries", "12", "--rate", "4.0"]) == 0
+    out = capsys.readouterr().out
+    assert "cost tie-out" in out
+    assert "exact" in out
+
+
+@pytest.mark.serving
+def test_serve_command_autoscaled(capsys, tmp_path):
+    out_path = tmp_path / "serving.json"
+    assert main(["serve", "--documents", "12", "--seed", "7",
+                 "--strategy", "LUI", "--autoscale",
+                 "--arrival", "burst", "--queries", "20",
+                 "--rate", "4.0", "--report-out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "exact" in out
+    import json
+    payload = json.loads(out_path.read_text())
+    assert payload["completed"] == 20
+
+
+@pytest.mark.serving
+def test_serve_command_rejects_unknown_arrival():
+    with pytest.raises(SystemExit):
+        main(["serve", "--documents", "10", "--arrival", "flat"])

@@ -26,10 +26,10 @@ def build(plan):
     corpus = generate_corpus(ScaleProfile(documents=DOCUMENTS, seed=SEED))
     cloud = CloudProvider(fault_plan=plan)
     # Short visibility so the lapsed lease redelivers quickly.
-    warehouse = Warehouse(cloud, visibility_timeout=5.0)
+    warehouse = Warehouse(cloud, deployment={"visibility_timeout": 5.0})
     warehouse.upload_corpus(corpus)
-    built = warehouse.build_index("LU", instances=2, instance_type="l",
-                                  batch_size=2)
+    built = warehouse.build_index("LU", config={
+        "loaders": 2, "loader_type": "l", "batch_size": 2})
     return cloud, warehouse, built
 
 

@@ -21,7 +21,7 @@ def setup():
     base = generate_corpus(ScaleProfile(documents=30, seed=61))
     warehouse = Warehouse()
     warehouse.upload_corpus(base)
-    indexes = [warehouse.build_index(name, instances=2)
+    indexes = [warehouse.build_index(name, config={"loaders": 2})
                for name in ("LU", "LUI")]
     increment = generate_corpus(ScaleProfile(documents=12, seed=62))
     # Distinct URIs for the increment.
@@ -39,7 +39,8 @@ def setup():
 def test_increment_extends_indexes(setup):
     base, warehouse, indexes, increment = setup
     before_bytes = [idx.stored_bytes() for idx in indexes]
-    reports = warehouse.ingest_increment(increment, indexes, instances=2)
+    reports = warehouse.ingest_increment(increment, indexes,
+                                         config={"loaders": 2})
     assert len(reports) == 2
     for report, built, before in zip(reports, indexes, before_bytes):
         assert report.documents == len(increment)
@@ -51,7 +52,7 @@ def test_new_documents_immediately_queryable(setup):
     base, warehouse, indexes, increment = setup
     query = workload_query("q6")
     before = warehouse.run_query(query, indexes[1])
-    warehouse.ingest_increment(increment, indexes, instances=2)
+    warehouse.ingest_increment(increment, indexes, config={"loaders": 2})
     after = warehouse.run_query(query, indexes[1])
     assert after.docs_from_index >= before.docs_from_index
     # Some increment document must actually be retrieved (q6 matches
@@ -63,7 +64,7 @@ def test_new_documents_immediately_queryable(setup):
 
 def test_results_match_direct_evaluation_after_increment(setup):
     base, warehouse, indexes, increment = setup
-    warehouse.ingest_increment(increment, indexes, instances=2)
+    warehouse.ingest_increment(increment, indexes, config={"loaders": 2})
     from repro.engine.evaluator import evaluate_query
     for name in ("q2", "q6"):
         query = workload_query(name)
@@ -80,7 +81,7 @@ def test_duplicate_uris_rejected(setup):
 
 def test_increment_phase_tagged(setup):
     base, warehouse, indexes, increment = setup
-    warehouse.ingest_increment(increment, indexes, instances=2,
+    warehouse.ingest_increment(increment, indexes, config={"loaders": 2},
                                tag="ingest:test")
     records = warehouse.cloud.meter.records(tag_prefix="ingest:test")
     assert records
@@ -103,7 +104,7 @@ def test_lui_exactness_survives_increment(setup):
     """The LUI invariant holds across incremental loads (IDs of new
     documents never interleave with old ones: per-URI payloads)."""
     base, warehouse, indexes, increment = setup
-    warehouse.ingest_increment(increment, indexes, instances=2)
+    warehouse.ingest_increment(increment, indexes, config={"loaders": 2})
     from repro.engine.evaluator import pattern_matches
     pattern = parse_query("//person[/address/city][/profile]").patterns[0]
     lookup = indexes[1].make_lookup()

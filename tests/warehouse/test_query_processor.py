@@ -19,7 +19,7 @@ def warehouse():
 
 @pytest.fixture(scope="module")
 def lui_index(warehouse):
-    return warehouse.build_index("LUI", instances=2)
+    return warehouse.build_index("LUI", config={"loaders": 2})
 
 
 def test_results_match_direct_evaluation(warehouse, lui_index):
@@ -73,9 +73,9 @@ def test_empty_result_query(warehouse, lui_index):
 
 def test_xl_processes_faster_than_l(warehouse, lui_index):
     l_execution = warehouse.run_query(workload_query("q2"), lui_index,
-                                      instance_type="l")
+                                      config={"worker_type": "l"})
     xl_execution = warehouse.run_query(workload_query("q2"), lui_index,
-                                       instance_type="xl")
+                                       config={"worker_type": "xl"})
     assert xl_execution.fetch_eval_s < l_execution.fetch_eval_s
 
 

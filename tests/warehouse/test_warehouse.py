@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import ScaleProfile
-from repro.errors import WarehouseError
+from repro.errors import ConfigError, WarehouseError
 from repro.query.workload import workload_query
 from repro.warehouse import Warehouse
 from repro.xmark import generate_corpus
@@ -24,7 +24,8 @@ def warehouse(corpus):
 
 @pytest.fixture(scope="module")
 def lup_index(warehouse):
-    return warehouse.build_index("LUP", instances=4, instance_type="l")
+    return warehouse.build_index(
+        "LUP", config={"loaders": 4, "loader_type": "l"})
 
 
 class TestUpload:
@@ -68,13 +69,13 @@ class TestBuildIndex:
         assert {"dynamodb", "sqs", "s3"} <= services
 
     def test_rebuild_uses_fresh_tables(self, warehouse, lup_index):
-        second = warehouse.build_index("LUP", instances=2)
+        second = warehouse.build_index("LUP", config={"loaders": 2})
         assert set(second.physical_tables).isdisjoint(
             lup_index.physical_tables)
 
     def test_unknown_backend_rejected(self, warehouse):
-        with pytest.raises(WarehouseError):
-            warehouse.build_index("LU", backend="cassandra")
+        with pytest.raises(ConfigError):
+            warehouse.build_index("LU", config={"backend": "cassandra"})
 
     def test_instances_stopped_after_build(self, warehouse, lup_index):
         assert all(not i.running for i in warehouse.cloud.ec2.instances())
@@ -114,7 +115,8 @@ class TestRunQuery:
 class TestRunWorkload:
     def test_sequential_workload(self, warehouse, lup_index):
         queries = [workload_query(n) for n in ("q1", "q2", "q3")]
-        report = warehouse.run_workload(queries, lup_index, instances=1)
+        report = warehouse.run_workload(queries, lup_index,
+                                        config={"workers": 1})
         assert [e.name for e in report.executions] == ["q1", "q2", "q3"]
         assert report.makespan_s >= max(e.response_s
                                         for e in report.executions)
@@ -127,9 +129,11 @@ class TestRunWorkload:
 
     def test_pipeline_multiple_instances_faster(self, warehouse, lup_index):
         queries = [workload_query(n) for n in ("q2", "q4", "q6")]
-        solo = warehouse.run_workload(queries, lup_index, instances=1,
+        solo = warehouse.run_workload(queries, lup_index,
+                                      config={"workers": 1},
                                       repeats=4, pipeline=True)
-        fleet = warehouse.run_workload(queries, lup_index, instances=4,
+        fleet = warehouse.run_workload(queries, lup_index,
+                                       config={"workers": 4},
                                        repeats=4, pipeline=True)
         assert fleet.makespan_s < solo.makespan_s
 
