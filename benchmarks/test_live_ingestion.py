@@ -1,0 +1,48 @@
+"""Regenerates the live-ingestion bench (delta-merge vs. rebuilds).
+
+Benchmark kernel: the log-structured read-merge itself — overlaying a
+delta chain's payloads over a base layer with tombstone masking.
+Also emits ``BENCH_ingest.json`` — the maintenance-write and serving
+latency series — next to the repository root.
+"""
+
+import json
+import os
+
+from conftest import report
+
+from repro.bench.experiments import live_ingestion as experiment
+from repro.mutations import overlay_payloads
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_ingest.json")
+
+
+def test_live_ingestion(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    base = {"doc{}.xml".format(i): ("p{}".format(i),) for i in range(512)}
+    layers = [
+        ({"doc{}.xml".format(i): ("q{}".format(i),)
+          for i in range(seq, 512, 7)},
+         frozenset("doc{}.xml".format(i) for i in range(seq, 512, 13)))
+        for seq in range(1, 4)]
+
+    def merge():
+        return overlay_payloads(base, layers)
+
+    merged = benchmark(merge)
+    assert merged and len(merged) < len(base)

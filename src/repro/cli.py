@@ -13,6 +13,7 @@ monetary cost.  This CLI does the same over the simulated substrate::
     repro-warehouse trace --documents 60 --out /tmp/trace.json
     repro-warehouse workload --documents 60 --runs 3 --cache-bytes 262144
     repro-warehouse serve --seed 7 --strategy 2LUPI --autoscale
+    repro-warehouse ingest --documents 24 --strategy LUI --increments 3
     repro-warehouse xquery '//painting[/name{val}][/year="1854"]'
     repro-warehouse prices --provider google
 
@@ -429,6 +430,112 @@ def cmd_serve(args) -> int:
     return 0 if report.cost_tied_out else 1
 
 
+def _increments(args) -> List["Corpus"]:  # noqa: F821
+    """Seeded growth increments with URIs disjoint from the base corpus."""
+    increments = []
+    for batch in range(1, args.increments + 1):
+        increment = generate_corpus(ScaleProfile(
+            documents=args.increment_documents,
+            document_bytes=args.document_kb * 1024,
+            seed=args.seed + 7000 + batch))
+        prefix = "inc{}-".format(batch)
+        increment.data = {prefix + uri: data
+                          for uri, data in increment.data.items()}
+        for document in increment.documents:
+            document.uri = prefix + document.uri
+        increment.kinds = {prefix + uri: kind
+                           for uri, kind in increment.kinds.items()}
+        increments.append(increment)
+    return increments
+
+
+def cmd_ingest(args) -> int:
+    """Live ingestion: publish delta epochs, compact, stay queryable.
+
+    Builds a checkpointed index, attaches the live-mutation handle and
+    absorbs ``--increments`` growth increments of
+    ``--increment-documents`` new documents each as delta epochs.
+    With ``--rate`` > 0 the increments are published by a background
+    mutation feed *while* a seeded open workload (``--arrival`` at
+    ``--rate`` qps, ``--queries`` arrivals) is served, the compaction
+    ticker folding the chain mid-traffic per the ``--max-deltas`` /
+    ``--max-delta-documents`` policy; with ``--rate 0`` the increments
+    publish inline, each priced individually, compacting whenever the
+    policy trips.  Prints one line per delta and compaction plus the
+    serving report; ``--report-out`` writes the deterministic JSON
+    ingestion report.  Exit status 0 iff every priced mutation's and
+    the serving run's span dollars tie out exactly against the cost
+    estimator.
+    """
+    from repro.mutations import (CompactionPolicy, compaction_ticker,
+                                 mutation_feed)
+
+    _require_checkpoint_backend(args)
+    warehouse = Warehouse(deployment=_deployment(args))
+    warehouse.upload_corpus(_corpus(args))
+    _, record = warehouse.build_index_checkpointed(args.strategy)
+    live = warehouse.live_index(record.name)
+    out.line("built {} epoch {}; live handle attached".format(
+        record.name, record.epoch))
+
+    increments = _increments(args)
+    policy = CompactionPolicy(max_deltas=args.max_deltas,
+                              max_documents=args.max_delta_documents)
+    serving = None
+    if args.rate > 0:
+        background = [mutation_feed(
+            live, [("add", increment) for increment in increments],
+            interval_s=args.mutation_interval)]
+        if not args.no_compact:
+            background.append(compaction_ticker(
+                live, policy, interval_s=args.compaction_interval,
+                max_ticks=args.compaction_ticks))
+        traffic = {"arrival": args.arrival, "rate_qps": args.rate,
+                   "queries": args.queries, "seed": args.seed}
+        serving = warehouse.serve(traffic, live, background=background)
+    else:
+        for increment in increments:
+            warehouse.add_documents(live, increment)
+            if not args.no_compact and policy.should_compact(live.deltas):
+                warehouse.compact_index(live, retire=args.retire)
+
+    def verdict(tied) -> str:
+        if tied is None:
+            return "-"
+        return "exact" if tied else "MISMATCH"
+
+    rows = [[delta.seq, delta.kind, delta.documents,
+             len(delta.tombstones), delta.puts,
+             format_money(delta.span_cost.total)
+             if delta.span_cost else "-",
+             verdict(delta.cost_tied_out)]
+            for delta in live.history]
+    out.table(["seq", "kind", "docs", "tombstones", "puts", "cost",
+               "tie-out"], rows)
+    for compaction in live.compactions:
+        out.line("compaction e{} -> e{}: committed={} units {}/{} "
+                 "(skipped {}) cost {} tie-out {}".format(
+                     compaction.from_epoch, compaction.to_epoch,
+                     compaction.committed, compaction.units_done,
+                     compaction.units_total, compaction.units_skipped,
+                     format_money(compaction.span_cost.total)
+                     if compaction.span_cost else "-",
+                     verdict(compaction.cost_tied_out)))
+    if serving is not None:
+        out.line(serving.render())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(live.ingestion_report().to_json())
+        out.line("report: {}".format(args.report_out))
+
+    tied = [delta.cost_tied_out for delta in live.history]
+    tied.extend(compaction.cost_tied_out
+                for compaction in live.compactions if compaction.committed)
+    if serving is not None:
+        tied.append(serving.cost_tied_out)
+    return 0 if all(t is not False for t in tied) else 1
+
+
 def cmd_xquery(args) -> int:
     """Translate a tree-pattern query into XQuery (§4)."""
     query = parse_query(args.query)
@@ -591,6 +698,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--report-out",
                          help="write the JSON serving report here")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_ingest = sub.add_parser("ingest", help=cmd_ingest.__doc__)
+    add_corpus_args(p_ingest, documents=24)
+    add_deployment_args(p_ingest, instances=2, workers=1)
+    p_ingest.add_argument("--increments", type=int, default=3,
+                          help="growth increments to publish as deltas")
+    p_ingest.add_argument("--increment-documents", type=int, default=8,
+                          help="new documents per increment")
+    p_ingest.add_argument("--mutation-interval", type=float, default=2.0,
+                          help="simulated seconds between publications")
+    p_ingest.add_argument("--arrival", default="poisson",
+                          choices=("poisson", "burst", "diurnal"),
+                          help="arrival process of the open workload")
+    p_ingest.add_argument("--rate", type=float, default=2.0,
+                          help="arrival rate while ingesting "
+                               "(0 publishes inline, without traffic)")
+    p_ingest.add_argument("--queries", type=int, default=40,
+                          help="total arrivals offered while ingesting")
+    p_ingest.add_argument("--max-deltas", type=int, default=3,
+                          help="compact once the chain holds this many "
+                               "deltas")
+    p_ingest.add_argument("--max-delta-documents", type=int, default=0,
+                          help="also compact past this many chained "
+                               "documents (0 disables)")
+    p_ingest.add_argument("--compaction-interval", type=float, default=5.0,
+                          help="simulated seconds between policy checks")
+    p_ingest.add_argument("--compaction-ticks", type=int, default=12,
+                          help="policy checks before the ticker stops")
+    p_ingest.add_argument("--no-compact", action="store_true",
+                          help="leave the delta chain unfolded")
+    p_ingest.add_argument("--retire", action="store_true",
+                          help="delete superseded tables after inline "
+                               "compaction (only with --rate 0)")
+    p_ingest.add_argument("--report-out",
+                          help="write the JSON ingestion report here")
+    p_ingest.set_defaults(func=cmd_ingest)
 
     p_xquery = sub.add_parser("xquery", help=cmd_xquery.__doc__)
     p_xquery.add_argument("query", help="tree-pattern query text")

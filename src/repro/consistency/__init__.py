@@ -27,7 +27,8 @@ from repro.consistency.build import (BuildCoordinator, BuildPlan,
 from repro.consistency.degradation import (DegradedIndexChain,
                                            DegradingLookup, HealthRegistry)
 from repro.consistency.ledger import BatchLedger
-from repro.consistency.manifest import (MANIFEST_TABLE, EpochRecord,
+from repro.consistency.manifest import (LIVE_SUFFIX, MANIFEST_TABLE,
+                                        DeltaRecord, EpochRecord, LiveHead,
                                         Manifest)
 from repro.consistency.scrubber import ScrubReport, Scrubber
 
@@ -38,8 +39,11 @@ __all__ = [
     "BuildRunResult",
     "DegradedIndexChain",
     "DegradingLookup",
+    "DeltaRecord",
     "EpochRecord",
     "HealthRegistry",
+    "LIVE_SUFFIX",
+    "LiveHead",
     "MANIFEST_TABLE",
     "Manifest",
     "ScrubReport",

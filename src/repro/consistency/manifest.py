@@ -16,6 +16,15 @@ both win and a reader always observes either the complete old record
 or the complete new one — never a mixture (DynamoDB single-item writes
 are atomic; the simulated :meth:`~repro.cloud.dynamodb.DynamoDB.put`
 checks and stores without an intervening simulation event).
+
+Live mutation (``repro.mutations``) adds a third key per index:
+
+- key ``<name>#live`` — the *delta chain*: a monotonically versioned
+  list of :class:`DeltaRecord` entries layered over the committed base
+  epoch.  Every chain change (appending a freshly published delta,
+  dropping deltas a compaction folded into a new base) is one
+  conditional put expecting the current ``version`` attribute, giving
+  delta flips the same lost-update protection as epoch flips.
 """
 
 from __future__ import annotations
@@ -32,6 +41,70 @@ MANIFEST_TABLE = "index-manifest"
 
 #: Key suffix under which a build-in-progress is recorded.
 PENDING_SUFFIX = "#pending"
+
+#: Key suffix under which an index's live delta chain is recorded.
+LIVE_SUFFIX = "#live"
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One published delta epoch layered over a committed base.
+
+    A delta is a small immutable set of side tables (one per logical
+    table the mutation touched) plus a tombstone set masking deleted
+    URIs in every layer beneath it.  ``tables`` may be empty for a
+    tombstone-only delta (pure deletes write no index entries).
+    """
+
+    name: str
+    base_epoch: int
+    seq: int
+    tables: Dict[str, str]      # logical table -> physical delta table
+    tombstones: Tuple[str, ...]
+    documents: int
+    ledger_table: str = ""
+    digest: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form stored inside the live-head chain."""
+        return {
+            "name": self.name,
+            "base_epoch": self.base_epoch,
+            "seq": self.seq,
+            "tables": self.tables,
+            "tombstones": list(self.tombstones),
+            "documents": self.documents,
+            "ledger_table": self.ledger_table,
+            "digest": self.digest,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "DeltaRecord":
+        """Rebuild a delta record from its chain entry."""
+        return DeltaRecord(
+            name=data["name"],
+            base_epoch=int(data["base_epoch"]),
+            seq=int(data["seq"]),
+            tables=dict(data["tables"]),
+            tombstones=tuple(data["tombstones"]),
+            documents=int(data["documents"]),
+            ledger_table=data.get("ledger_table", ""),
+            digest=data.get("digest", ""),
+        )
+
+
+@dataclass(frozen=True)
+class LiveHead:
+    """The versioned delta chain of one index (``<name>#live``)."""
+
+    name: str
+    version: int
+    deltas: Tuple[DeltaRecord, ...]
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next published delta takes."""
+        return max((delta.seq for delta in self.deltas), default=0) + 1
 
 
 @dataclass(frozen=True)
@@ -142,10 +215,24 @@ class Manifest:
         records = []
         for item in self._db.table(self._table).all_items():
             name = item.hash_key
+            if name.endswith(LIVE_SUFFIX):
+                continue  # delta chains are not epoch records
             if name.endswith(PENDING_SUFFIX):
                 name = name[:-len(PENDING_SUFFIX)]
             records.append(EpochRecord.from_item(name, item))
         return records
+
+    def live_head(self, name: str) -> Generator[Any, Any, LiveHead]:
+        """The delta chain for ``name`` (version 0, empty when absent)."""
+        item = yield from self._read(name + LIVE_SUFFIX)
+        if item is None:
+            return LiveHead(name=name, version=0, deltas=())
+        attrs = item.attributes
+        chain = json.loads(attrs["chain"][0])
+        return LiveHead(
+            name=name,
+            version=int(attrs["version"][0]),
+            deltas=tuple(DeltaRecord.from_dict(entry) for entry in chain))
 
     # -- writes ------------------------------------------------------------
 
@@ -190,3 +277,65 @@ class Manifest:
                 "commit of {} epoch {} lost the flip race: {}".format(
                     record.name, record.epoch, exc)) from exc
         return committed
+
+    def put_live_head(self, head: LiveHead,
+                      expected_version: int,
+                      ) -> Generator[Any, Any, LiveHead]:
+        """Atomically replace the delta chain (optimistic versioning).
+
+        ``expected_version`` is the version the caller read (0 when the
+        chain has never been written).  A concurrent writer makes the
+        conditional put fail, surfacing as :class:`BuildStateError`;
+        the loser must re-read the chain and retry against it.
+        """
+        self.ensure_table()
+        item = DynamoItem(
+            hash_key=head.name + LIVE_SUFFIX, range_key=None,
+            attributes={
+                "version": (str(head.version),),
+                "chain": (json.dumps([delta.to_dict()
+                                      for delta in head.deltas],
+                                     sort_keys=True),),
+            })
+        expected = {"version": (None if expected_version == 0
+                                else (str(expected_version),))}
+        try:
+            yield from self._db.put(self._table, item, expected=expected)
+        except ConditionalCheckFailed as exc:
+            raise BuildStateError(
+                "live-head update of {} v{} lost the race: {}".format(
+                    head.name, head.version, exc)) from exc
+        return head
+
+    def drop_compacted(self, name: str, base_epoch: int,
+                       seqs: Tuple[int, ...], attempts: int = 5,
+                       ) -> Generator[Any, Any, LiveHead]:
+        """Remove compacted deltas from the chain (bounded retry).
+
+        Ingestion may append new deltas while a compaction runs, so the
+        removal re-reads the head and retries its conditional put until
+        it wins; deltas published after the compaction's snapshot stay
+        in the chain, re-based onto ``base_epoch``.
+        """
+        failure: Optional[BuildStateError] = None
+        for _ in range(attempts):
+            head = yield from self.live_head(name)
+            survivors = tuple(
+                DeltaRecord(name=delta.name, base_epoch=base_epoch,
+                            seq=delta.seq, tables=delta.tables,
+                            tombstones=delta.tombstones,
+                            documents=delta.documents,
+                            ledger_table=delta.ledger_table,
+                            digest=delta.digest)
+                for delta in head.deltas if delta.seq not in seqs)
+            updated = LiveHead(name=name, version=head.version + 1,
+                               deltas=survivors)
+            try:
+                result = yield from self.put_live_head(updated, head.version)
+            except BuildStateError as exc:
+                failure = exc
+                continue
+            return result
+        raise BuildStateError(
+            "could not drop compacted deltas of {} after {} attempts: "
+            "{}".format(name, attempts, failure))

@@ -1,0 +1,46 @@
+"""Live index maintenance: delta epochs, LSM merge, online compaction.
+
+The paper's architecture indexes documents *as they arrive* (Figure 1,
+steps 1-6), but checkpointed builds are build-once: one epoch, one
+flip, then read-only serving.  This subsystem closes the gap with a
+log-structured scheme in the spirit of Airphant's tiered small
+indexes:
+
+- **delta epochs** (:mod:`~repro.mutations.live`) — ``add_documents``
+  / ``delete_documents`` / ``update_document`` publish small immutable
+  *delta tables* (plus tombstone sets for deletes) through the
+  manifest's conditional-put machinery
+  (:class:`~repro.consistency.manifest.DeltaRecord`), layered over the
+  committed base epoch;
+- **read-merge** (:mod:`~repro.mutations.merge`) — lookups resolve
+  through a :class:`~repro.mutations.merge.MergingStore` that overlays
+  base + deltas newest-wins with tombstones masking, re-resolving the
+  chain on *every* read so epoch flips are visible mid-serving
+  (read-your-writes);
+- **online compaction** (:mod:`~repro.mutations.compactor`) — a
+  background :class:`~repro.mutations.compactor.Compactor` folds
+  accumulated deltas into a fresh base epoch shard-by-shard, reusing
+  the scrubber's scan/regroup pattern and the batch ledger for
+  crash-safe idempotent resume, runnable as ticks interleaved with
+  ``Warehouse.serve()`` traffic.
+"""
+
+from repro.mutations.compactor import (CompactionPolicy, CompactionReport,
+                                       Compactor)
+from repro.mutations.live import (DeltaReport, IngestionReport, LiveIndex,
+                                  compaction_ticker, mutation_feed)
+from repro.mutations.merge import MergingStore, alias_table, overlay_payloads
+
+__all__ = [
+    "CompactionPolicy",
+    "CompactionReport",
+    "Compactor",
+    "DeltaReport",
+    "IngestionReport",
+    "LiveIndex",
+    "MergingStore",
+    "alias_table",
+    "compaction_ticker",
+    "mutation_feed",
+    "overlay_payloads",
+]

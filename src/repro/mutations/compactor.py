@@ -1,0 +1,321 @@
+"""Online compaction: fold a delta chain into a fresh base epoch.
+
+The read-merge in :mod:`repro.mutations.merge` buys read-your-writes
+at the price of read amplification — every lookup pays one billed get
+per delta layer.  The :class:`Compactor` reclaims that cost by folding
+accumulated deltas into a brand-new base epoch, shard by shard,
+reusing two existing crash-safety mechanisms wholesale:
+
+- the *scrubber's scan/regroup pattern* — each compaction unit scans
+  one shard of the base table plus the matching shard of every delta
+  table (key-hash sharding routes the same key to the same shard index
+  in every layer), regroups items per hash key, applies the exact
+  :func:`~repro.mutations.merge.overlay_payloads` merge the read path
+  uses, and rewrites the result into the new epoch's tables;
+- the *build ledger* — every unit records completion under a
+  deterministic unit id, so an interrupted compaction resumed later
+  skips finished units, and content-addressed (``range_key_mode=
+  "content"``) rewrites make the replayed writes byte-identical.
+
+The new epoch commits through the standard
+:class:`~repro.consistency.build.BuildCoordinator` flip (inventories,
+digest, conditional put), then
+:meth:`~repro.consistency.manifest.Manifest.drop_compacted` removes
+the folded deltas from the live chain — deltas published *during* the
+compaction survive, rebased onto the new epoch.  Old tables are kept
+by default (in-flight reads may still hold them); ``retire=True``
+drops them once the caller knows no reader remains.
+
+:class:`CompactionPolicy` decides *when*: by chain length or by
+accumulated delta documents, evaluated by the
+:func:`~repro.mutations.live.compaction_ticker` between serving
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.consistency.build import BuildCoordinator, BuildPlan
+from repro.indexing.entries import IndexEntry
+from repro.indexing.mapper import DynamoIndexStore, batch_entries_hash
+from repro.mutations.merge import overlay_payloads
+from repro.store.sharding import shard_table_names
+
+__all__ = ["CompactionPolicy", "CompactionReport", "Compactor"]
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When the ticker should fold the delta chain into a new base.
+
+    ``max_deltas`` triggers on chain length (the paper's read-cost
+    lever: every delta is one more billed get per lookup);
+    ``max_documents`` (0 = disabled) triggers on accumulated delta
+    documents regardless of chain length.
+    """
+
+    max_deltas: int = 3
+    max_documents: int = 0
+
+    def should_compact(self, deltas: Any) -> bool:
+        """Whether the current delta chain is due for compaction."""
+        chain = list(deltas)
+        if not chain:
+            return False
+        if len(chain) >= self.max_deltas:
+            return True
+        if self.max_documents:
+            return (sum(delta.documents for delta in chain)
+                    >= self.max_documents)
+        return False
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction run did, unit by unit, and what it cost."""
+
+    name: str
+    from_epoch: int
+    to_epoch: int
+    folded_seqs: Tuple[int, ...]
+    tombstones_applied: int = 0
+    units_total: int = 0
+    units_done: int = 0
+    units_skipped: int = 0
+    interrupted: bool = False
+    committed: bool = False
+    scanned_items: int = 0
+    entries_written: int = 0
+    puts: int = 0
+    items: int = 0
+    batches: int = 0
+    payload_bytes: int = 0
+    cache_invalidated: int = 0
+    duration_s: float = 0.0
+    digest: str = ""
+    tag: str = ""
+    span_id: int = 0
+    span_cost: Optional[Any] = None
+    estimator_cost: Optional[Any] = None
+
+    @property
+    def cost_tied_out(self) -> Optional[bool]:
+        """Exact span-vs-estimator agreement (None when unpriced)."""
+        if self.span_cost is None or self.estimator_cost is None:
+            return None
+        return abs(self.span_cost.total - self.estimator_cost.total) < 1e-9
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Deterministic dict form for the ingestion report."""
+        payload: Dict[str, Any] = {
+            "from_epoch": self.from_epoch,
+            "to_epoch": self.to_epoch,
+            "folded_seqs": list(self.folded_seqs),
+            "tombstones_applied": self.tombstones_applied,
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+            "units_skipped": self.units_skipped,
+            "interrupted": self.interrupted,
+            "committed": self.committed,
+            "scanned_items": self.scanned_items,
+            "entries_written": self.entries_written,
+            "puts": self.puts,
+            "items": self.items,
+            "batches": self.batches,
+            "payload_bytes": self.payload_bytes,
+            "cache_invalidated": self.cache_invalidated,
+            "duration_s": self.duration_s,
+            "digest": self.digest,
+        }
+        if self.span_cost is not None:
+            payload["span_dollars"] = self.span_cost.total
+        if self.estimator_cost is not None:
+            payload["estimator_dollars"] = self.estimator_cost.total
+        return payload
+
+
+class Compactor:
+    """Folds a live index's delta chain into a fresh committed epoch."""
+
+    def __init__(self, warehouse: Any, live: Any) -> None:
+        self.warehouse = warehouse
+        self.live = live
+
+    def run(self, max_units: Optional[int] = None, retire: bool = False,
+            ) -> Generator[Any, Any, CompactionReport]:
+        """One compaction pass; returns its :class:`CompactionReport`.
+
+        ``max_units`` caps how many *fresh* units this pass executes
+        (the crash-injection hook for the resume tests): hitting the
+        cap leaves the pass ``interrupted`` with nothing committed —
+        readers keep merging the old chain — and a later ``run()``
+        replays only the missing units via the ledger.  ``retire``
+        additionally drops the superseded base and delta tables after
+        the flip; leave it False while any reader may still hold them.
+        """
+        live = self.live
+        warehouse = self.warehouse
+        cloud = warehouse.cloud
+        env = cloud.env
+        deltas = list(live.deltas)
+        base_record = live.record
+        if not deltas:
+            return CompactionReport(
+                name=live.name, from_epoch=base_record.epoch,
+                to_epoch=base_record.epoch, folded_seqs=())
+        to_epoch = base_record.epoch + 1
+        slug = live.name.lower()
+        shards = warehouse.store_config.shards
+        new_tables = {
+            logical: "idx-{}-{}-e{}".format(slug, logical, to_epoch)
+            for logical in live.strategy.logical_tables}
+        plan = BuildPlan(
+            name=live.name, strategy=live.strategy, epoch=to_epoch,
+            batch_size=0, batches=[], table_names=new_tables,
+            ledger_table="ldg-{}-e{}-cmp".format(slug, to_epoch),
+            shards=shards)
+        coordinator = BuildCoordinator(cloud, plan)
+        started = env.now
+        report = CompactionReport(
+            name=live.name, from_epoch=base_record.epoch, to_epoch=to_epoch,
+            folded_seqs=tuple(delta.seq for delta in deltas),
+            tombstones_applied=len({uri for delta in deltas
+                                    for uri in delta.tombstones}))
+        with warehouse._span("compaction", index=live.name,
+                             from_epoch=base_record.epoch,
+                             to_epoch=to_epoch, deltas=len(deltas)) as span:
+            if span is not None:
+                report.span_id = span.span_id
+            store = warehouse._make_store("dynamodb", seed=to_epoch,
+                                          range_key_mode="content",
+                                          epoch=to_epoch)
+            yield from coordinator.prepare(store)
+
+            units = [(logical, shard)
+                     for logical in sorted(live.strategy.logical_tables)
+                     for shard in range(shards)]
+            report.units_total = len(units)
+            for logical, shard in units:
+                unit_id = "{}-e{}-cmp-{}-s{:02d}".format(
+                    live.name, to_epoch, logical, shard)
+                applied = yield from coordinator.ledger.lookup(unit_id)
+                if applied is not None:
+                    report.units_skipped += 1
+                    continue
+                if max_units is not None and report.units_done >= max_units:
+                    report.interrupted = True
+                    break
+                yield from self._fold_unit(coordinator, store, base_record,
+                                           deltas, logical, shard,
+                                           new_tables[logical], unit_id,
+                                           report)
+                report.units_done += 1
+
+            if report.interrupted:
+                report.duration_s = env.now - started
+                return report
+
+            record = yield from coordinator.commit()
+            new_head = yield from coordinator.manifest.drop_compacted(
+                live.name, to_epoch,
+                tuple(delta.seq for delta in deltas))
+
+            # Targeted cache coherence: only the superseded layers'
+            # tables — entries of other indexes survive untouched.
+            doomed = set(base_record.tables.values())
+            for delta in deltas:
+                doomed.update(delta.tables.values())
+            if warehouse.index_cache is not None:
+                report.cache_invalidated = \
+                    warehouse.index_cache.invalidate_tables(doomed)
+            if retire:
+                for table in sorted(doomed):
+                    for shard_table in shard_table_names(table, shards):
+                        if shard_table in cloud.dynamodb.table_names():
+                            cloud.dynamodb.delete_table(shard_table)
+
+            live.record = record
+            live.base_store = store
+            live._sync_head(new_head)
+            report.committed = True
+            report.digest = record.digest
+            report.duration_s = env.now - started
+        live.compactions.append(report)
+        return report
+
+    def _fold_unit(self, coordinator: BuildCoordinator, store: Any,
+                   base_record: Any, deltas: List[Any], logical: str,
+                   shard: int, new_table: str, unit_id: str,
+                   report: CompactionReport,
+                   ) -> Generator[Any, Any, None]:
+        """Fold one (logical table, shard) unit into the new epoch.
+
+        Scan → regroup → overlay-merge → rewrite → ledger-record, all
+        against shard ``shard`` of every layer (key-hash sharding keeps
+        a key in the same shard index across base and deltas).
+        """
+        live = self.live
+        cloud = self.warehouse.cloud
+        kind = live.strategy.table_kind(logical)
+        shards = self.warehouse.store_config.shards
+
+        def shard_of(physical: str) -> str:
+            return shard_table_names(physical, shards)[shard]
+
+        base_items = yield from cloud.resilient.dynamodb.scan(
+            shard_of(base_record.tables[logical]))
+        report.scanned_items += len(base_items)
+        base_groups = _group_by_key(base_items)
+        layer_groups: List[Tuple[Dict[str, List[Any]],
+                                 Tuple[str, ...]]] = []
+        for delta in deltas:
+            table = delta.tables.get(logical)
+            if table is None:
+                layer_groups.append(({}, delta.tombstones))
+                continue
+            delta_items = yield from cloud.resilient.dynamodb.scan(
+                shard_of(table))
+            report.scanned_items += len(delta_items)
+            layer_groups.append((_group_by_key(delta_items),
+                                 delta.tombstones))
+
+        keys = set(base_groups)
+        for groups, _ in layer_groups:
+            keys.update(groups)
+        entries: List[IndexEntry] = []
+        for key in sorted(keys):
+            base_map = DynamoIndexStore._merge_items(
+                base_groups.get(key, []), kind)
+            layers = [(DynamoIndexStore._merge_items(groups.get(key, []),
+                                                     kind), tombstones)
+                      for groups, tombstones in layer_groups]
+            payloads = overlay_payloads(base_map, layers)
+            for uri in sorted(payloads):
+                payload = payloads[uri]
+                if kind == "presence":
+                    entries.append(IndexEntry(key=key, uri=uri))
+                elif kind == "paths":
+                    entries.append(IndexEntry(key=key, uri=uri,
+                                              paths=tuple(payload)))
+                else:
+                    entries.append(IndexEntry(key=key, uri=uri,
+                                              ids=tuple(payload)))
+        if entries:
+            stats = yield from store.write_entries(new_table, entries)
+            report.entries_written += len(entries)
+            report.puts += stats.puts
+            report.items += stats.items
+            report.batches += stats.batches
+            report.payload_bytes += stats.payload_bytes
+        yield from coordinator.ledger.record(
+            unit_id, batch_entries_hash({logical: entries}))
+
+
+def _group_by_key(items: List[Any]) -> Dict[str, List[Any]]:
+    """Group scanned items by hash key (the scrubber's regroup step)."""
+    groups: Dict[str, List[Any]] = {}
+    for item in items:
+        groups.setdefault(item.hash_key, []).append(item)
+    return groups

@@ -59,12 +59,17 @@ class ServingRuntime:
                  index: Optional[Any], deployment: Any,
                  degraded_indexes: Optional[Sequence[Any]] = None,
                  queries: Optional[Mapping[str, Query]] = None,
+                 background: Optional[Sequence[Any]] = None,
                  tag: Optional[str] = None) -> None:
         self.warehouse = warehouse
         self.profile = profile
         self.index = index
         self.deployment = deployment
         self.degraded_indexes = list(degraded_indexes or [])
+        #: Generator factories run alongside traffic (live-ingestion
+        #: feeds, compaction tickers); the run waits for them to finish,
+        #: and their metered requests bill into the serving tag/span.
+        self.background = list(background or [])
         self.strategy_name = index.strategy.name if index else "none"
         self.tag = tag or "serve:{}:{}:{}".format(
             self.strategy_name, profile.arrival, next(_serve_serials))
@@ -198,6 +203,10 @@ class ServingRuntime:
                                      name="serve-autoscaler")
                          if autoscaler is not None else None)
             traffic_proc = env.process(traffic(), name="serve-traffic")
+            background_procs = [
+                env.process(factory() if callable(factory) else factory,
+                            name="serve-background-{}".format(i))
+                for i, factory in enumerate(self.background)]
             yield traffic_proc
             # Dead-lettered queries (chaotic deployments only) will never
             # answer; without the correction the poll would spin forever.
@@ -220,6 +229,11 @@ class ServingRuntime:
                     QUERY_QUEUE, StopWorker())
             for member in list(fleet.members):
                 yield member.proc
+            # Mutation feeds / compaction tickers may outlive traffic;
+            # the run is not over until they are.
+            for proc in background_procs:
+                if proc.is_alive:
+                    yield proc
 
         with warehouse._span("serve", strategy=self.strategy_name,
                              arrival=profile.arrival,

@@ -13,9 +13,13 @@ Coherence comes from the crash-consistency layer, not from timeouts:
   fresh epoch-scoped tables), so an entry can never be stale *within*
   an epoch — except for incremental ingests and scrub repairs, whose
   writes :meth:`discard` the affected keys write-through;
-- a manifest flip publishes a new epoch, and the warehouse invalidates
-  the cache wholesale (:meth:`invalidate_all`), so no pre-flip entry
-  is ever served against the new epoch.
+- a manifest flip publishes a new epoch into fresh physical tables, so
+  pre-flip entries can never be *served* against it — the warehouse
+  invalidates just the tables named in the superseded and newly
+  committed records' routing metadata (:meth:`invalidate_tables`),
+  reclaiming dead-weight budget without touching other indexes'
+  entries.  :meth:`invalidate_all` remains the blunt instrument for
+  tear-downs.
 
 Simulated DynamoDB latency and billing accrue only on misses: the
 cache lives host-side and costs no simulated time, mirroring a RAM
@@ -144,8 +148,19 @@ class IndexCache:
         self.invalidations += len(doomed)
         return len(doomed)
 
+    def invalidate_tables(self, tables: Any) -> int:
+        """Drop every entry of the named logical tables (any epoch).
+
+        The manifest-flip coherence hook: the warehouse passes the
+        physical tables of the superseded and newly committed epoch
+        records, so entries for unrelated indexes survive the flip.
+        Returns the number of entries dropped.
+        """
+        doomed = set(tables)
+        return sum(self.invalidate_table(table) for table in doomed)
+
     def invalidate_all(self) -> int:
-        """Wholesale invalidation — the manifest-flip coherence hook.
+        """Wholesale invalidation (deployment tear-down hook).
 
         Returns the number of entries dropped.
         """

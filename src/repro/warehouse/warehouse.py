@@ -311,6 +311,7 @@ class Warehouse:
         self.corpus: Optional[Corpus] = None
         self._all_uris: List[str] = []
         self._build_ids = itertools.count(1)
+        self._mutation_ids = itertools.count(1)
         #: Table-health registry shared by scrubs and degraded look-ups;
         #: created on first use (see :attr:`health`).
         self._health: Optional[Any] = None
@@ -872,14 +873,23 @@ class Warehouse:
         from repro.consistency.build import BuildCoordinator
         tag = tag or "index-commit:{}:e{}".format(plan.name, plan.epoch)
         coordinator = BuildCoordinator(self.cloud, plan)
+        # The flip overwrites the committed record, so the superseded
+        # epoch's routing metadata must be captured before it runs.
+        previous_tables: set = set()
+        if self.index_cache is not None:
+            for rec in coordinator.manifest.list_records():
+                if rec.name == plan.name and rec.status == "committed":
+                    previous_tables.update(rec.tables.values())
         with self._span("index-commit", index=plan.name, epoch=plan.epoch):
             with self.cloud.meter.tagged(tag):
                 record = self.cloud.env.run_process(
                     coordinator.commit(), name="commit-{}".format(plan.name))
-        # Manifest-flip coherence: nothing cached before the flip may be
-        # served against the newly committed epoch.
+        # Manifest-flip coherence, targeted: only entries for the tables
+        # named in the superseded and newly committed records' routing
+        # metadata can go stale — entries of other indexes survive.
         if self.index_cache is not None:
-            self.index_cache.invalidate_all()
+            self.index_cache.invalidate_tables(
+                previous_tables | set(record.tables.values()))
         return record
 
     def resume_build(self, plan: Any,
@@ -1182,6 +1192,7 @@ class Warehouse:
               config: Optional[Any] = None,
               degraded_indexes: Optional[Sequence[BuiltIndex]] = None,
               queries: Optional[Dict[str, Query]] = None,
+              background: Optional[Sequence[Any]] = None,
               tag: Optional[str] = None, **legacy: Any) -> Any:
         """Serve an *open* workload: traffic, admission, elastic fleet.
 
@@ -1194,7 +1205,11 @@ class Warehouse:
         against queue depth and age), and ``config.admission`` sheds or
         degrades arrivals over its queue bounds — degraded arrivals run
         a :class:`~repro.consistency.DegradedIndexChain` over
-        ``degraded_indexes``.  Returns a
+        ``degraded_indexes``.  ``background`` holds generator factories
+        run alongside traffic (the live-ingestion hooks:
+        :func:`~repro.mutations.live.mutation_feed`,
+        :func:`~repro.mutations.live.compaction_ticker`); the run waits
+        for them, so they must terminate.  Returns a
         :class:`~repro.serving.report.ServingReport` whose request
         dollars tie out exactly against the cost estimator.
         """
@@ -1208,5 +1223,141 @@ class Warehouse:
             traffic = TrafficProfile(**traffic)
         runtime = ServingRuntime(self, traffic, index, cfg,
                                  degraded_indexes=degraded_indexes,
-                                 queries=queries, tag=tag)
+                                 queries=queries, background=background,
+                                 tag=tag)
         return runtime.run()
+
+    # -- live mutation (repro.mutations) -----------------------------------------
+
+    def live_index(self, name: str, include_words: bool = True) -> Any:
+        """Attach a live-mutation handle to a committed index.
+
+        Reads the committed epoch record and the current delta chain,
+        returning a :class:`~repro.mutations.live.LiveIndex` — a
+        drop-in ``BuiltIndex`` replacement whose lookups merge the base
+        epoch with every published delta (read-your-writes) and whose
+        documents are mutated through :meth:`add_documents` /
+        :meth:`delete_documents` / :meth:`update_document`.
+        """
+        from repro.consistency.manifest import Manifest
+        from repro.mutations.live import LiveIndex
+        manifest = Manifest(self.cloud.resilient.dynamodb)
+        if not manifest.exists:
+            raise WarehouseError(
+                "no index was ever committed on this deployment")
+
+        def probe() -> Generator[Any, Any, Tuple[Any, Any]]:
+            record = yield from manifest.committed(name)
+            head = yield from manifest.live_head(name)
+            return record, head
+
+        with self.cloud.meter.tagged("live-attach:{}".format(name)):
+            record, head = self.cloud.env.run_process(
+                probe(), name="live-attach-{}".format(name))
+        if record is None:
+            raise WarehouseError(
+                "index {} has no committed epoch to attach to".format(name))
+        strategy = strategy_by_name(record.strategy,
+                                    include_words=include_words)
+        return LiveIndex(self, record, head, strategy)
+
+    def add_documents(self, live: Any, increment: Corpus,
+                      config: Optional[Any] = None,
+                      tag: Optional[str] = None) -> Any:
+        """Publish new documents into a live index as one delta epoch.
+
+        The arriving documents are stored in S3, indexed by a loader
+        fleet into fresh delta tables, and made visible with one
+        conditional live-head flip — queries issued after this call
+        returns see them (read-your-writes).  Returns the priced
+        :class:`~repro.mutations.live.DeltaReport`.
+        """
+        cfg = self._resolve_deployment(config, {}, _BUILD_KWARGS,
+                                       "add_documents")
+        tag = tag or "ingest:{}:m{:04d}:add".format(
+            live.name, next(self._mutation_ids))
+        return self._run_mutation(
+            live.publish_add(increment, cfg), tag,
+            instances=cfg.loaders, instance_type=cfg.loader_type)
+
+    def delete_documents(self, live: Any, uris: Sequence[str],
+                         tag: Optional[str] = None) -> Any:
+        """Delete documents from a live index via a tombstone delta.
+
+        Publishes a tombstone-only delta (no loader fleet, no tables)
+        masking ``uris`` in every layer beneath it, and removes the
+        documents from S3.  Returns the priced
+        :class:`~repro.mutations.live.DeltaReport`.
+        """
+        tag = tag or "ingest:{}:m{:04d}:delete".format(
+            live.name, next(self._mutation_ids))
+        return self._run_mutation(live.publish_delete(uris), tag)
+
+    def update_document(self, live: Any, uri: str, data: bytes,
+                        config: Optional[Any] = None,
+                        tag: Optional[str] = None) -> Any:
+        """Replace one document in a live index atomically.
+
+        One delta carries both the tombstone for the old extraction and
+        the new extraction, so readers see either the old or the new
+        document — never a blend.  Returns the priced
+        :class:`~repro.mutations.live.DeltaReport`.
+        """
+        cfg = self._resolve_deployment(config, {}, _BUILD_KWARGS,
+                                       "update_document")
+        tag = tag or "ingest:{}:m{:04d}:update".format(
+            live.name, next(self._mutation_ids))
+        return self._run_mutation(
+            live.publish_update(uri, data, cfg), tag,
+            instances=cfg.loaders, instance_type=cfg.loader_type)
+
+    def compact_index(self, live: Any, max_units: Optional[int] = None,
+                      retire: bool = False,
+                      tag: Optional[str] = None) -> Any:
+        """Fold a live index's delta chain into a fresh base epoch.
+
+        Crash-safe and idempotent: an interrupted pass (``max_units``)
+        commits nothing, and a later call replays only the units the
+        compaction ledger is missing, rewriting byte-identical items.
+        Returns the priced
+        :class:`~repro.mutations.compactor.CompactionReport`.
+        """
+        from repro.mutations.compactor import Compactor
+        tag = tag or "compact:{}:e{}:m{:04d}".format(
+            live.name, live.record.epoch + 1, next(self._mutation_ids))
+        compactor = Compactor(self, live)
+        return self._run_mutation(
+            compactor.run(max_units=max_units, retire=retire), tag)
+
+    def _run_mutation(self, core: Generator[Any, Any, Any], tag: str,
+                      instances: int = 0,
+                      instance_type: str = "l") -> Any:
+        """Drive one mutation generator under its phase tag and price it."""
+        started_at = self.cloud.env.now
+        with self.cloud.meter.tagged(tag):
+            report = self.cloud.env.run_process(
+                core, name="mutation-{}".format(tag))
+        self.phases.append(PhaseRecord(
+            tag=tag, instance_type=instance_type, instances=instances,
+            started_at=started_at, ended_at=self.cloud.env.now))
+        report.tag = tag
+        self._price_mutation(report, tag)
+        return report
+
+    def _price_mutation(self, report: Any, tag: str) -> None:
+        """Fill a mutation report's span/estimator cost breakdowns.
+
+        ``span_cost`` rolls up every meter record inside the mutation's
+        span subtree (workers spawned under it inherit it); the
+        estimator side prices the phase tag.  The two must agree to the
+        last float bit — the report's ``cost_tied_out``.
+        """
+        from repro.costs.estimator import phase_cost
+        hub = self.telemetry
+        if hub is not None and report.span_id:
+            from repro.telemetry.costing import span_inclusive_costs
+            inclusive = span_inclusive_costs(hub.tracer, self.cloud.meter,
+                                             self.cloud.price_book)
+            report.span_cost = inclusive.get(report.span_id)
+        report.estimator_cost = phase_cost(self.cloud.meter,
+                                           self.cloud.price_book, tag)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.consistency import MANIFEST_TABLE, EpochRecord, Manifest
+from repro.consistency import (MANIFEST_TABLE, DeltaRecord, EpochRecord,
+                               LiveHead, Manifest)
 from repro.errors import BuildStateError
 
 
@@ -78,3 +79,63 @@ class TestManifest:
         records = {(r.name, r.epoch, r.status)
                    for r in manifest.list_records()}
         assert records == {("LUP", 1, "committed"), ("LUP", 2, "pending")}
+
+
+def make_delta(seq, tables=None, tombstones=(), documents=0):
+    return DeltaRecord(name="LUP", base_epoch=1, seq=seq,
+                       tables=dict(tables or {}),
+                       tombstones=tuple(tombstones), documents=documents,
+                       ledger_table="ldg-lup-e1s{}".format(seq),
+                       digest="d{}".format(seq))
+
+
+@pytest.mark.ingest
+class TestLiveHead:
+    def test_delta_record_roundtrip(self):
+        delta = make_delta(2, tables={"lu": "dlt-lup-lu-e1s2"},
+                           tombstones=("a.xml", "b.xml"), documents=3)
+        assert DeltaRecord.from_dict(delta.to_dict()) == delta
+
+    def test_next_seq_over_empty_and_populated_chains(self):
+        assert LiveHead(name="LUP", version=0, deltas=()).next_seq == 1
+        head = LiveHead(name="LUP", version=2,
+                        deltas=(make_delta(1), make_delta(4)))
+        assert head.next_seq == 5
+
+    def test_live_head_absent_reads_as_version_zero(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        head = run(cloud, manifest.live_head("LUP"))
+        assert head.version == 0
+        assert head.deltas == ()
+
+    def test_conditional_put_and_stale_version_rejection(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        head = LiveHead(name="LUP", version=1, deltas=(make_delta(1),))
+        run(cloud, manifest.put_live_head(head, expected_version=0))
+        stored = run(cloud, manifest.live_head("LUP"))
+        assert stored.version == 1
+        assert stored.deltas == (make_delta(1),)
+        # A writer holding the stale version 0 must not clobber v1.
+        with pytest.raises(BuildStateError):
+            run(cloud, manifest.put_live_head(
+                LiveHead(name="LUP", version=1, deltas=()),
+                expected_version=0))
+
+    def test_drop_compacted_rebases_survivors(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        chain = (make_delta(1), make_delta(2), make_delta(3))
+        run(cloud, manifest.put_live_head(
+            LiveHead(name="LUP", version=1, deltas=chain), 0))
+        head = run(cloud, manifest.drop_compacted("LUP", base_epoch=2,
+                                                  seqs=(1, 2)))
+        assert head.version == 2
+        assert [d.seq for d in head.deltas] == [3]
+        assert head.deltas[0].base_epoch == 2  # rebased onto the new base
+
+    def test_live_chain_invisible_to_epoch_listing(self, cloud):
+        manifest = Manifest(cloud.dynamodb)
+        run(cloud, manifest.commit(make_record(epoch=1), None))
+        run(cloud, manifest.put_live_head(
+            LiveHead(name="LUP", version=1, deltas=(make_delta(1),)), 0))
+        records = [(r.name, r.status) for r in manifest.list_records()]
+        assert records == [("LUP", "committed")]

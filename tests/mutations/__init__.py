@@ -1,0 +1,1 @@
+"""Tests for live index maintenance (repro.mutations)."""

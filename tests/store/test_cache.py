@@ -90,8 +90,24 @@ def test_invalidate_table_drops_every_epoch():
     assert cache.get("idx-b", "k", 1) is not None
 
 
-def test_invalidate_all_is_the_manifest_flip_hook():
-    """A manifest flip empties the cache wholesale."""
+def test_invalidate_tables_is_the_manifest_flip_hook():
+    """A flip drops only the named tables; others survive intact."""
+    cache = IndexCache(4096)
+    cache.put("idx-lup-lu-e1", "k1", 1, {})
+    cache.put("idx-lup-lup-e1", "k1", 1, {})
+    cache.put("idx-lup-lu-e1", "k2", 1, {})
+    cache.put("idx-lu-lu-e1", "k1", 1, {})  # a different index
+    dropped = cache.invalidate_tables(
+        {"idx-lup-lu-e1", "idx-lup-lup-e1", "idx-lup-lu-e2",
+         "idx-lup-lup-e2"})  # old + new epoch tables, new ones empty
+    assert dropped == 3
+    assert len(cache) == 1
+    assert cache.get("idx-lu-lu-e1", "k1", 1) is not None
+    assert cache.invalidations == 3
+
+
+def test_invalidate_all_is_the_tear_down_hook():
+    """Tearing a deployment down empties the cache wholesale."""
     cache = IndexCache(4096)
     for key in ("k1", "k2", "k3"):
         cache.put("idx", key, 1, {})

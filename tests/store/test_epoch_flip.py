@@ -3,9 +3,10 @@
 The two system-level guarantees the store layer owes the consistency
 machinery:
 
-- a manifest flip (``commit_build``) invalidates the shared read cache
-  wholesale, so no entry cached against the old epoch is ever served
-  against the new one;
+- a manifest flip (``commit_build``) invalidates the shared read
+  cache *for the flipped index's tables only* — no entry cached
+  against the old epoch is ever served against the new one, while
+  entries of unrelated indexes survive the flip untouched;
 - the integrity scrubber still detects and repairs damage — and the
   cross-table invariants still aggregate correctly — when every
   logical table is hash-partitioned over several shard tables.
@@ -62,7 +63,8 @@ def test_manifest_flip_invalidates_the_cache(corpus):
     built2, rec2 = warehouse.build_index_checkpointed(
         "LUP", config={"loaders": 2, "batch_size": 4})
     assert rec2.epoch == rec1.epoch + 1
-    # The flip emptied the cache wholesale.
+    # The flip emptied the cache of this index's entries (its old
+    # epoch's tables were the only ones cached).
     assert len(cache) == 0
     assert cache.invalidations > 0
 
@@ -73,6 +75,45 @@ def test_manifest_flip_invalidates_the_cache(corpus):
     after_gets = warehouse.cloud.meter.request_count(
         "dynamodb", "get", tag="flip:after")
     assert after_gets == cold_gets
+
+
+def test_flip_spares_unrelated_table_entries(corpus):
+    """Flipping one index must not evict another index's cache entries."""
+    warehouse = Warehouse(deployment={"cache_bytes": 256 * 1024})
+    warehouse.upload_corpus(corpus)
+    built_lu, _ = warehouse.build_index_checkpointed(
+        "LU", config={"loaders": 2, "batch_size": 4})
+    built_lup, _ = warehouse.build_index_checkpointed(
+        "LUP", config={"loaders": 2, "batch_size": 4})
+    cache = warehouse.index_cache
+
+    # Warm both indexes' entries.
+    warehouse.run_workload(_queries(), built_lu, config={"workers": 1},
+                           tag="spare:lu-cold")
+    warehouse.run_workload(_queries(), built_lup, config={"workers": 1},
+                           tag="spare:lup-cold")
+    lu_tables = set(built_lu.table_names.values())
+    lu_entries = sum(1 for (table, _, _) in cache._entries
+                     if table in lu_tables)
+    assert lu_entries > 0
+
+    # Rebuild (flip) LUP only: its entries go, LU's all survive.
+    warehouse.build_index_checkpointed(
+        "LUP", config={"loaders": 2, "batch_size": 4})
+    survivors = sum(1 for (table, _, _) in cache._entries
+                    if table in lu_tables)
+    assert survivors == lu_entries
+    assert all(table in lu_tables for (table, _, _) in cache._entries)
+
+    # And the surviving entries still serve hits: the warm LU run
+    # costs fewer billed gets than its cold run did.
+    cold_gets = warehouse.cloud.meter.request_count(
+        "dynamodb", "get", tag="spare:lu-cold")
+    warehouse.run_workload(_queries(), built_lu, config={"workers": 1},
+                           tag="spare:lu-warm")
+    warm_gets = warehouse.cloud.meter.request_count(
+        "dynamodb", "get", tag="spare:lu-warm")
+    assert warm_gets < cold_gets
 
 
 def test_epoch_record_carries_shard_routing_metadata(corpus):

@@ -150,3 +150,35 @@ def test_serve_command_autoscaled(capsys, tmp_path):
 def test_serve_command_rejects_unknown_arrival():
     with pytest.raises(SystemExit):
         main(["serve", "--documents", "10", "--arrival", "flat"])
+
+
+@pytest.mark.ingest
+def test_ingest_command_inline_publishes_and_compacts(capsys, tmp_path):
+    out_path = tmp_path / "ingest.json"
+    assert main(["ingest", "--documents", "12", "--seed", "7",
+                 "--strategy", "LUI", "--instances", "2",
+                 "--batch-size", "4", "--rate", "0",
+                 "--increments", "3", "--increment-documents", "4",
+                 "--report-out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "live handle attached" in out
+    assert "compaction e1 -> e2: committed=True" in out
+    assert "MISMATCH" not in out
+    import json
+    payload = json.loads(out_path.read_text())
+    assert len(payload["deltas"]) == 3
+    assert payload["compactions"][0]["committed"] is True
+
+
+@pytest.mark.ingest
+@pytest.mark.serving
+def test_ingest_command_under_serving_traffic(capsys):
+    assert main(["ingest", "--documents", "12", "--seed", "7",
+                 "--strategy", "LUI", "--instances", "2",
+                 "--batch-size", "4", "--queries", "16",
+                 "--rate", "2.0", "--increments", "2",
+                 "--increment-documents", "4",
+                 "--mutation-interval", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "cost tie-out" in out and "exact" in out
+    assert "completed 16" in out
