@@ -16,6 +16,11 @@ reusing two existing crash-safety mechanisms wholesale:
   deterministic unit id, so an interrupted compaction resumed later
   skips finished units, and content-addressed (``range_key_mode=
   "content"``) rewrites make the replayed writes byte-identical.
+  The first pass additionally *pins* the delta chain it folds in the
+  ledger, so a resume folds exactly the chain its completed units
+  already folded — a delta published between the interruption and the
+  resume is neither half-folded nor dropped; it stays in the live
+  head, rebased onto the new epoch.
 
 The new epoch commits through the standard
 :class:`~repro.consistency.build.BuildCoordinator` flip (inventories,
@@ -34,14 +39,16 @@ traffic.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.consistency.build import BuildCoordinator, BuildPlan
+from repro.errors import BuildStateError
 from repro.indexing.entries import IndexEntry
 from repro.indexing.mapper import DynamoIndexStore, batch_entries_hash
 from repro.mutations.merge import overlay_payloads
-from repro.store.sharding import shard_table_names
+from repro.store.sharding import shard_of, shard_table_names
 
 __all__ = ["CompactionPolicy", "CompactionReport", "Compactor"]
 
@@ -151,17 +158,19 @@ class Compactor:
         (the crash-injection hook for the resume tests): hitting the
         cap leaves the pass ``interrupted`` with nothing committed —
         readers keep merging the old chain — and a later ``run()``
-        replays only the missing units via the ledger.  ``retire``
-        additionally drops the superseded base and delta tables after
-        the flip; leave it False while any reader may still hold them.
+        replays only the missing units via the ledger, folding the
+        chain the first pass pinned.  An interrupted pass still lands
+        in ``live.compactions`` so the ingestion report accounts for
+        every write it billed.  ``retire`` additionally drops the
+        superseded base and delta tables after the flip; leave it
+        False while any reader may still hold them.
         """
         live = self.live
         warehouse = self.warehouse
         cloud = warehouse.cloud
         env = cloud.env
-        deltas = list(live.deltas)
         base_record = live.record
-        if not deltas:
+        if not live.deltas:
             return CompactionReport(
                 name=live.name, from_epoch=base_record.epoch,
                 to_epoch=base_record.epoch, folded_seqs=())
@@ -180,18 +189,21 @@ class Compactor:
         started = env.now
         report = CompactionReport(
             name=live.name, from_epoch=base_record.epoch, to_epoch=to_epoch,
-            folded_seqs=tuple(delta.seq for delta in deltas),
-            tombstones_applied=len({uri for delta in deltas
-                                    for uri in delta.tombstones}))
+            folded_seqs=())
         with warehouse._span("compaction", index=live.name,
                              from_epoch=base_record.epoch,
-                             to_epoch=to_epoch, deltas=len(deltas)) as span:
+                             to_epoch=to_epoch,
+                             deltas=len(live.deltas)) as span:
             if span is not None:
                 report.span_id = span.span_id
             store = warehouse._make_store("dynamodb", seed=to_epoch,
                                           range_key_mode="content",
                                           epoch=to_epoch)
             yield from coordinator.prepare(store)
+            deltas = yield from self._pin_chain(coordinator, to_epoch)
+            report.folded_seqs = tuple(delta.seq for delta in deltas)
+            report.tombstones_applied = len({uri for delta in deltas
+                                             for uri in delta.tombstones})
 
             units = [(logical, shard)
                      for logical in sorted(live.strategy.logical_tables)
@@ -213,37 +225,72 @@ class Compactor:
                                            report)
                 report.units_done += 1
 
-            if report.interrupted:
-                report.duration_s = env.now - started
-                return report
+            if not report.interrupted:
+                record = yield from coordinator.commit()
+                new_head = yield from coordinator.manifest.drop_compacted(
+                    live.name, to_epoch, report.folded_seqs)
 
-            record = yield from coordinator.commit()
-            new_head = yield from coordinator.manifest.drop_compacted(
-                live.name, to_epoch,
-                tuple(delta.seq for delta in deltas))
+                # Targeted cache coherence: only the superseded layers'
+                # tables — entries of other indexes survive untouched.
+                doomed = set(base_record.tables.values())
+                for delta in deltas:
+                    doomed.update(delta.tables.values())
+                if warehouse.index_cache is not None:
+                    report.cache_invalidated = \
+                        warehouse.index_cache.invalidate_tables(doomed)
+                if retire:
+                    # The base epoch may predate this deployment's shard
+                    # count; its own routing metadata names its tables.
+                    for table in sorted(base_record.tables.values()):
+                        for shard_table in shard_table_names(
+                                table, base_record.shards):
+                            if shard_table in cloud.dynamodb.table_names():
+                                cloud.dynamodb.delete_table(shard_table)
+                    delta_tables = {table for delta in deltas
+                                    for table in delta.tables.values()}
+                    for table in sorted(delta_tables):
+                        for shard_table in shard_table_names(table, shards):
+                            if shard_table in cloud.dynamodb.table_names():
+                                cloud.dynamodb.delete_table(shard_table)
 
-            # Targeted cache coherence: only the superseded layers'
-            # tables — entries of other indexes survive untouched.
-            doomed = set(base_record.tables.values())
-            for delta in deltas:
-                doomed.update(delta.tables.values())
-            if warehouse.index_cache is not None:
-                report.cache_invalidated = \
-                    warehouse.index_cache.invalidate_tables(doomed)
-            if retire:
-                for table in sorted(doomed):
-                    for shard_table in shard_table_names(table, shards):
-                        if shard_table in cloud.dynamodb.table_names():
-                            cloud.dynamodb.delete_table(shard_table)
-
-            live.record = record
-            live.base_store = store
-            live._sync_head(new_head)
-            report.committed = True
-            report.digest = record.digest
+                live.record = record
+                live.base_store = store
+                live._sync_head(new_head)
+                report.committed = True
+                report.digest = record.digest
             report.duration_s = env.now - started
         live.compactions.append(report)
         return report
+
+    def _pin_chain(self, coordinator: BuildCoordinator, to_epoch: int,
+                   ) -> Generator[Any, Any, List[Any]]:
+        """The delta chain this compaction epoch folds, pinned durably.
+
+        The first pass records the seqs it snapshots in the compaction
+        ledger; a resumed pass folds exactly that pinned set, so units
+        completed before the interruption and units replayed after it
+        agree on the folded chain even if new deltas were published in
+        between — those stay in the live head (``drop_compacted`` only
+        removes the pinned seqs) and survive, rebased onto the new
+        epoch.
+        """
+        live = self.live
+        pin_id = "{}-e{}-cmp-chain".format(live.name, to_epoch)
+        pinned = yield from coordinator.ledger.lookup(pin_id)
+        if pinned is None:
+            snapshot = list(live.deltas)
+            yield from coordinator.ledger.record(
+                pin_id, json.dumps([delta.seq for delta in snapshot]))
+            return snapshot
+        by_seq = {delta.seq: delta for delta in live.deltas}
+        pinned_seqs = json.loads(pinned)
+        missing = [seq for seq in pinned_seqs if seq not in by_seq]
+        if missing:
+            raise BuildStateError(
+                "compaction of {} to epoch {} pinned deltas {} that are "
+                "no longer in the live chain".format(
+                    live.name, to_epoch, missing))
+        return [by_seq[seq] for seq in pinned_seqs]
 
     def _fold_unit(self, coordinator: BuildCoordinator, store: Any,
                    base_record: Any, deltas: List[Any], logical: str,
@@ -261,13 +308,27 @@ class Compactor:
         kind = live.strategy.table_kind(logical)
         shards = self.warehouse.store_config.shards
 
-        def shard_of(physical: str) -> str:
-            return shard_table_names(physical, shards)[shard]
-
-        base_items = yield from cloud.resilient.dynamodb.scan(
-            shard_of(base_record.tables[logical]))
+        # The base epoch's tables are laid out under its *own* routing
+        # metadata (the record may predate this deployment's shard
+        # count); deltas and the new epoch use the current config.
+        base_tables = shard_table_names(base_record.tables[logical],
+                                        base_record.shards)
+        if base_record.shards == shards:
+            base_scan = [base_tables[shard]]
+        else:
+            # Shard counts differ, so base shard indexes do not align
+            # with this unit's: scan every base shard and keep only the
+            # keys that route to this unit under the current config.
+            base_scan = base_tables
+        base_items: List[Any] = []
+        for table in base_scan:
+            scanned = yield from cloud.resilient.dynamodb.scan(table)
+            base_items.extend(scanned)
         report.scanned_items += len(base_items)
         base_groups = _group_by_key(base_items)
+        if base_record.shards != shards:
+            base_groups = {key: group for key, group in base_groups.items()
+                           if shard_of(key, shards) == shard}
         layer_groups: List[Tuple[Dict[str, List[Any]],
                                  Tuple[str, ...]]] = []
         for delta in deltas:
@@ -276,7 +337,7 @@ class Compactor:
                 layer_groups.append(({}, delta.tombstones))
                 continue
             delta_items = yield from cloud.resilient.dynamodb.scan(
-                shard_of(table))
+                shard_table_names(table, shards)[shard])
             report.scanned_items += len(delta_items)
             layer_groups.append((_group_by_key(delta_items),
                                  delta.tombstones))

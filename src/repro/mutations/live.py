@@ -19,8 +19,10 @@ A mutation publishes one *delta epoch*:
    reader can observe the delta; after it every read merges it in:
    read-your-writes with no worker restart.
 
-Deletes publish a tombstone-only delta (no tables, no fleet) and
-remove the documents from S3; an update is one delta carrying both the
+Deletes publish a tombstone-only delta (no tables, no fleet) and then
+remove the documents from S3 — tombstone-first, so a publication that
+loses every flip attempt leaves the index consistent (the documents
+are still fetchable); an update is one delta carrying both the
 tombstone and the re-extracted entries, so it is atomic under the flip.
 
 Concurrency contract: delta publications share the loader queue with
@@ -393,15 +395,12 @@ class LiveIndex:
             seq = max(head.next_seq, self._seq_floor)
             slug = self.name.lower()
 
-            # Steps 1-2: the front end stores the arriving documents;
-            # deletes remove theirs so degraded full scans cannot
-            # resurrect them.
+            # Steps 1-2: the front end stores the arriving documents.
+            # (Deletes remove theirs only *after* the flip below —
+            # tombstone-first, so a lost publication never leaves the
+            # index serving URIs whose documents are already gone.)
             for uri, data in additions:
                 yield from warehouse.frontend.store_document(uri, data)
-            if kind == "delete":
-                for uri in tombstones:
-                    yield from cloud.resilient.s3.delete(
-                        DOCUMENT_BUCKET, uri)
 
             tables: Dict[str, str] = {}
             ledger_table = ""
@@ -487,6 +486,13 @@ class LiveIndex:
                 self._delta_stores[seq] = delta_store
             self._seq_floor = seq + 1
             self._sync_head(new_head)
+            # Tombstone-first deletion: only once the tombstone is live
+            # do the documents leave S3 (degraded full scans cannot
+            # resurrect them — the tombstone already masks them).
+            if kind == "delete":
+                for uri in tombstones:
+                    yield from cloud.resilient.s3.delete(
+                        DOCUMENT_BUCKET, uri)
             if span is not None:
                 span.attributes["seq"] = seq
             report = DeltaReport(

@@ -126,6 +126,71 @@ def test_interrupted_compaction_commits_nothing_and_resumes():
             == table_snapshot(straight_wh.cloud, straight.record.tables, 2))
 
 
+def test_delta_published_between_crash_and_resume_survives():
+    """The resumed pass folds the pinned chain, not the grown one.
+
+    Units completed before the interruption were folded without the
+    newly published delta, so the resume must neither skip-fold it
+    (losing acknowledged writes in already-completed shards) nor drop
+    it from the live head when it commits.
+    """
+    warehouse, live = fresh_live(deployment={"shards": 2})
+    mutate(warehouse, live)
+    partial = warehouse.compact_index(live, max_units=1)
+    assert partial.interrupted and not partial.committed
+
+    warehouse.add_documents(live, make_increment(3), config={"loaders": 2})
+
+    resumed = warehouse.compact_index(live)
+    assert resumed.committed
+    assert resumed.folded_seqs == (1, 2, 3)     # the pinned chain only
+    assert [d.seq for d in live.deltas] == [4]  # the newcomer survives
+    assert live.deltas[0].base_epoch == live.record.epoch
+    for name in ("q2", "q6"):
+        direct = evaluate_query(workload_query(name),
+                                warehouse.corpus.documents)
+        e = warehouse.run_query(workload_query(name), live)
+        assert e.result_rows == len(direct), name
+
+
+def test_interrupted_pass_is_accounted_in_the_ingestion_report():
+    """Writes billed by a partial pass appear in the golden accounting."""
+    warehouse, live = fresh_live(deployment={"shards": 2})
+    mutate(warehouse, live)
+    partial = warehouse.compact_index(live, max_units=1)
+    assert partial.interrupted and partial.puts > 0
+    resumed = warehouse.compact_index(live)
+    report = live.ingestion_report()
+    assert [c.interrupted for c in report.compactions] == [True, False]
+    assert report.puts == (sum(d.puts for d in report.deltas)
+                           + partial.puts + resumed.puts)
+
+
+def test_fold_uses_base_epochs_own_shard_routing():
+    """A base epoch predating a reshard folds under its own routing.
+
+    The committed record's ``shards`` metadata — not the attaching
+    deployment's store config — names the base epoch's physical shard
+    tables; the new epoch and the deltas use the current config.
+    """
+    warehouse, live = fresh_live()  # base epoch laid out at shards=1
+    warehouse.deployment = warehouse.deployment.override(shards=2)
+    warehouse.store_config = warehouse.deployment.store_config
+    handle = warehouse.live_index(live.name)
+    assert handle.record.shards == 1
+
+    warehouse.add_documents(handle, make_increment(1),
+                            config={"loaders": 2})
+    report = warehouse.compact_index(handle)
+    assert report.committed
+    assert handle.record.shards == 2  # the fold re-sharded the base
+    for name in ("q2", "q6"):
+        direct = evaluate_query(workload_query(name),
+                                warehouse.corpus.documents)
+        e = warehouse.run_query(workload_query(name), handle)
+        assert e.result_rows == len(direct), name
+
+
 def test_compaction_policy_thresholds():
     class FakeDelta:
         def __init__(self, documents):

@@ -169,6 +169,27 @@ def test_deletes_remove_documents_from_s3():
     assert not warehouse.cloud.s3.has_object("documents", victim)
 
 
+def test_failed_delete_publication_destroys_nothing(monkeypatch):
+    """Tombstone-first: S3 objects outlive a publication that loses
+    every flip attempt, so the index never serves unfetchable URIs."""
+    from repro.consistency.manifest import Manifest
+    from repro.errors import BuildStateError
+
+    warehouse, live = fresh_live()
+    victim = warehouse.corpus.documents[0].uri
+
+    def lose_every_flip(self, head, expected_version):
+        raise BuildStateError("injected: lost the flip")
+        yield  # pragma: no cover - keeps this a generator
+
+    monkeypatch.setattr(Manifest, "put_live_head", lose_every_flip)
+    with pytest.raises(BuildStateError):
+        warehouse.delete_documents(live, [victim])
+    assert warehouse.cloud.s3.has_object("documents", victim)
+    assert victim in warehouse.corpus.data
+    assert live.deltas == []
+
+
 def test_live_attach_reflects_published_chain():
     warehouse, live = fresh_live()
     warehouse.add_documents(live, make_increment(1), config={"loaders": 2})
