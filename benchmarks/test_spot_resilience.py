@@ -1,0 +1,42 @@
+"""Regenerates the spot-resilience bench (spot fleets, storms, outage).
+
+Benchmark kernel: drawing one seeded spot interruption instant.  Also
+emits ``BENCH_spot.json`` — the per-arm latency/dollar/failover
+series — next to the repository root.
+"""
+
+import json
+import os
+import random
+
+from conftest import report
+
+from repro.bench.experiments import spot_resilience as experiment
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_spot.json")
+
+
+def test_spot_resilience(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # The same draw SpotMarket makes per launched spot instance.
+    def draw():
+        rng = random.Random("{}:spot:{}".format(experiment.SEED, 1))
+        return rng.expovariate(experiment.STORM_RATE / 3600.0)
+
+    instant = benchmark(draw)
+    assert instant >= 0.0

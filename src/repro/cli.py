@@ -96,6 +96,42 @@ def _deployment(args) -> dict:
             "cache_bytes": getattr(args, "cache_bytes", 0)}
 
 
+def _apply_resilience(args, deployment: dict) -> None:
+    """Fold the spot / failover flags into a deployment-override dict.
+
+    ``--spot-fraction`` and ``--failover`` set policies;
+    ``--interruption-rate`` and a ``--failover AFTER:DURATION`` value
+    also grow a seeded :class:`~repro.faults.FaultPlan` so the chaos
+    actually happens.
+    """
+    from repro.faults import FaultPlan
+    from repro.serving import FailoverPolicy, SpotPolicy
+
+    plan = deployment.get("faults")
+    spot_fraction = getattr(args, "spot_fraction", 0.0)
+    rate = getattr(args, "interruption_rate", 0.0)
+    failover = getattr(args, "failover", None)
+    if spot_fraction:
+        deployment["spot"] = SpotPolicy(spot_fraction=spot_fraction)
+    if rate > 0:
+        plan = plan if plan is not None else FaultPlan(seed=args.seed)
+        plan.spot_interruptions(rate=rate)
+    if failover is not None:
+        deployment["failover"] = FailoverPolicy()
+        if failover:
+            try:
+                after_s, duration_s = (float(part)
+                                       for part in failover.split(":"))
+            except ValueError:
+                raise SystemExit(
+                    "--failover expects AFTER:DURATION in seconds "
+                    "(e.g. --failover 40:20), got {!r}".format(failover))
+            plan = plan if plan is not None else FaultPlan(seed=args.seed)
+            plan.region_outage(after_s=after_s, duration_s=duration_s)
+    if plan is not None:
+        deployment["faults"] = plan
+
+
 def _require_checkpoint_backend(args) -> None:
     if args.backend not in CHECKPOINT_BACKENDS:
         raise SystemExit(
@@ -395,7 +431,11 @@ def cmd_serve(args) -> int:
     between ``--min-workers`` and ``--max-workers`` on queue depth/age;
     without it the fixed ``--workers`` fleet serves everything.
     ``--max-queue-depth`` enables admission control (shedding), and
-    ``--degrade-depth`` adds the degraded band below it.  Prints the
+    ``--degrade-depth`` adds the degraded band below it.
+    ``--spot-fraction`` serves part of the fleet on spot capacity
+    (``--interruption-rate`` makes the market actually reclaim it) and
+    ``--failover [AFTER:DURATION]`` stands up a replicated secondary
+    region, optionally blacking out the primary mid-run.  Prints the
     serving report; ``--report-out`` also writes its deterministic JSON
     form.  Exit status 0 iff the span-attributed request dollars tie
     out exactly against the cost estimator.
@@ -411,7 +451,8 @@ def cmd_serve(args) -> int:
         deployment["admission"] = AdmissionPolicy(
             max_queue_depth=args.max_queue_depth,
             degrade_queue_depth=args.degrade_depth or None)
-    warehouse = Warehouse(deployment=deployment)
+    _apply_resilience(args, deployment)
+    warehouse = Warehouse.deploy(deployment)
     warehouse.upload_corpus(_corpus(args))
     index = warehouse.build_index(args.strategy)
 
@@ -471,7 +512,9 @@ def cmd_ingest(args) -> int:
                                  mutation_feed)
 
     _require_checkpoint_backend(args)
-    warehouse = Warehouse(deployment=_deployment(args))
+    deployment = _deployment(args)
+    _apply_resilience(args, deployment)
+    warehouse = Warehouse.deploy(deployment)
     warehouse.upload_corpus(_corpus(args))
     _, record = warehouse.build_index_checkpointed(args.strategy)
     live = warehouse.live_index(record.name)
@@ -589,6 +632,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-bytes", type=int, default=0,
                        help="byte budget of the epoch-aware read cache "
                             "(0 disables)")
+        p.add_argument("--spot-fraction", type=float, default=0.0,
+                       help="target share of the query fleet bought "
+                            "from the spot market (0 disables)")
+        p.add_argument("--interruption-rate", type=float, default=0.0,
+                       help="seeded spot interruptions per VM-hour "
+                            "(0 disables)")
+        p.add_argument("--failover", nargs="?", const="", default=None,
+                       metavar="AFTER:DURATION",
+                       help="serve with a replicated secondary region; "
+                            "the optional AFTER:DURATION value also "
+                            "blacks out the primary that many seconds "
+                            "into serving, for that long")
 
     p_generate = sub.add_parser("generate", help=cmd_generate.__doc__)
     add_corpus_args(p_generate)

@@ -27,7 +27,7 @@ from typing import (Any, Callable, Dict, Generator, Iterable, List, Mapping,
 
 from repro.config import PerformanceProfile
 from repro.errors import (ConditionalCheckFailed, ConfigError, ItemTooLarge,
-                          NoSuchTable, TableAlreadyExists,
+                          NoSuchTable, RegionUnavailable, TableAlreadyExists,
                           ThroughputExceeded, ValidationError)
 from repro.sim import Environment, Meter, ThroughputLimiter
 from repro.telemetry.spans import maybe_span
@@ -130,10 +130,50 @@ class DynamoDB:
         #: Requests rejected with ``ProvisionedThroughputExceeded`` by
         #: the opt-in throttle mode (monitoring).
         self.throttled_total = 0
+        #: Region label reported by outage errors (a provider serving
+        #: as a replica relabels its store "secondary").
+        self.region = "primary"
+        self._available = True
+        #: Requests rejected with :class:`RegionUnavailable` while the
+        #: region was blacked out (monitoring).
+        self.unavailable_total = 0
 
     def attach_faults(self, injector: Any) -> None:
         """Attach a :class:`repro.faults.FaultInjector` to the data path."""
         self._faults = injector
+
+    # -- region availability (KIND_REGION_OUTAGE chaos) --------------------
+
+    @property
+    def available(self) -> bool:
+        """Whether the region's store is accepting requests."""
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        """Black out (or restore) the region's store.
+
+        Driven by the :class:`~repro.serving.failover.FailoverController`
+        interpreting a :class:`~repro.faults.OutageSpec`.  While down,
+        every data-path request fails fast with
+        :class:`RegionUnavailable` *before* any billing or side effect —
+        an unreachable region serves nothing and bills nothing.
+        """
+        self._available = bool(available)
+
+    def _check_available(self, operation: str) -> None:
+        if self._available:
+            return
+        self.unavailable_total += 1
+        hub = getattr(self._env, "telemetry", None)
+        if hub is not None:
+            hub.counter(
+                "region_unavailable_total",
+                "Requests rejected during a region outage.",
+                ("region",)).inc(region=self.region)
+        # Unbilled, like throttles: the request never reached a server.
+        self._meter.record(self._env.now, "faults",
+                           "dynamodb:region-outage")
+        raise RegionUnavailable(self.region, SERVICE, operation)
 
     def _span(self, operation: str, **attributes: Any):
         """A telemetry span for one data-path request (no-op untraced)."""
@@ -281,6 +321,7 @@ class DynamoDB:
         expectation (``None`` = must be absent), else it raises
         :class:`ConditionalCheckFailed` and writes nothing.
         """
+        self._check_available("put")
         table = self.table(table_name)
         self._validate_item(table, item)
         with self._span("put", table=table_name):
@@ -310,6 +351,7 @@ class DynamoDB:
         Deleting a missing item is not an error (as on AWS); the
         request is billed either way.
         """
+        self._check_available("delete_item")
         table = self.table(table_name)
         with self._span("delete", table=table_name):
             if self._faults is not None:
@@ -342,6 +384,7 @@ class DynamoDB:
             raise ValidationError(
                 "batch_put accepts at most {} items, got {}".format(
                     BATCH_PUT_LIMIT, len(items)))
+        self._check_available("batch_put")
         table = self.table(table_name)
         total = 0
         for item in items:
@@ -376,6 +419,7 @@ class DynamoDB:
         ``condition``, if given, filters on the range key (``get(T,k,c)``).
         Returns an empty list for unknown keys, like a real query.
         """
+        self._check_available("get")
         table = self.table(table_name)
         with self._span("get", table=table_name):
             if self._faults is not None:
@@ -398,6 +442,7 @@ class DynamoDB:
             raise ValidationError(
                 "batch_get accepts at most {} keys, got {}".format(
                     BATCH_GET_LIMIT, len(hash_keys)))
+        self._check_available("batch_get")
         table = self.table(table_name)
         with self._span("batch_get", table=table_name,
                         keys=len(hash_keys)):
@@ -425,12 +470,14 @@ class DynamoDB:
         which is what makes scrubbing a priced operation rather than a
         free inspection (contrast :meth:`DynamoTable.all_items`).
         """
+        self._check_available("scan")
         table = self.table(table_name)
         items = table.all_items()
         pages = [items[i:i + SCAN_PAGE_SIZE]
                  for i in range(0, len(items), SCAN_PAGE_SIZE)] or [[]]
         with self._span("scan", table=table_name, pages=len(pages)):
             for page in pages:
+                self._check_available("scan")
                 if self._faults is not None:
                     yield from self._faults.perturb("scan")
                 nbytes = sum(item.size_bytes for item in page)

@@ -46,6 +46,11 @@ class PriceBook:
     idx_get: float
     #: ``VM$h`` — $ per instance-hour, keyed by instance type name.
     vm_hour: Mapping[str, float] = field(default_factory=dict)
+    #: Spot-market $ per instance-hour, keyed by instance type name.
+    #: The 2012-era spot market cleared around 30% of on-demand; the
+    #: discount is what makes interruption-tolerant serving worth the
+    #: resilience machinery (see DESIGN.md par.14).
+    vm_hour_spot: Mapping[str, float] = field(default_factory=dict)
     #: ``QS$`` — $ per queue service API request.
     qs_request: float = 0.0
     #: ``egress$GB`` — $ per GB transferred out of the cloud.
@@ -64,6 +69,16 @@ class PriceBook:
                 "price book {}/{} has no price for instance type {!r}".format(
                     self.provider, self.region, type_name)) from None
 
+    def vm_hourly_spot(self, type_name: str) -> float:
+        """Spot hourly price of an instance type; raises on unknown types."""
+        try:
+            return self.vm_hour_spot[type_name]
+        except KeyError:
+            raise ConfigError(
+                "price book {}/{} has no spot price for instance type "
+                "{!r}".format(self.provider, self.region,
+                              type_name)) from None
+
 
 #: Table 3 — "AWS Singapore costs as of October 2012", verbatim.
 AWS_SINGAPORE = PriceBook(
@@ -76,6 +91,7 @@ AWS_SINGAPORE = PriceBook(
     idx_put=0.00000032,
     idx_get=0.000000032,
     vm_hour={"l": 0.34, "xl": 0.68},
+    vm_hour_spot={"l": 0.102, "xl": 0.204},
     qs_request=0.000001,
     egress_gb=0.19,
     # SimpleDB storage price from Table 7 ("Index, [8]": $0.275/GB-month);
@@ -98,6 +114,7 @@ GOOGLE_CLOUD = PriceBook(
     idx_put=0.0000001,
     idx_get=0.00000007,
     vm_hour={"l": 0.29, "xl": 0.58},
+    vm_hour_spot={"l": 0.087, "xl": 0.174},
     qs_request=0.000001,
     egress_gb=0.12,
     simpledb_month_gb=0.24,
@@ -117,6 +134,7 @@ WINDOWS_AZURE = PriceBook(
     idx_put=0.0000001,
     idx_get=0.0000001,
     vm_hour={"l": 0.32, "xl": 0.64},
+    vm_hour_spot={"l": 0.096, "xl": 0.192},
     qs_request=0.0000001,
     egress_gb=0.19,
     simpledb_month_gb=0.14,

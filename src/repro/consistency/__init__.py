@@ -30,6 +30,7 @@ from repro.consistency.ledger import BatchLedger
 from repro.consistency.manifest import (LIVE_SUFFIX, MANIFEST_TABLE,
                                         DeltaRecord, EpochRecord, LiveHead,
                                         Manifest)
+from repro.consistency.replication import ReplicatedManifest
 from repro.consistency.scrubber import ScrubReport, Scrubber
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "LiveHead",
     "MANIFEST_TABLE",
     "Manifest",
+    "ReplicatedManifest",
     "ScrubReport",
     "Scrubber",
     "partition_batches",

@@ -26,7 +26,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence
 from repro.cloud.provider import CloudProvider
 from repro.deprecations import warn_deprecated
 from repro.errors import ConfigError, EncodingError, IntegrityError, \
-    NoSuchTable
+    NoSuchTable, RegionUnavailable
 from repro.indexing.lookup_plans import BaseLookup, LookupOutcome
 
 #: Pseudo-service under which downgrades are metered (no price book
@@ -128,6 +128,13 @@ class DegradingLookup(BaseLookup):
             lookup.tracer = self.tracer
             try:
                 outcome = yield from lookup.lookup_pattern(pattern)
+            except RegionUnavailable:
+                # The index's region is blacked out.  Unlike damage this
+                # is transient and table-independent, so no health mark:
+                # a sticky "suspect" would outlive the outage and keep
+                # degrading queries after failback.
+                self._note_downgrade(name, "region-outage")
+                continue
             except NoSuchTable:
                 for table in tables:
                     self._health.mark(table, "missing")

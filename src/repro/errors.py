@@ -139,6 +139,25 @@ class TransientServiceError(CloudServiceError):
         self.operation = operation
 
 
+class RegionUnavailable(CloudServiceError):
+    """A request reached a region whose services are blacked out.
+
+    Injected by the :data:`~repro.faults.KIND_REGION_OUTAGE` chaos
+    fault; never raised by a healthy region.  Deliberately *not*
+    retryable (unlike :class:`TransientServiceError`): an outage
+    outlasts any sane backoff budget, so clients must fail over to a
+    replica or degrade instead of burning retries against a dead
+    region.
+    """
+
+    def __init__(self, region: str, service: str, operation: str) -> None:
+        super().__init__("region {} is unavailable ({}.{})".format(
+            region, service, operation))
+        self.region = region
+        self.service = service
+        self.operation = operation
+
+
 class QueueError(CloudServiceError):
     """Base class for SQS errors."""
 

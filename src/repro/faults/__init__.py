@@ -14,8 +14,10 @@ from repro.faults.injector import (FAULT_SERVICE, FaultDomain, FaultEvent,
 from repro.faults.plan import (CRASH_ROLES, DAMAGE_KINDS, FAULT_KINDS,
                                FAULT_SERVICES, KIND_CORRUPT_ITEM,
                                KIND_DROP_PARTITION, KIND_ERROR,
-                               KIND_LATENCY, KIND_THROTTLE, CrashSpec,
-                               DamageSpec, FaultPlan, FaultSpec)
+                               KIND_LATENCY, KIND_REGION_OUTAGE,
+                               KIND_SPOT_INTERRUPT, KIND_THROTTLE,
+                               CrashSpec, DamageSpec, FaultPlan, FaultSpec,
+                               OutageSpec, SpotSpec)
 
 __all__ = [
     "CRASH_ROLES",
@@ -34,5 +36,9 @@ __all__ = [
     "KIND_DROP_PARTITION",
     "KIND_ERROR",
     "KIND_LATENCY",
+    "KIND_REGION_OUTAGE",
+    "KIND_SPOT_INTERRUPT",
     "KIND_THROTTLE",
+    "OutageSpec",
+    "SpotSpec",
 ]

@@ -34,6 +34,12 @@ KIND_CORRUPT_ITEM = "corrupt-item"            # bit-flip a stored item
 KIND_DROP_PARTITION = "drop-table-partition"  # lose one hash-key group
 DAMAGE_KINDS = (KIND_CORRUPT_ITEM, KIND_DROP_PARTITION)
 
+#: Capacity / region fault kinds, interpreted by the serving runtime
+#: (they reclaim instances or black out a region rather than failing
+#: individual requests).
+KIND_SPOT_INTERRUPT = "spot-interrupt"  # spot reclamation w/ 2-min warning
+KIND_REGION_OUTAGE = "region-outage"    # whole-region blackout window
+
 #: Worker roles a crash spec may target.
 CRASH_ROLES = ("loader",)
 
@@ -100,6 +106,48 @@ class DamageSpec:
 
 
 @dataclass(frozen=True)
+class SpotSpec:
+    """One spot-interruption regime (:data:`KIND_SPOT_INTERRUPT`).
+
+    ``rate`` is the expected number of interruptions per spot
+    VM-hour; each spot instance draws its interruption instant from an
+    exponential with that rate, seeded per instance id, so the storm is
+    byte-deterministic.  ``warning_s`` is the notice lead time — the
+    cloud's two-minute warning — between the
+    :class:`~repro.serving.spot.InterruptionNotice` and forced reclaim.
+    ``start_s``/``end_s`` bound the regime in simulated time
+    (``end_s=None`` means "until the end of the run").
+    """
+
+    rate: float
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    warning_s: float = 120.0
+
+    def active_at(self, now: float) -> bool:
+        """Whether the regime's time window covers simulated ``now``."""
+        if now < self.start_s:
+            return False
+        return self.end_s is None or now < self.end_s
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """One scheduled region blackout (:data:`KIND_REGION_OUTAGE`).
+
+    ``after_s`` is measured from the start of the serving phase (like
+    :class:`CrashSpec`, the plan cannot know absolute times); for
+    ``duration_s`` seconds every data-path request against the region's
+    key-value store raises
+    :class:`~repro.errors.RegionUnavailable`.
+    """
+
+    after_s: float
+    duration_s: float
+    region: str = "primary"
+
+
+@dataclass(frozen=True)
 class CrashSpec:
     """One scheduled whole-instance crash.
 
@@ -134,6 +182,8 @@ class FaultPlan:
         self._specs: List[FaultSpec] = []
         self._crashes: List[CrashSpec] = []
         self._damage: List[DamageSpec] = []
+        self._spot: List[SpotSpec] = []
+        self._outages: List[OutageSpec] = []
 
     # -- builders ----------------------------------------------------------
 
@@ -200,6 +250,32 @@ class FaultPlan:
                                        worker=worker))
         return self
 
+    def spot_interruptions(self, rate: float, start_s: float = 0.0,
+                           end_s: Optional[float] = None,
+                           warning_s: float = 120.0) -> "FaultPlan":
+        """Reclaim spot instances at ``rate`` interruptions per VM-hour."""
+        if rate < 0:
+            raise ConfigError("spot interruption rate must be non-negative")
+        if end_s is not None and end_s <= start_s:
+            raise ConfigError("spot window must end after it starts")
+        if warning_s < 0:
+            raise ConfigError("spot warning_s must be non-negative")
+        self._spot.append(SpotSpec(rate=rate, start_s=start_s, end_s=end_s,
+                                   warning_s=warning_s))
+        return self
+
+    def region_outage(self, after_s: float, duration_s: float,
+                      region: str = "primary") -> "FaultPlan":
+        """Black out ``region`` ``after_s`` into the serving phase."""
+        if after_s < 0:
+            raise ConfigError("outage after_s must be non-negative")
+        if duration_s <= 0:
+            raise ConfigError("outage duration_s must be positive")
+        self._outages.append(OutageSpec(after_s=after_s,
+                                        duration_s=duration_s,
+                                        region=region))
+        return self
+
     def _add_damage(self, spec: DamageSpec) -> "FaultPlan":
         if spec.kind not in DAMAGE_KINDS:
             raise ConfigError("unknown damage kind {!r}".format(spec.kind))
@@ -237,6 +313,16 @@ class FaultPlan:
     def damage(self) -> List[DamageSpec]:
         """All stored-state damage rules, in insertion order."""
         return list(self._damage)
+
+    @property
+    def spot_specs(self) -> List[SpotSpec]:
+        """All spot-interruption regimes, in insertion order."""
+        return list(self._spot)
+
+    @property
+    def outages(self) -> List[OutageSpec]:
+        """All region-outage schedules, in insertion order."""
+        return list(self._outages)
 
     def specs_for(self, service: str) -> List[FaultSpec]:
         """Rules targeting ``service``."""

@@ -16,9 +16,13 @@ query mix, and therefore the whole report byte-for-byte.
 """
 
 from repro.serving.admission import AdmissionController
-from repro.serving.autoscaler import Autoscaler, Fleet
-from repro.serving.policy import AdmissionPolicy, AutoscalePolicy
+from repro.serving.autoscaler import (MARKET_ON_DEMAND, MARKET_SPOT,
+                                      Autoscaler, Fleet)
+from repro.serving.failover import (FailoverController, RegionSwitch)
+from repro.serving.policy import (AdmissionPolicy, AutoscalePolicy,
+                                  FailoverPolicy, SpotPolicy)
 from repro.serving.report import ServingReport, percentile
+from repro.serving.spot import InterruptionNotice, SpotMarket
 from repro.serving.traffic import TrafficGenerator, TrafficProfile
 
 __all__ = [
@@ -26,9 +30,17 @@ __all__ = [
     "AdmissionPolicy",
     "Autoscaler",
     "AutoscalePolicy",
+    "FailoverController",
+    "FailoverPolicy",
     "Fleet",
+    "InterruptionNotice",
+    "MARKET_ON_DEMAND",
+    "MARKET_SPOT",
+    "RegionSwitch",
     "ServingReport",
     "ServingRuntime",
+    "SpotMarket",
+    "SpotPolicy",
     "TrafficGenerator",
     "TrafficProfile",
     "percentile",

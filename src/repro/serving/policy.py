@@ -14,7 +14,8 @@ from typing import Optional
 
 from repro.errors import ConfigError
 
-__all__ = ["AutoscalePolicy", "AdmissionPolicy"]
+__all__ = ["AutoscalePolicy", "AdmissionPolicy", "SpotPolicy",
+           "FailoverPolicy"]
 
 
 @dataclass(frozen=True)
@@ -47,8 +48,10 @@ class AutoscalePolicy:
         direction — the standard guard against flapping.
     drain:
         If true (default), scale-in only retires an *idle* worker.  If
-        false, a busy worker may be interrupted mid-query (spot-style
-        reclamation); its lease lapses and SQS redelivers the work.
+        false, scale-in still prefers an idle worker but may reclaim a
+        busy one when none is idle (spot-style reclamation); the
+        interrupted query's lease lapses and SQS redelivers it to a
+        surviving worker under the at-least-once contract.
     """
 
     min_workers: int = 1
@@ -144,3 +147,88 @@ class AdmissionPolicy:
     def degradation_enabled(self) -> bool:
         """Whether a degraded admission band exists at all."""
         return self.degrade_queue_depth is not None
+
+
+@dataclass(frozen=True)
+class SpotPolicy:
+    """How much of the fleet rides the spot market.
+
+    Spot capacity is priced from the book's ``vm_hour_spot`` column
+    (roughly 30% of on-demand) but can be reclaimed with a two-minute
+    warning.  The autoscaler keeps the fleet's spot share near
+    ``spot_fraction`` while the *observed* interruption rate stays
+    under ``max_interruption_rate``; past it, scale-out falls back to
+    on-demand until the storm subsides — the price-aware decision of
+    DESIGN.md par.14.
+
+    Attributes
+    ----------
+    spot_fraction:
+        Target fraction of the fleet on spot capacity, in ``[0, 1]``.
+    max_interruption_rate:
+        Observed interruptions per spot VM-hour above which scale-out
+        stops buying spot.
+    """
+
+    spot_fraction: float = 0.5
+    max_interruption_rate: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spot_fraction <= 1.0:
+            raise ConfigError(
+                "SpotPolicy.spot_fraction must be in [0, 1], got "
+                "{}".format(self.spot_fraction))
+        if self.max_interruption_rate < 0:
+            raise ConfigError(
+                "SpotPolicy.max_interruption_rate must be >= 0, got "
+                "{}".format(self.max_interruption_rate))
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """When serving flips to the secondary-region manifest replica.
+
+    The replica trails the primary by design — the replicator copies
+    the manifest head every ``replication_interval_s`` and each copy
+    lands ``replication_lag_s`` later — so failover is only safe under
+    *bounded staleness*: the controller flips only while the replica's
+    applied head is at most ``max_staleness_s`` behind, and records
+    every read served off the stale replica.
+
+    Attributes
+    ----------
+    replication_interval_s:
+        How often the replicator ships the manifest head.
+    replication_lag_s:
+        Seeded transit delay before a shipped head applies remotely.
+    probe_interval_s:
+        How often the controller probes primary health during an
+        outage (and, once failed over, for recovery).
+    max_staleness_s:
+        Upper bound on replica staleness for a failover to proceed;
+        beyond it the controller refuses to flip and serving rides the
+        degradation ladder instead.
+    """
+
+    replication_interval_s: float = 5.0
+    replication_lag_s: float = 2.0
+    probe_interval_s: float = 1.0
+    max_staleness_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.replication_interval_s <= 0:
+            raise ConfigError(
+                "FailoverPolicy.replication_interval_s must be > 0, got "
+                "{}".format(self.replication_interval_s))
+        if self.replication_lag_s < 0:
+            raise ConfigError(
+                "FailoverPolicy.replication_lag_s must be >= 0, got "
+                "{}".format(self.replication_lag_s))
+        if self.probe_interval_s <= 0:
+            raise ConfigError(
+                "FailoverPolicy.probe_interval_s must be > 0, got "
+                "{}".format(self.probe_interval_s))
+        if self.max_staleness_s <= 0:
+            raise ConfigError(
+                "FailoverPolicy.max_staleness_s must be > 0, got "
+                "{}".format(self.max_staleness_s))

@@ -101,6 +101,34 @@ class ServingReport:
     scale_ins: int = 0
     fleet_timeline: List[Tuple[float, int]] = field(default_factory=list)
 
+    # -- spot capacity -----------------------------------------------------
+    #: Instances ever bought from the spot market (0 = all on-demand).
+    spot_launched: int = 0
+    spot_interruptions: int = 0
+    #: Interrupted workers that finished their query inside the warning.
+    spot_drained: int = 0
+    #: Interrupted workers force-reclaimed mid-query (lease lapsed).
+    spot_reclaimed: int = 0
+    spot_vm_hours: float = 0.0
+    ondemand_vm_hours: float = 0.0
+    spot_ec2_cost: float = 0.0
+    ondemand_ec2_cost: float = 0.0
+
+    # -- multi-region failover ---------------------------------------------
+    region_outages: int = 0
+    failovers: int = 0
+    failbacks: int = 0
+    #: Probes that refused to flip (replica outside the staleness bound).
+    failover_refusals: int = 0
+    #: Index reads served by the replica region while failed over.
+    stale_reads: int = 0
+    #: Replication cycles completed (heartbeats included).
+    replication_ships: int = 0
+    #: Queries retried across a region blackout (lease held throughout).
+    outage_retries: int = 0
+    #: ``(started_at, ended_at)`` per outage, serve-relative seconds.
+    outage_windows: List[Tuple[float, float]] = field(default_factory=list)
+
     # -- dollars -----------------------------------------------------------
     vm_hours: float = 0.0
     ec2_cost: float = 0.0
@@ -165,9 +193,30 @@ class ServingReport:
                 "scale_ins": self.scale_ins,
                 "timeline": [[t, n] for t, n in self.fleet_timeline],
             },
+            "spot": {
+                "launched": self.spot_launched,
+                "interruptions": self.spot_interruptions,
+                "drained": self.spot_drained,
+                "reclaimed": self.spot_reclaimed,
+                "vm_hours": self.spot_vm_hours,
+                "ec2": self.spot_ec2_cost,
+            },
+            "failover": {
+                "region_outages": self.region_outages,
+                "failovers": self.failovers,
+                "failbacks": self.failbacks,
+                "refusals": self.failover_refusals,
+                "stale_reads": self.stale_reads,
+                "replication_ships": self.replication_ships,
+                "outage_retries": self.outage_retries,
+                "outage_windows": [[a, b]
+                                   for a, b in self.outage_windows],
+            },
             "dollars": {
                 "vm_hours": self.vm_hours,
                 "ec2": self.ec2_cost,
+                "ec2_spot": self.spot_ec2_cost,
+                "ec2_on_demand": self.ondemand_ec2_cost,
                 "requests_span": self.request_cost,
                 "requests_estimator": self.estimator_request_cost,
                 "request_breakdown": dict(self.request_breakdown),
@@ -207,4 +256,21 @@ class ServingReport:
             "{}".format(self.request_cost, self.estimator_request_cost,
                         "exact" if self.cost_tied_out else "MISMATCH"),
         ]
+        if self.spot_launched:
+            lines.append(
+                "  spot: {} launched  {} interruptions "
+                "({} drained / {} reclaimed)  {:.4f} VM-h @ spot "
+                "(${:.6f}) vs {:.4f} VM-h on-demand (${:.6f})".format(
+                    self.spot_launched, self.spot_interruptions,
+                    self.spot_drained, self.spot_reclaimed,
+                    self.spot_vm_hours, self.spot_ec2_cost,
+                    self.ondemand_vm_hours, self.ondemand_ec2_cost))
+        if self.region_outages:
+            lines.append(
+                "  failover: {} outage(s)  {} failover(s)  "
+                "{} failback(s)  {} refusal(s)  {} stale reads  "
+                "{} retries  {} ships".format(
+                    self.region_outages, self.failovers, self.failbacks,
+                    self.failover_refusals, self.stale_reads,
+                    self.outage_retries, self.replication_ships))
         return "\n".join(lines)

@@ -36,7 +36,8 @@ from repro.query.parser import query_to_source
 from repro.query.pattern import Query
 from repro.query.workload import workload_query
 from repro.serving.admission import DEGRADE, SHED, AdmissionController
-from repro.serving.autoscaler import Autoscaler, Fleet
+from repro.serving.autoscaler import MARKET_SPOT, Autoscaler, Fleet
+from repro.serving.policy import FailoverPolicy
 from repro.serving.report import QueryOutcome, ServingReport, percentile
 from repro.serving.traffic import TrafficGenerator, TrafficProfile
 from repro.warehouse.messages import QUERY_QUEUE, StopWorker
@@ -79,10 +80,16 @@ class ServingRuntime:
 
     # -- pieces ------------------------------------------------------------
 
-    def _worker_factory(self, stats_sink: Dict[int, QueryWorkStats]):
-        """Factory building one QueryWorker per launched instance."""
+    def _worker_factory(self, stats_sink: Dict[int, QueryWorkStats],
+                        index: Optional[Any] = None):
+        """Factory building one QueryWorker per launched instance.
+
+        ``index`` overrides the runtime's own (the failover path passes
+        the region-switched clone so workers follow the active region).
+        """
         warehouse = self.warehouse
-        index = self.index
+        if index is None:
+            index = self.index
         admission = self.deployment.admission
         degraded_factory = None
         if admission is not None and admission.degradation_enabled:
@@ -110,6 +117,47 @@ class ServingRuntime:
                 degraded_lookup=(degraded_factory()
                                  if degraded_factory is not None else None))
         return factory
+
+    def _switched_index(self, switch: Any) -> Any:
+        """A clone of the serving index whose store reads through the
+        region switch (same shared cache, config and epoch, so cache
+        keys line up with the primary-bound store's)."""
+        from repro.indexing.mapper import DynamoIndexStore
+        from repro.store import StoreRouter
+        from repro.warehouse.warehouse import BuiltIndex
+        warehouse = self.warehouse
+        index = self.index
+        base = DynamoIndexStore(switch)
+        router = StoreRouter(base, config=warehouse.store_config,
+                             cache=warehouse.index_cache,
+                             telemetry=warehouse.telemetry,
+                             epoch=getattr(index.store, "epoch", 0))
+        return BuiltIndex(strategy=index.strategy, store=router,
+                          table_names=dict(index.table_names),
+                          report=index.report)
+
+    def _register_manifest(self) -> Generator[Any, Any, None]:
+        """Ensure the served index has a committed manifest record.
+
+        Replication ships the manifest head; an index built outside the
+        consistency pipeline (plain ``build_index``) has none, so the
+        failover path registers one before traffic starts.  Idempotent:
+        an existing committed record (live/consistency builds) wins.
+        """
+        from repro.consistency.manifest import EpochRecord, Manifest
+        warehouse = self.warehouse
+        index = self.index
+        manifest = Manifest(warehouse.cloud.resilient.dynamodb)
+        existing = yield from manifest.committed(index.strategy.name)
+        if existing is not None:
+            return
+        record = EpochRecord(
+            name=index.strategy.name, epoch=1, status="committed",
+            strategy=index.strategy.name,
+            tables=dict(index.table_names), ledger_table="",
+            batches=index.report.batches,
+            shards=warehouse.store_config.shards)
+        yield from manifest.commit(record, expected_epoch=None)
 
     @staticmethod
     def _mean_fleet(timeline: List[Tuple[float, int]], start: float,
@@ -142,9 +190,49 @@ class ServingRuntime:
         schedule = generator.schedule()
         admission = AdmissionController(cloud, deployment.admission)
         stats_sink: Dict[int, QueryWorkStats] = {}
+
+        plan = cloud.faults.plan if cloud.faults is not None else None
+        spot_specs = plan.spot_specs if plan is not None else []
+        outage_specs = plan.outages if plan is not None else []
+        spot_policy = deployment.spot
+        failover_policy = deployment.failover
+
+        # Multi-region stack: a secondary provider on the same
+        # simulation, a switchable store facade, and the replicator.
+        switch = replicator = controller = None
+        serving_index = self.index
+        if failover_policy is not None and self.index is not None:
+            from repro.cloud.provider import CloudProvider
+            from repro.consistency.replication import ReplicatedManifest
+            from repro.serving.failover import RegionSwitch
+            secondary = CloudProvider(
+                profile=cloud.profile, price_book=cloud.price_book,
+                env=env, meter=cloud.meter)
+            secondary.dynamodb.region = "secondary"
+            switch = RegionSwitch(cloud.resilient.dynamodb,
+                                  secondary.resilient.dynamodb,
+                                  telemetry=cloud.telemetry)
+            replicator = ReplicatedManifest(
+                cloud, secondary,
+                interval_s=failover_policy.replication_interval_s,
+                lag_s=failover_policy.replication_lag_s)
+            serving_index = self._switched_index(switch)
+        if outage_specs:
+            from repro.serving.failover import FailoverController
+            controller = FailoverController(
+                cloud, failover_policy or FailoverPolicy(), outage_specs,
+                switch=switch, replicator=replicator,
+                cache=warehouse.index_cache)
+
         fleet = Fleet(cloud, deployment.worker_type,
-                      self._worker_factory(stats_sink))
-        autoscaler = (Autoscaler(cloud, deployment.autoscale, fleet)
+                      self._worker_factory(stats_sink, serving_index))
+        spot_market = None
+        if spot_policy is not None and spot_specs:
+            from repro.serving.spot import SpotMarket
+            spot_market = SpotMarket(cloud, fleet, spot_specs, plan.seed)
+            fleet.spot_market = spot_market
+        autoscaler = (Autoscaler(cloud, deployment.autoscale, fleet,
+                                 spot=spot_policy)
                       if deployment.autoscale is not None else None)
         initial = (deployment.autoscale.min_workers
                    if deployment.autoscale is not None
@@ -156,7 +244,14 @@ class ServingRuntime:
         degraded_ids: Set[int] = set()
         redelivered_before = cloud.sqs.redelivered_count(QUERY_QUEUE)
         dead_before = cloud.sqs.dead_lettered_count(QUERY_QUEUE)
-        start_at = env.now
+        hub = getattr(cloud, "telemetry", None)
+        retries_before = (hub.counter("outage_retries_total").value()
+                          if hub is not None else 0.0)
+        # The traffic baseline.  A failover deployment rebases it after
+        # the replica's warm-up ship (below), so arrival offsets — and
+        # the fault plan's serve-relative outage times — count from the
+        # moment the deployment is actually ready to take traffic.
+        start_holder = [env.now]
 
         def submit_one(name: str, degraded: bool, arrived_at: float,
                        ) -> Generator[Any, Any, None]:
@@ -172,7 +267,7 @@ class ServingRuntime:
 
         def traffic() -> Generator[Any, Any, None]:
             for seq, (offset, name) in enumerate(schedule):
-                delay = start_at + offset - env.now
+                delay = start_holder[0] + offset - env.now
                 if delay > 0:
                     yield env.timeout(delay)
                 decision = admission.decide()
@@ -197,7 +292,33 @@ class ServingRuntime:
                 return
 
         def driver() -> Generator[Any, Any, None]:
-            fleet.launch(initial)
+            if replicator is not None:
+                # The replica ships the manifest head, so make sure the
+                # served index has one; then converge the replica with
+                # one synchronous warm-up ship *before* taking traffic
+                # — the initial full-table copy is the expensive part,
+                # and a replica that never converged can never satisfy
+                # a bounded-staleness failover.  Rebasing the baseline
+                # keeps arrival offsets (and the fault plan's
+                # serve-relative outage times) on the traffic clock.
+                yield from self._register_manifest()
+                yield from replicator.replicate_once()
+                start_holder[0] = env.now
+            if spot_policy is not None and spot_policy.spot_fraction > 0:
+                spot_initial = min(
+                    initial, int(round(initial * spot_policy.spot_fraction)))
+                if initial - spot_initial:
+                    fleet.launch(initial - spot_initial)
+                if spot_initial:
+                    fleet.launch(spot_initial, market=MARKET_SPOT)
+            else:
+                fleet.launch(initial)
+            repl_proc = (env.process(replicator.run(),
+                                     name="serve-replicator")
+                         if replicator is not None else None)
+            ctrl_proc = (env.process(controller.run(),
+                                     name="serve-failover")
+                         if controller is not None else None)
             collect_proc = env.process(collector(), name="serve-collector")
             auto_proc = (env.process(autoscaler.run(),
                                      name="serve-autoscaler")
@@ -216,9 +337,10 @@ class ServingRuntime:
                 return admission.admitted - dead - len(fetched)
             while outstanding() > 0:
                 yield env.timeout(COMPLETION_POLL_S)
-            if auto_proc is not None and auto_proc.is_alive:
-                auto_proc.interrupt(
-                    ProcessInterrupted("serving complete"))
+            for proc in (auto_proc, repl_proc, ctrl_proc):
+                if proc is not None and proc.is_alive:
+                    proc.interrupt(
+                        ProcessInterrupted("serving complete"))
             if collect_proc.is_alive:
                 collect_proc.interrupt(
                     ProcessInterrupted("serving complete"))
@@ -241,15 +363,21 @@ class ServingRuntime:
                              elastic=deployment.elastic) as serve_span:
             with cloud.meter.tagged(self.tag):
                 env.run_process(driver(), name="serve")
+        start_at = start_holder[0]
         end_at = env.now
         for instance in fleet.instances_ever:
             if instance.running:
                 cloud.ec2.stop(instance)
 
+        retries = ((hub.counter("outage_retries_total").value()
+                    - retries_before) if hub is not None else 0.0)
         return self._build_report(
             admission, fleet, autoscaler, arrivals, names, fetched,
             degraded_ids, stats_sink, start_at, end_at,
-            redelivered_before, serve_span, initial)
+            redelivered_before, serve_span, initial,
+            spot_market=spot_market, controller=controller,
+            replicator=replicator, switch=switch,
+            outage_retries=int(retries))
 
     # -- report assembly ---------------------------------------------------
 
@@ -260,7 +388,12 @@ class ServingRuntime:
                       stats_sink: Dict[int, QueryWorkStats],
                       start_at: float, end_at: float,
                       redelivered_before: int, serve_span: Optional[Any],
-                      initial: int) -> ServingReport:
+                      initial: int,
+                      spot_market: Optional[Any] = None,
+                      controller: Optional[Any] = None,
+                      replicator: Optional[Any] = None,
+                      switch: Optional[Any] = None,
+                      outage_retries: int = 0) -> ServingReport:
         warehouse = self.warehouse
         cloud = warehouse.cloud
         book = cloud.price_book
@@ -277,7 +410,13 @@ class ServingRuntime:
         duration = (max(fetched.values()) - start_at) if fetched \
             else (end_at - start_at)
         vm_hours = fleet.uptime_hours()
-        ec2_cost = book.vm_hourly(deployment.worker_type) * vm_hours
+        spot_hours = fleet.uptime_hours(MARKET_SPOT)
+        ondemand_hours = vm_hours - spot_hours
+        spot_ec2 = (book.vm_hourly_spot(deployment.worker_type)
+                    * spot_hours) if spot_hours > 0 else 0.0
+        ondemand_ec2 = book.vm_hourly(deployment.worker_type) \
+            * ondemand_hours
+        ec2_cost = ondemand_ec2 + spot_ec2
 
         serve_span_id = serve_span.span_id if serve_span is not None else 0
         span_breakdown = inclusive.get(serve_span_id)
@@ -334,6 +473,28 @@ class ServingRuntime:
             scale_outs=autoscaler.scale_outs if autoscaler else 0,
             scale_ins=autoscaler.scale_ins if autoscaler else 0,
             fleet_timeline=timeline,
+            spot_launched=sum(
+                1 for market in fleet.markets.values()
+                if market == MARKET_SPOT),
+            spot_interruptions=(spot_market.interrupted_total
+                                if spot_market else 0),
+            spot_drained=spot_market.drained_total if spot_market else 0,
+            spot_reclaimed=(spot_market.reclaimed_total
+                            if spot_market else 0),
+            spot_vm_hours=spot_hours,
+            ondemand_vm_hours=ondemand_hours,
+            spot_ec2_cost=spot_ec2,
+            ondemand_ec2_cost=ondemand_ec2,
+            region_outages=controller.region_outages if controller else 0,
+            failovers=controller.failovers if controller else 0,
+            failbacks=controller.failbacks if controller else 0,
+            failover_refusals=controller.refusals if controller else 0,
+            stale_reads=switch.stale_reads if switch is not None else 0,
+            replication_ships=replicator.ships if replicator else 0,
+            outage_retries=outage_retries,
+            outage_windows=[(a - start_at, b - start_at)
+                            for a, b in (controller.outage_log
+                                         if controller else [])],
             vm_hours=vm_hours,
             ec2_cost=ec2_cost,
             request_cost=request_cost,

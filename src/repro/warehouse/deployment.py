@@ -33,7 +33,8 @@ from typing import Any, Mapping, Optional
 
 from repro.config import instance_type
 from repro.errors import ConfigError
-from repro.serving.policy import AdmissionPolicy, AutoscalePolicy
+from repro.serving.policy import (AdmissionPolicy, AutoscalePolicy,
+                                  FailoverPolicy, SpotPolicy)
 from repro.store import StoreConfig
 
 __all__ = ["DeploymentConfig"]
@@ -75,6 +76,16 @@ class DeploymentConfig:
     admission:
         Optional :class:`~repro.serving.policy.AdmissionPolicy`;
         ``None`` admits every arrival.
+    spot:
+        Optional :class:`~repro.serving.policy.SpotPolicy`: serve part
+        of the fleet on spot capacity (cheaper, interruptible) with
+        price- and interruption-aware scale-out; ``None`` buys
+        everything on-demand.
+    failover:
+        Optional :class:`~repro.serving.policy.FailoverPolicy`: stand
+        up a secondary region with an asynchronously replicated
+        manifest and flip serving onto it (bounded staleness) when the
+        primary region blacks out; ``None`` serves single-region.
     """
 
     loaders: int = 8
@@ -89,6 +100,8 @@ class DeploymentConfig:
     faults: Optional[Any] = None
     autoscale: Optional[AutoscalePolicy] = None
     admission: Optional[AdmissionPolicy] = None
+    spot: Optional[SpotPolicy] = None
+    failover: Optional[FailoverPolicy] = None
 
     def __post_init__(self) -> None:
         if self.loaders < 1:

@@ -26,7 +26,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Set
 from repro.cloud.ec2 import Instance
 from repro.cloud.provider import CloudProvider
 from repro.config import MB
-from repro.errors import ReceiptHandleInvalid
+from repro.errors import ReceiptHandleInvalid, RegionUnavailable
 from repro.engine.evaluator import (EvalRow, evaluate_pattern,
                                     result_size_bytes)
 from repro.engine.value_join import join_query_rows
@@ -37,6 +37,12 @@ from repro.warehouse.lease import LeaseKeeper
 from repro.warehouse.messages import (QUERY_QUEUE, RESPONSE_QUEUE,
                                       QueryRequest, QueryResponse, StopWorker)
 from repro.xmldb.parser import parse_document
+
+#: Pause between retries of a query whose index region is blacked out
+#: mid-look-up (simulated seconds).  The lease keeper stays on across
+#: retries, so the query is *not* redelivered — the worker waits out
+#: the outage (or the failover flip) instead of dead-lettering it.
+OUTAGE_RETRY_S = 1.0
 
 
 @dataclass
@@ -113,6 +119,26 @@ class QueryWorker:
         #: autoscaler when picking a drain-safe retirement candidate;
         #: False while blocked in ``receive``).
         self.busy = False
+        #: Set by :meth:`request_drain` when the worker's spot instance
+        #: received an interruption notice: finish the query in hand,
+        #: then exit instead of receiving another.
+        self.draining = False
+        #: The :class:`~repro.serving.spot.InterruptionNotice` that
+        #: started the drain (None while healthy).
+        self.notice: Optional[Any] = None
+
+    def request_drain(self, notice: Any = None) -> None:
+        """Ask the worker to stop after the query it currently holds.
+
+        The graceful half of spot reclamation: called at notice time,
+        it never abandons a lease — the in-hand query completes,
+        responds and deletes normally, and the worker then exits before
+        receiving again.  A worker that cannot finish inside the notice
+        window is force-retired by the market instead, and the §3 lease
+        lapse / SQS redelivery contract takes over.
+        """
+        self.draining = True
+        self.notice = notice
 
     # -- main loop -----------------------------------------------------------
 
@@ -124,6 +150,9 @@ class QueryWorker:
         sqs = self._cloud.resilient.sqs
         served = 0
         while True:
+            if self.draining:
+                self.busy = False
+                return served
             self.busy = False
             body, handle = yield from sqs.receive(QUERY_QUEUE)
             self.busy = True
@@ -140,7 +169,23 @@ class QueryWorker:
                 self._cloud.sqs._queue(QUERY_QUEUE).visibility_timeout)
             keeper.start([handle])
             try:
-                stats = yield from self._process(body)
+                while True:
+                    try:
+                        stats = yield from self._process(body)
+                        break
+                    except RegionUnavailable:
+                        # The index store's region went dark mid-query.
+                        # Outages are transient (the chaos plan bounds
+                        # them and the failover controller restores or
+                        # flips regions), so hold the lease and retry
+                        # the whole query once the pause elapses.
+                        hub = getattr(self._cloud.env, "telemetry", None)
+                        if hub is not None:
+                            hub.counter(
+                                "outage_retries_total",
+                                "Queries retried across a region "
+                                "outage.").inc()
+                        yield self._cloud.env.timeout(OUTAGE_RETRY_S)
             finally:
                 keeper.stop()
             yield from sqs.send(RESPONSE_QUEUE, QueryResponse(

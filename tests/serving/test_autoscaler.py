@@ -114,6 +114,22 @@ def test_no_drain_reclaims_a_busy_worker(cloud):
     assert fleet.retired_busy_total == 1
 
 
+def test_no_drain_prefers_an_idle_victim(cloud):
+    # Regression: scale-in with drain disabled must still pick an idle
+    # worker when one exists — a busy worker (whose lease would lapse
+    # into redelivery) is reclaimed only as a last resort.
+    fleet = Fleet(cloud, "xl", lambda instance: DummyWorker(cloud.env))
+    fleet.launch(2)
+    busy_member = fleet.members[0]
+    busy_member.worker.busy = True
+    scaler = _scaler(cloud, fleet, scale_in_idle_ticks=1, drain=False)
+    scaler.evaluate()
+    assert fleet.size == 1
+    assert fleet.members == [busy_member]  # the idle one was retired
+    assert fleet.retired_busy_total == 0
+    assert scaler.scale_ins == 1
+
+
 def test_fleet_timeline_and_uptime(cloud):
     fleet = Fleet(cloud, "xl", lambda instance: DummyWorker(cloud.env))
     fleet.launch(2)

@@ -15,7 +15,8 @@ from repro.bench.experiments import (figure9_response_times,
                                      figure12_cost_details,
                                      figure13_amortization,
                                      figure15_sensitivity,
-                                     live_ingestion, store_amortization,
+                                     live_ingestion, serving_elasticity,
+                                     spot_resilience, store_amortization,
                                      table3_pricing, table4_indexing_times,
                                      table5_query_details,
                                      table6_indexing_costs)
@@ -92,6 +93,25 @@ def test_live_ingestion_runs_and_checks(tiny_ctx):
     result = live_ingestion.run(tiny_ctx)
     live_ingestion.check(result, tiny_ctx)
     assert len(result.rows) == 4
+
+
+def test_serving_elasticity_runs_and_checks(tiny_ctx):
+    # The elasticity claims (exact tie-out on every fleet, the
+    # autoscaler flexing, Pareto vs. every fixed fleet matching its
+    # p95) hold at any scale, so the full check runs here.
+    result = serving_elasticity.run(tiny_ctx)
+    serving_elasticity.check(result, tiny_ctx)
+    assert len(result.rows) == len(serving_elasticity.FIXED_FLEETS) + 1
+
+
+def test_spot_resilience_runs_and_checks(tiny_ctx):
+    # The resilience claims (chaos loses no query and double-bills
+    # none, the spot fleet undercutting comparable fixed fleets, the
+    # storm resolving every interruption, the outage failing over and
+    # back) hold at any scale, so the full check runs here.
+    result = spot_resilience.run(tiny_ctx)
+    spot_resilience.check(result, tiny_ctx)
+    assert len(result.rows) == len(spot_resilience.FIXED_FLEETS) + 3
 
 
 def test_store_amortization_runs_and_checks(tiny_ctx):
