@@ -1,0 +1,47 @@
+"""Regenerates the wall-clock engine bench (row vs. columnar replay).
+
+Benchmark kernel: one lazy ``IDBlock`` decode of an encoded payload.
+Also emits ``BENCH_wallclock.json`` — real ``time.perf_counter``
+seconds per lookup phase, explicitly *not* the simulated cost-model
+scale — next to the repository root.
+"""
+
+import json
+import os
+
+from conftest import report
+
+from repro.bench.experiments import wallclock as experiment
+from repro.xmldb.blocks import IDBlock
+from repro.xmldb.encoding import encode_ids
+from repro.xmldb.ids import NodeID
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_wallclock.json")
+
+
+def test_wallclock(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # The per-payload decode the columnar engine defers (and the row
+    # engine always pays): one small block, lazy wrap plus inflate.
+    blob = encode_ids([NodeID(pre, pre, 3) for pre in range(1, 65)])
+
+    def decode():
+        return IDBlock.from_encoded(blob).pres[0]
+
+    first = benchmark(decode)
+    assert first == 1

@@ -16,24 +16,43 @@ by means of a single-site XML processor, which one can choose freely"
   pattern results (§5.5);
 - :mod:`~repro.engine.operators` — small physical-plan operators with
   row accounting, used by the look-up plans (Figure 5) to charge plan
-  execution CPU.
+  execution CPU;
+- :mod:`~repro.engine.columnar` — array-based kernels over
+  :class:`~repro.xmldb.blocks.IDBlock` columns (the columnar fast
+  path); the row implementations above remain the reference oracles.
 """
 
+from repro.engine.columnar import (BlockTwigJoin, KernelStats,
+                                   block_semi_join_ancestors,
+                                   block_semi_join_descendants,
+                                   block_stack_tree_join, hash_join_indices,
+                                   make_twig_join)
 from repro.engine.evaluator import (EvalRow, evaluate_pattern, evaluate_query,
                                     pattern_matches)
-from repro.engine.structural_join import stack_tree_join
+from repro.engine.structural_join import (semi_join_ancestors,
+                                          semi_join_descendants,
+                                          stack_tree_join)
 from repro.engine.twigstack import HolisticTwigJoin
 from repro.engine.twigstack_full import TwigStack
 from repro.engine.value_join import hash_value_join, join_query_rows
 
 __all__ = [
+    "BlockTwigJoin",
     "EvalRow",
     "HolisticTwigJoin",
+    "KernelStats",
     "TwigStack",
+    "block_semi_join_ancestors",
+    "block_semi_join_descendants",
+    "block_stack_tree_join",
     "evaluate_pattern",
     "evaluate_query",
+    "hash_join_indices",
     "hash_value_join",
     "join_query_rows",
+    "make_twig_join",
     "pattern_matches",
+    "semi_join_ancestors",
+    "semi_join_descendants",
     "stack_tree_join",
 ]

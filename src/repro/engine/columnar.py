@@ -1,0 +1,509 @@
+"""Array-based structural-join kernels over :class:`IDBlock` columns.
+
+The row engine (:mod:`~repro.engine.structural_join`,
+:mod:`~repro.engine.twigstack`) walks ``NodeID`` NamedTuples through
+Python inner loops; these kernels run the same merge algorithms over
+the parallel ``array('q')`` columns of
+:class:`~repro.xmldb.blocks.IDBlock`, avoiding per-node object
+construction and attribute dispatch on the hot path.  Results are
+identical to the row implementations, which stay in place as the
+reference oracles — the property suite in
+``tests/properties/test_property_columnar.py`` holds the two sides
+together.
+
+Validation policy (the hot-path fix): the row entry points keep their
+always-on O(n) sortedness checks for backward compatibility, but every
+kernel here takes ``validate=False`` by default — index-sourced blocks
+are sorted by construction (``encode_ids`` refuses unsorted input and
+the lazy decode enforces strictly-positive pre deltas), so re-checking
+on every call, including the per-node OK-stream rebuilds inside the
+twig join, is pure overhead.  Pass ``validate=True`` to re-enable the
+checks for hand-built inputs.
+
+The semi-join kernels are single-pass merges: unlike the row versions
+(which materialise the full O(output) pair join and dedupe via sets),
+they decide existence per node directly, and report how many
+(ancestor, descendant) pairs they actually examined through
+:class:`KernelStats`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.xmldb.blocks import IDBlock, as_block
+from repro.xmldb.ids import NodeID
+
+__all__ = [
+    "BlockStream",
+    "BlockTwigJoin",
+    "KernelStats",
+    "block_semi_join_ancestors",
+    "block_semi_join_descendants",
+    "block_stack_tree_join",
+    "hash_join_indices",
+    "make_twig_join",
+]
+
+BlockLike = Union[IDBlock, Sequence[NodeID]]
+
+
+@dataclass
+class KernelStats:
+    """Work counters for the semi-join kernels.
+
+    ``pairs_enumerated`` counts (ancestor, descendant) combinations the
+    kernel actually examined — the regression suite asserts it is
+    strictly below the full pair-join output on duplicate-heavy inputs.
+    """
+
+    pairs_enumerated: int = 0
+
+
+class BlockStream:
+    """Columnar counterpart of ``twigstack._Stream``.
+
+    ``has_structural_child`` binary-searches the pre column and scans
+    the contiguous descendant run over flat arrays.
+    """
+
+    __slots__ = ("block", "_pres", "_posts", "_depths", "_size")
+
+    def __init__(self, ids: BlockLike, label: str,
+                 validate: bool = False) -> None:
+        block = as_block(ids)
+        if validate:
+            block.check_sorted("stream for {!r}".format(label))
+        self.block = block
+        self._pres = block.pres
+        self._posts = block.posts
+        self._depths = block.depths
+        self._size = len(block)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def has_structural_child(self, parent: NodeID, axis: Axis) -> bool:
+        """Whether some stream ID is a descendant (or child) of ``parent``."""
+        index = bisect_right(self._pres, parent.pre)
+        posts = self._posts
+        depths = self._depths
+        parent_post = parent.post
+        child_depth = parent.depth + 1
+        descendant = axis is Axis.DESCENDANT
+        while index < self._size:
+            if posts[index] > parent_post:
+                return False  # subtree run ended
+            if descendant or depths[index] == child_depth:
+                return True
+            index += 1
+        return False
+
+
+class BlockTwigJoin:
+    """Existence-checking holistic twig join over columnar streams.
+
+    Drop-in for :class:`~repro.engine.twigstack.HolisticTwigJoin`
+    (same ``matches`` / ``matching_roots`` / ``rows_processed`` API and
+    results) but the bottom-up OK computation runs over IDBlock
+    columns.  ``rows_processed`` only needs stream *lengths*, which are
+    cheap even on lazy blocks, so the plan-CPU accounting is identical
+    whether or not the streams were ever decoded.
+    """
+
+    def __init__(self, pattern: TreePattern,
+                 streams: Mapping[int, Optional[BlockLike]],
+                 validate: bool = False) -> None:
+        self.pattern = pattern
+        self._blocks: dict = {}
+        for node in pattern.iter_nodes():
+            block = as_block(streams.get(id(node)))
+            if validate:
+                block.check_sorted("stream for {!r}".format(node.label))
+            self._blocks[id(node)] = block
+        self._ok: Optional[dict] = None
+        self._exists: Optional[bool] = None
+
+    # -- core ---------------------------------------------------------------
+
+    def _compute(self) -> dict:
+        """Bottom-up OK sets, as IDBlocks of surviving stream entries."""
+        if self._ok is not None:
+            return self._ok
+        ok: dict = {}
+        for node in self._postorder(self.pattern.root):
+            block = self._blocks[id(node)]
+            if node.is_leaf:
+                ok[id(node)] = block
+                continue
+            children = []
+            dead = False
+            for child in node.children:
+                child_ok = ok[id(child)]
+                if not child_ok:
+                    dead = True
+                    break
+                children.append((child_ok.pres, child_ok.posts,
+                                 child_ok.depths, len(child_ok),
+                                 child.axis is Axis.DESCENDANT))
+            if dead or not block:
+                ok[id(node)] = as_block(None)
+                continue
+            pres = block.pres
+            posts = block.posts
+            depths = block.depths
+            out_pre = array("q")
+            out_post = array("q")
+            out_depth = array("q")
+            append_pre = out_pre.append
+            append_post = out_post.append
+            append_depth = out_depth.append
+            if len(children) == 1:
+                # Single-child nodes dominate generated patterns;
+                # unrolling the child loop keeps the per-entry cost to
+                # one bisect plus the subtree-run scan, and zip walks
+                # the parent columns at C speed.
+                c_pres, c_posts, c_depths, c_size, descendant = children[0]
+                if descendant:
+                    for pre, post, depth in zip(pres, posts, depths):
+                        index = bisect_right(c_pres, pre)
+                        if index < c_size and c_posts[index] <= post:
+                            append_pre(pre)
+                            append_post(post)
+                            append_depth(depth)
+                else:
+                    for pre, post, depth in zip(pres, posts, depths):
+                        index = bisect_right(c_pres, pre)
+                        child_depth = depth + 1
+                        while index < c_size and c_posts[index] <= post:
+                            if c_depths[index] == child_depth:
+                                append_pre(pre)
+                                append_post(post)
+                                append_depth(depth)
+                                break
+                            index += 1
+                ok[id(node)] = IDBlock(out_pre, out_post, out_depth)
+                continue
+            for pre, post, depth in zip(pres, posts, depths):
+                child_depth = depth + 1
+                for c_pres, c_posts, c_depths, c_size, descendant in children:
+                    index = bisect_right(c_pres, pre)
+                    found = False
+                    while index < c_size:
+                        if c_posts[index] > post:
+                            break  # subtree run ended
+                        if descendant or c_depths[index] == child_depth:
+                            found = True
+                            break
+                        index += 1
+                    if not found:
+                        break
+                else:
+                    append_pre(pre)
+                    append_post(post)
+                    append_depth(depth)
+            ok[id(node)] = IDBlock(out_pre, out_post, out_depth)
+        self._ok = ok
+        return ok
+
+    def _postorder(self, node: PatternNode):
+        for child in node.children:
+            yield from self._postorder(child)
+        yield node
+
+    # -- results -------------------------------------------------------------
+
+    def _check_exists(self) -> bool:
+        """Memoised top-down existence check with early exit.
+
+        ``matches()`` only needs *one* witness, so instead of the full
+        bottom-up OK computation it verifies root entries in document
+        order and stops at the first complete match.  Laziness
+        compounds: streams on pattern branches that are never reached
+        (an empty stream, or an edge that fails high up) are never
+        decoded at all.  Per-(node, entry) memoisation bounds the total
+        work by the bottom-up computation's, so the worst case is the
+        same and the common case is a handful of probes.
+        """
+        blocks = self._blocks
+        for node in self.pattern.iter_nodes():
+            if not blocks[id(node)]:
+                return False  # an empty stream kills every embedding
+        info: dict = {}
+
+        def node_info(node: PatternNode):
+            entry = info.get(id(node))
+            if entry is None:
+                block = blocks[id(node)]
+                entry = (block.pres, block.posts, block.depths,
+                         len(block), node.children,
+                         node.axis is Axis.DESCENDANT, {})
+                info[id(node)] = entry
+            return entry
+
+        def entry_ok(node: PatternNode, index: int) -> bool:
+            pres, posts, depths, _, children, _, memo = node_info(node)
+            cached = memo.get(index)
+            if cached is not None:
+                return cached
+            pre = pres[index]
+            post = posts[index]
+            child_depth = depths[index] + 1
+            result = True
+            for child in children:
+                c_info = node_info(child)
+                c_pres, c_posts, c_depths, c_size = c_info[:4]
+                grandchildren = c_info[4]
+                descendant = c_info[5]
+                j = bisect_right(c_pres, pre)
+                found = False
+                while j < c_size and c_posts[j] <= post:
+                    if ((descendant or c_depths[j] == child_depth)
+                            and (not grandchildren or entry_ok(child, j))):
+                        found = True
+                        break
+                    j += 1
+                if not found:
+                    result = False
+                    break
+            memo[index] = result
+            return result
+
+        root = self.pattern.root
+        size = node_info(root)[3]
+        if not root.children:
+            return size > 0
+        return any(entry_ok(root, i) for i in range(size))
+
+    def matches(self) -> bool:
+        """Whether the document contains at least one full twig match."""
+        if self._ok is not None:
+            return bool(self._ok[id(self.pattern.root)])
+        if self._exists is None:
+            self._exists = self._check_exists()
+        return self._exists
+
+    def matching_roots(self) -> List[NodeID]:
+        """IDs of pattern-root occurrences with a full match, in
+        document order."""
+        return self._compute()[id(self.pattern.root)].to_ids()
+
+    def rows_processed(self) -> int:
+        """Total stream entries consumed — drives the plan-CPU charge."""
+        return sum(len(block) for block in self._blocks.values())
+
+
+def make_twig_join(pattern: TreePattern,
+                   streams: Mapping[int, Optional[BlockLike]],
+                   validate: Optional[bool] = None):
+    """Type-driven twig-join dispatch.
+
+    Any :class:`IDBlock` stream selects :class:`BlockTwigJoin`
+    (validation off by default — blocks are sorted by construction);
+    all-row streams keep the row
+    :class:`~repro.engine.twigstack.HolisticTwigJoin` oracle with its
+    historical always-on validation.
+    """
+    from repro.engine.twigstack import HolisticTwigJoin
+
+    if any(isinstance(ids, IDBlock) for ids in streams.values()):
+        return BlockTwigJoin(pattern, streams, validate=bool(validate))
+    return HolisticTwigJoin(pattern, streams,
+                            validate=True if validate is None else validate)
+
+
+# -- binary structural joins ------------------------------------------------
+
+
+def block_stack_tree_join(ancestors: BlockLike, descendants: BlockLike,
+                          parent_child: bool = False,
+                          validate: bool = False,
+                          ) -> List[Tuple[NodeID, NodeID]]:
+    """Columnar stack-tree join; same output contract as
+    :func:`~repro.engine.structural_join.stack_tree_join` (pairs sorted
+    by (descendant.pre, ancestor.pre))."""
+    anc = as_block(ancestors)
+    desc = as_block(descendants)
+    if validate:
+        anc.check_sorted("ancestor")
+        desc.check_sorted("descendant")
+    a_pres = anc.pres
+    a_posts = anc.posts
+    a_depths = anc.depths
+    a_size = len(anc)
+    d_pres = desc.pres
+    d_posts = desc.posts
+    d_depths = desc.depths
+    result: List[Tuple[NodeID, NodeID]] = []
+    stack: List[int] = []  # indices into the ancestor columns
+    a_index = 0
+    for i in range(len(desc)):
+        d_pre = d_pres[i]
+        d_post = d_posts[i]
+        d_depth = d_depths[i]
+        # Open every ancestor candidate that starts before this node.
+        while a_index < a_size and a_pres[a_index] < d_pre:
+            c_post = a_posts[a_index]
+            # Close candidates whose subtree ended before this one starts.
+            while stack and a_posts[stack[-1]] <= c_post:
+                stack.pop()
+            stack.append(a_index)
+            a_index += 1
+        # Close candidates that do not contain the current descendant.
+        while stack and a_posts[stack[-1]] <= d_post:
+            stack.pop()
+        if not stack:
+            continue
+        descendant = NodeID(d_pre, d_post, d_depth)
+        for s in stack:
+            if not parent_child or a_depths[s] + 1 == d_depth:
+                result.append((NodeID(a_pres[s], a_posts[s], a_depths[s]),
+                               descendant))
+    return result
+
+
+def _semi_join_merge(anc: IDBlock, desc: IDBlock):
+    """Shared merge for the semi-join kernels.
+
+    Yields, per descendant, the cleaned stack of containing-ancestor
+    indices (the stack lists *all* ancestors of the current descendant
+    among the ancestor input, deepest last).
+    """
+    a_pres = anc.pres
+    a_posts = anc.posts
+    a_size = len(anc)
+    d_pres = desc.pres
+    d_posts = desc.posts
+    stack: List[int] = []
+    a_index = 0
+    for i in range(len(desc)):
+        d_pre = d_pres[i]
+        d_post = d_posts[i]
+        while a_index < a_size and a_pres[a_index] < d_pre:
+            c_post = a_posts[a_index]
+            while stack and a_posts[stack[-1]] <= c_post:
+                stack.pop()
+            stack.append(a_index)
+            a_index += 1
+        while stack and a_posts[stack[-1]] <= d_post:
+            stack.pop()
+        yield i, stack
+
+
+def block_semi_join_descendants(ancestors: BlockLike,
+                                descendants: BlockLike,
+                                parent_child: bool = False,
+                                validate: bool = False,
+                                stats: Optional[KernelStats] = None,
+                                ) -> IDBlock:
+    """Descendants having at least one ancestor in ``ancestors``
+    (duplicate-free, document order) — a direct single-pass semi-join.
+
+    A descendant qualifies iff its ancestor stack is non-empty; for the
+    parent/child axis, iff the *deepest* stack entry is exactly one
+    level up (stack depths strictly increase upward, so any parent
+    present is at the top).  No pair set is ever materialised.
+    """
+    anc = as_block(ancestors)
+    desc = as_block(descendants)
+    if validate:
+        anc.check_sorted("ancestor")
+        desc.check_sorted("descendant")
+    a_depths = anc.depths
+    d_pres = desc.pres
+    d_posts = desc.posts
+    d_depths = desc.depths
+    out_pre = array("q")
+    out_post = array("q")
+    out_depth = array("q")
+    for i, stack in _semi_join_merge(anc, desc):
+        if not stack:
+            continue
+        if stats is not None:
+            stats.pairs_enumerated += 1
+        if parent_child and a_depths[stack[-1]] + 1 != d_depths[i]:
+            continue
+        out_pre.append(d_pres[i])
+        out_post.append(d_posts[i])
+        out_depth.append(d_depths[i])
+    return IDBlock(out_pre, out_post, out_depth)
+
+
+def block_semi_join_ancestors(ancestors: BlockLike,
+                              descendants: BlockLike,
+                              parent_child: bool = False,
+                              validate: bool = False,
+                              stats: Optional[KernelStats] = None,
+                              ) -> IDBlock:
+    """Ancestors having at least one descendant in ``descendants``
+    (duplicate-free, document order) — single pass, amortised
+    O(inputs + matches).
+
+    For the descendant axis, each match walks the stack top-down
+    marking entries and stops at the first already-marked one: marked
+    entries always form a bottom prefix of the stack (pushes add
+    unmarked entries on top, a marking walk leaves the whole stack
+    marked), so everything below the stopping point is already marked.
+    Each ancestor is thus marked at most once over the whole join.
+    """
+    anc = as_block(ancestors)
+    desc = as_block(descendants)
+    if validate:
+        anc.check_sorted("ancestor")
+        desc.check_sorted("descendant")
+    a_pres = anc.pres
+    a_posts = anc.posts
+    a_depths = anc.depths
+    d_depths = desc.depths
+    marked = bytearray(len(anc))
+    for i, stack in _semi_join_merge(anc, desc):
+        if not stack:
+            continue
+        if parent_child:
+            if stats is not None:
+                stats.pairs_enumerated += 1
+            top = stack[-1]
+            if a_depths[top] + 1 == d_depths[i]:
+                marked[top] = 1
+            continue
+        for s in reversed(stack):
+            if marked[s]:
+                break
+            if stats is not None:
+                stats.pairs_enumerated += 1
+            marked[s] = 1
+    out_pre = array("q")
+    out_post = array("q")
+    out_depth = array("q")
+    for s in range(len(anc)):
+        if marked[s]:
+            out_pre.append(a_pres[s])
+            out_post.append(a_posts[s])
+            out_depth.append(a_depths[s])
+    return IDBlock(out_pre, out_post, out_depth)
+
+
+# -- value join -------------------------------------------------------------
+
+
+def hash_join_indices(build_keys: Sequence, probe_keys: Sequence,
+                      ) -> List[Tuple[int, int]]:
+    """Hash-join kernel on join-key columns.
+
+    Returns (probe_index, build_index) pairs in probe order — the
+    row-pairing logic of
+    :func:`~repro.engine.value_join.hash_value_join` with the hash
+    table built over a key column instead of row dicts.
+    """
+    table: dict = {}
+    for index, key in enumerate(build_keys):
+        table.setdefault(key, []).append(index)
+    out: List[Tuple[int, int]] = []
+    for probe_index, key in enumerate(probe_keys):
+        for build_index in table.get(key, ()):
+            out.append((probe_index, build_index))
+    return out

@@ -7,14 +7,31 @@ single merge pass using a stack of open ancestors.  The paper's
 identifiers were chosen precisely to enable this family of joins, and
 the LUI strategy stores ID lists pre-sorted so the join can run
 "without expensive sort operators after the look-up" (§5.3).
+
+These entry points are thin adapters over two implementations:
+
+- lists of :class:`~repro.xmldb.ids.NodeID` run the original
+  row-at-a-time loops below, which double as the reference oracles for
+  the columnar kernels;
+- :class:`~repro.xmldb.blocks.IDBlock` inputs route to the array-based
+  kernels in :mod:`repro.engine.columnar`.
+
+``validate=None`` keeps the historical behaviour per representation:
+always-on O(n) sortedness checks for row inputs, checks off for blocks
+(sorted by construction — the hot-path fix).  The semi-joins always
+run the single-pass columnar merges; their former
+materialise-all-pairs-then-dedupe implementation is gone.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import EvaluationError
+from repro.xmldb.blocks import IDBlock
 from repro.xmldb.ids import NodeID
+
+_JoinInput = Union[IDBlock, Sequence[NodeID]]
 
 
 def _check_sorted(ids: Sequence[NodeID], side: str) -> None:
@@ -25,9 +42,19 @@ def _check_sorted(ids: Sequence[NodeID], side: str) -> None:
                     side, current, previous))
 
 
-def stack_tree_join(ancestors: Sequence[NodeID],
-                    descendants: Sequence[NodeID],
+def _resolve_validate(validate: Optional[bool],
+                      ancestors: _JoinInput,
+                      descendants: _JoinInput) -> bool:
+    if validate is not None:
+        return validate
+    return not (isinstance(ancestors, IDBlock)
+                or isinstance(descendants, IDBlock))
+
+
+def stack_tree_join(ancestors: _JoinInput,
+                    descendants: _JoinInput,
                     parent_child: bool = False,
+                    validate: Optional[bool] = None,
                     ) -> List[Tuple[NodeID, NodeID]]:
     """All (ancestor, descendant) pairs between two sorted ID lists.
 
@@ -35,9 +62,17 @@ def stack_tree_join(ancestors: Sequence[NodeID],
     returned.  Output is sorted by (descendant.pre, ancestor.pre).
     Both inputs must be sorted by ``pre``; a single pass with a stack of
     currently-open ancestor candidates yields O(input + output) time.
+    IDBlock inputs dispatch to the columnar kernel.
     """
-    _check_sorted(ancestors, "ancestor")
-    _check_sorted(descendants, "descendant")
+    resolved = _resolve_validate(validate, ancestors, descendants)
+    if isinstance(ancestors, IDBlock) or isinstance(descendants, IDBlock):
+        from repro.engine.columnar import block_stack_tree_join
+
+        return block_stack_tree_join(ancestors, descendants, parent_child,
+                                     validate=resolved)
+    if resolved:
+        _check_sorted(ancestors, "ancestor")
+        _check_sorted(descendants, "descendant")
     result: List[Tuple[NodeID, NodeID]] = []
     stack: List[NodeID] = []
     a_index = 0
@@ -59,27 +94,34 @@ def stack_tree_join(ancestors: Sequence[NodeID],
     return result
 
 
-def semi_join_descendants(ancestors: Sequence[NodeID],
-                          descendants: Sequence[NodeID],
-                          parent_child: bool = False) -> List[NodeID]:
+def semi_join_descendants(ancestors: _JoinInput,
+                          descendants: _JoinInput,
+                          parent_child: bool = False,
+                          validate: Optional[bool] = None) -> List[NodeID]:
     """Descendants having at least one ancestor in ``ancestors``
-    (duplicate-free, document order) — the existence-projected join."""
-    seen = set()
-    out: List[NodeID] = []
-    for _, descendant in stack_tree_join(ancestors, descendants, parent_child):
-        if descendant not in seen:
-            seen.add(descendant)
-            out.append(descendant)
-    out.sort(key=lambda node_id: node_id.pre)
-    return out
+    (duplicate-free, document order) — the existence-projected join.
+
+    A direct single-pass semi-join merge: no (ancestor, descendant)
+    pair set is materialised.
+    """
+    from repro.engine.columnar import block_semi_join_descendants
+
+    return block_semi_join_descendants(
+        ancestors, descendants, parent_child,
+        validate=_resolve_validate(validate, ancestors, descendants),
+    ).to_ids()
 
 
-def semi_join_ancestors(ancestors: Sequence[NodeID],
-                        descendants: Sequence[NodeID],
-                        parent_child: bool = False) -> List[NodeID]:
+def semi_join_ancestors(ancestors: _JoinInput,
+                        descendants: _JoinInput,
+                        parent_child: bool = False,
+                        validate: Optional[bool] = None) -> List[NodeID]:
     """Ancestors having at least one descendant in ``descendants``
-    (duplicate-free, document order)."""
-    seen = set()
-    for ancestor, _ in stack_tree_join(ancestors, descendants, parent_child):
-        seen.add(ancestor)
-    return sorted(seen, key=lambda node_id: node_id.pre)
+    (duplicate-free, document order) — single pass, each ancestor
+    marked at most once."""
+    from repro.engine.columnar import block_semi_join_ancestors
+
+    return block_semi_join_ancestors(
+        ancestors, descendants, parent_child,
+        validate=_resolve_validate(validate, ancestors, descendants),
+    ).to_ids()

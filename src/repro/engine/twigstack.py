@@ -31,15 +31,22 @@ from repro.xmldb.ids import NodeID
 
 
 class _Stream:
-    """A sorted ID stream with contiguous-run descendant search."""
+    """A sorted ID stream with contiguous-run descendant search.
 
-    def __init__(self, ids: Sequence[NodeID], label: str) -> None:
+    ``validate`` re-verifies sortedness in O(n); it defaults on for
+    caller-supplied streams but is skipped for streams the join builds
+    itself (OK sets are sorted by construction).
+    """
+
+    def __init__(self, ids: Sequence[NodeID], label: str,
+                 validate: bool = True) -> None:
         self.ids = list(ids)
         self._pres = [node_id.pre for node_id in self.ids]
-        for previous, current in zip(self.ids, self.ids[1:]):
-            if current.pre <= previous.pre:
-                raise EvaluationError(
-                    "stream for {!r} is not sorted by pre".format(label))
+        if validate:
+            for previous, current in zip(self.ids, self.ids[1:]):
+                if current.pre <= previous.pre:
+                    raise EvaluationError(
+                        "stream for {!r} is not sorted by pre".format(label))
 
     def has_structural_child(self, parent: NodeID, axis: Axis) -> bool:
         """Whether some stream ID is a descendant (or child) of ``parent``.
@@ -72,12 +79,14 @@ class HolisticTwigJoin:
     """
 
     def __init__(self, pattern: TreePattern,
-                 streams: Mapping[int, Sequence[NodeID]]) -> None:
+                 streams: Mapping[int, Sequence[NodeID]],
+                 validate: bool = True) -> None:
         self.pattern = pattern
         self._streams: Dict[int, _Stream] = {}
         for node in pattern.iter_nodes():
             ids = streams.get(id(node))
-            self._streams[id(node)] = _Stream(ids or [], node.label)
+            self._streams[id(node)] = _Stream(ids or [], node.label,
+                                              validate=validate)
         self._ok: Optional[Dict[int, List[NodeID]]] = None
 
     # -- core ---------------------------------------------------------------
@@ -92,7 +101,9 @@ class HolisticTwigJoin:
             if node.is_leaf:
                 ok[id(node)] = list(stream.ids)
                 continue
-            child_streams = [(_Stream(ok[id(child)], child.label), child.axis)
+            # OK sets are sorted by construction — skip re-validation.
+            child_streams = [(_Stream(ok[id(child)], child.label,
+                                      validate=False), child.axis)
                              for child in node.children]
             survivors: List[NodeID] = []
             for candidate in stream.ids:

@@ -38,14 +38,20 @@ _INFINITY = float("inf")
 
 
 class _Stream:
-    """A cursor over a pre-sorted ID list."""
+    """A cursor over a pre-sorted ID list.
 
-    def __init__(self, ids: Sequence[NodeID], label: str) -> None:
+    ``validate`` gates the O(n) sortedness re-check (on by default for
+    caller-supplied streams).
+    """
+
+    def __init__(self, ids: Sequence[NodeID], label: str,
+                 validate: bool = True) -> None:
         self.ids = list(ids)
-        for previous, current in zip(self.ids, self.ids[1:]):
-            if current.pre <= previous.pre:
-                raise EvaluationError(
-                    "stream for {!r} is not sorted by pre".format(label))
+        if validate:
+            for previous, current in zip(self.ids, self.ids[1:]):
+                if current.pre <= previous.pre:
+                    raise EvaluationError(
+                        "stream for {!r} is not sorted by pre".format(label))
         self.position = 0
 
     @property
@@ -96,7 +102,8 @@ class TwigStack:
     """
 
     def __init__(self, pattern: TreePattern,
-                 streams: Mapping[int, Sequence[NodeID]]) -> None:
+                 streams: Mapping[int, Sequence[NodeID]],
+                 validate: bool = True) -> None:
         self.pattern = pattern
         self._nodes: List[PatternNode] = list(pattern.iter_nodes())
         self._parent: Dict[int, Optional[PatternNode]] = {
@@ -105,7 +112,8 @@ class TwigStack:
             for child in node.children:
                 self._parent[id(child)] = node
         self._streams: Dict[int, _Stream] = {
-            id(node): _Stream(streams.get(id(node)) or [], node.label)
+            id(node): _Stream(streams.get(id(node)) or [], node.label,
+                              validate=validate)
             for node in self._nodes}
         self._stacks: Dict[int, List[_StackEntry]] = {
             id(node): [] for node in self._nodes}

@@ -16,10 +16,10 @@ we treat it as an error to surface mistakes early).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Sequence
 
 from repro.errors import EvaluationError
+from repro.engine.columnar import hash_join_indices
 from repro.engine.evaluator import EvalRow
 from repro.query.pattern import Query, ValueJoin
 
@@ -32,7 +32,10 @@ def hash_value_join(left_rows: Sequence[EvalRow],
 
     The smaller side is hashed; output rows concatenate projections and
     merge variable bindings (provenance keeps the left row's URI when
-    the two differ — joined rows span documents).
+    the two differ — joined rows span documents).  The pairing itself
+    runs on extracted join-key columns through
+    :func:`~repro.engine.columnar.hash_join_indices`; rows are only
+    touched to materialise actual join output.
     """
     build, probe = left_rows, right_rows
     build_var, probe_var = left_variable, right_variable
@@ -42,25 +45,26 @@ def hash_value_join(left_rows: Sequence[EvalRow],
         build_var, probe_var = probe_var, build_var
         swapped = True
 
-    table: Dict[str, List[EvalRow]] = defaultdict(list)
-    for row in build:
-        table[row.variable(build_var)].append(row)
+    pairs = hash_join_indices(
+        [row.variable(build_var) for row in build],
+        [row.variable(probe_var) for row in probe])
 
     joined: List[EvalRow] = []
-    for probe_row in probe:
-        for build_row in table.get(probe_row.variable(probe_var), ()):
-            # Restore original left/right order for stable projections.
-            if swapped:
-                left, right = probe_row, build_row
-            else:
-                left, right = build_row, probe_row
-            merged_vars = dict(left.variables)
-            merged_vars.update(dict(right.variables))
-            joined.append(EvalRow(
-                projections=left.projections + right.projections,
-                variables=tuple(sorted(merged_vars.items())),
-                uri=left.uri if left.uri == right.uri
-                else "{}+{}".format(left.uri, right.uri)))
+    for probe_index, build_index in pairs:
+        probe_row = probe[probe_index]
+        build_row = build[build_index]
+        # Restore original left/right order for stable projections.
+        if swapped:
+            left, right = probe_row, build_row
+        else:
+            left, right = build_row, probe_row
+        merged_vars = dict(left.variables)
+        merged_vars.update(dict(right.variables))
+        joined.append(EvalRow(
+            projections=left.projections + right.projections,
+            variables=tuple(sorted(merged_vars.items())),
+            uri=left.uri if left.uri == right.uri
+            else "{}+{}".format(left.uri, right.uri)))
     return joined
 
 

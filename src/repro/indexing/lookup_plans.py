@@ -30,8 +30,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.engine.columnar import make_twig_join
 from repro.engine.operators import HashIntersect, PlanStats, SemiJoin
-from repro.engine.twigstack import HolisticTwigJoin
 from repro.indexing.keys import (attribute_key, attribute_value_key,
                                  element_key)
 from repro.indexing.mapper import IndexStore
@@ -393,7 +393,7 @@ class LUILookup(BaseLookup):
 
             matched: List[str] = []
             for uri in sorted(candidates):
-                streams: Dict[int, List] = {}
+                streams: Dict[int, Any] = {}
                 for node in twig.pattern.iter_nodes():
                     ids = data[twig.keys[id(node)]].get(uri, [])
                     if not self.assume_sorted:
@@ -403,9 +403,16 @@ class LUILookup(BaseLookup):
                         if length > 1:
                             stats.charge("sort", length * max(
                                 1, math.ceil(math.log2(length))))
-                        ids = sorted(ids, key=lambda nid: nid.pre)
+                        ids = (ids.sorted_by_pre() if hasattr(
+                                   ids, "sorted_by_pre")
+                               else sorted(ids, key=lambda nid: nid.pre))
                     streams[id(node)] = ids
-                join = HolisticTwigJoin(twig.pattern, streams)
+                # Columnar payloads (IDBlocks) dispatch to the
+                # array-kernel twig join; row payloads keep the
+                # validating row join.  ``rows_processed`` only needs
+                # stream lengths, so the plan-CPU charge is identical
+                # on both engines even for never-decoded lazy blocks.
+                join = make_twig_join(twig.pattern, streams)
                 if join.matches():
                     matched.append(uri)
                 stats.charge("twig-join", join.rows_processed())

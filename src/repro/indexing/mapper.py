@@ -42,11 +42,13 @@ from repro.indexing.checksums import (CHECKSUM_ATTR, META_ATTR_PREFIX,
                                       canonical_item_bytes,
                                       content_range_key, item_checksum)
 from repro.indexing.entries import IndexEntry
+from repro.xmldb.blocks import IDBlock
 from repro.xmldb.encoding import decode_ids, decode_ids_text, encode_ids
 from repro.xmldb.ids import NodeID
 
 #: Payload returned per URI by reads: None (presence), tuple of paths,
-#: or list of NodeIDs.
+#: or a sorted ID list — a columnar :class:`~repro.xmldb.blocks.IDBlock`
+#: on the default engine, a ``List[NodeID]`` on the row engine.
 Payload = Any
 
 #: Safety margin under the DynamoDB item limit for key bytes.
@@ -156,7 +158,8 @@ class DynamoIndexStore(IndexStore):
 
     def __init__(self, dynamodb: DynamoDB, seed: int = 0,
                  range_key_mode: str = "uuid",
-                 verify_reads: bool = False) -> None:
+                 verify_reads: bool = False,
+                 columnar: bool = True) -> None:
         if range_key_mode not in ("uuid", "attribute", "content"):
             raise IndexingError(
                 "range_key_mode must be 'uuid', 'attribute' or 'content', "
@@ -165,6 +168,10 @@ class DynamoIndexStore(IndexStore):
         self._rng = random.Random(seed)
         self.range_key_mode = range_key_mode
         self.verify_reads = verify_reads
+        #: Columnar reads hand ID payloads to the engine as lazy
+        #: :class:`~repro.xmldb.blocks.IDBlock`\ s (decode deferred to
+        #: first column access); ``False`` keeps the row-oracle decode.
+        self.columnar = columnar
 
     def _uuid(self) -> str:
         """A UUID range key ([20]); seeded for reproducible runs."""
@@ -295,8 +302,9 @@ class DynamoIndexStore(IndexStore):
 
     @staticmethod
     def _merge_items(items: Sequence[DynamoItem], kind: str,
-                     ) -> Dict[str, Payload]:
+                     columnar: bool = False) -> Dict[str, Payload]:
         merged: Dict[str, Payload] = {}
+        blobs: Dict[str, List[bytes]] = {}
         for item in items:
             for raw_uri, values in item.attributes.items():
                 if raw_uri.startswith(META_ATTR_PREFIX):
@@ -311,17 +319,25 @@ class DynamoIndexStore(IndexStore):
                             existing.append(value)
                     merged[base_uri] = tuple(existing)
                 else:  # ids
-                    decoded = merged.get(base_uri, [])
-                    for blob in values:
-                        decoded = decoded + decode_ids(blob)
-                    merged[base_uri] = decoded
+                    blobs.setdefault(base_uri, []).extend(values)
         if kind == "ids":
-            for base_uri, ids in merged.items():
-                # Chunks from split items may arrive out of order, and a
-                # redelivered loader batch (chaos recovery) may have
-                # written the same IDs twice; dedup + sort restores the
-                # LUI invariant either way.
-                merged[base_uri] = sorted(set(ids), key=lambda nid: nid.pre)
+            if columnar:
+                # The single-blob common case stays *encoded*: the block
+                # reads only the count varint here and decodes straight
+                # to columns if the engine ever joins this URI.
+                for base_uri, uri_blobs in blobs.items():
+                    merged[base_uri] = IDBlock.from_encoded_chunks(uri_blobs)
+            else:
+                for base_uri, uri_blobs in blobs.items():
+                    decoded: List[NodeID] = []
+                    for blob in uri_blobs:
+                        decoded = decoded + decode_ids(blob)
+                    # Chunks from split items may arrive out of order,
+                    # and a redelivered loader batch (chaos recovery)
+                    # may have written the same IDs twice; dedup + sort
+                    # restores the LUI invariant either way.
+                    merged[base_uri] = sorted(set(decoded),
+                                              key=lambda nid: nid.pre)
         return merged
 
     def _verify_items(self, physical_name: str,
@@ -345,7 +361,7 @@ class DynamoIndexStore(IndexStore):
         items = yield from self._db.get(physical_name, key)
         if self.verify_reads:
             self._verify_items(physical_name, items)
-        return self._merge_items(items, kind), 1
+        return self._merge_items(items, kind, columnar=self.columnar), 1
 
     def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
                   ) -> Generator[Any, Any,
@@ -361,7 +377,8 @@ class DynamoIndexStore(IndexStore):
             for chunk_key, items in grouped.items():
                 if self.verify_reads:
                     self._verify_items(physical_name, items)
-                result[chunk_key] = self._merge_items(items, kind)
+                result[chunk_key] = self._merge_items(
+                    items, kind, columnar=self.columnar)
         return result, gets
 
     # -- storage accounting -----------------------------------------------------
@@ -403,9 +420,14 @@ class SimpleDBIndexStore(IndexStore):
 
     backend_name = "simpledb"
 
-    def __init__(self, simpledb: SimpleDB, seed: int = 0) -> None:
+    def __init__(self, simpledb: SimpleDB, seed: int = 0,
+                 columnar: bool = True) -> None:
         self._db = simpledb
         self._rng = random.Random(seed)
+        #: SimpleDB stores IDs as text, so decode cost is paid either
+        #: way; columnar reads still hand the engine IDBlocks so the
+        #: join kernels run on columns.
+        self.columnar = columnar
 
     def _shard_name(self, key: str) -> str:
         return "{}#{}".format(
@@ -460,7 +482,7 @@ class SimpleDBIndexStore(IndexStore):
 
     @staticmethod
     def _merge_items(items: Sequence[SimpleDBItem], kind: str,
-                     ) -> Dict[str, Payload]:
+                     columnar: bool = False) -> Dict[str, Payload]:
         merged: Dict[str, Payload] = {}
         chunks: Dict[str, List[str]] = {}
         for item in items:
@@ -481,14 +503,16 @@ class SimpleDBIndexStore(IndexStore):
                 unique = list(dict.fromkeys(parts))
                 unique.sort(key=lambda chunk: int(chunk.split("|", 1)[0]))
                 text = "".join(part.split("|", 1)[1] for part in unique)
-                merged[attr_uri] = decode_ids_text(text)
+                ids = decode_ids_text(text)
+                merged[attr_uri] = (IDBlock.from_ids(ids) if columnar
+                                    else ids)
         return merged
 
     def read_key(self, physical_name: str, key: str, kind: str,
                  ) -> Generator[Any, Any, Tuple[Dict[str, Payload], int]]:
         """(URI -> payload) map for one key, plus billable gets."""
         items = yield from self._db.select_prefix(physical_name, key + "#")
-        return self._merge_items(items, kind), 1
+        return self._merge_items(items, kind, columnar=self.columnar), 1
 
     def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
                   ) -> Generator[Any, Any,

@@ -32,6 +32,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.xmldb.blocks import IDBlock
 
 #: Fixed per-entry bookkeeping charge against the byte budget (key
 #: strings, dict overhead) so even empty payload maps have a weight.
@@ -48,6 +49,10 @@ def _value_bytes(value: Any) -> int:
         return len(value.encode("utf-8"))
     if isinstance(value, (tuple, list)):
         return sum(_value_bytes(part) for part in value)
+    if isinstance(value, IDBlock):
+        # Columnar payloads: encoded bytes while lazy, column bytes
+        # once decoded.
+        return value.nbytes
     # Structural IDs (NodeID) and anything else fixed-size.
     return 16
 

@@ -20,6 +20,7 @@ provides:
   advisor.
 """
 
+from repro.xmldb.blocks import IDBlock, as_block
 from repro.xmldb.ids import NodeID
 from repro.xmldb.model import Attribute, Document, Element, Text
 from repro.xmldb.parser import parse_document
@@ -29,8 +30,10 @@ __all__ = [
     "Attribute",
     "Document",
     "Element",
+    "IDBlock",
     "NodeID",
     "Text",
+    "as_block",
     "parse_document",
     "serialize",
 ]

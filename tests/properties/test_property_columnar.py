@@ -1,0 +1,146 @@
+"""Property-based tests: columnar kernels agree with the row oracles.
+
+The row engine is the reference; every kernel in
+:mod:`repro.engine.columnar` must return exactly what its row
+counterpart returns on random trees and twig patterns — including
+empty streams, both structural axes, and the degraded-ladder repair
+(stable re-sort by pre) path.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.properties.strategies import documents
+
+from repro.engine.columnar import (BlockTwigJoin, block_semi_join_ancestors,
+                                   block_semi_join_descendants,
+                                   block_stack_tree_join, make_twig_join)
+from repro.engine.structural_join import (semi_join_ancestors,
+                                          semi_join_descendants,
+                                          stack_tree_join)
+from repro.engine.twigstack import HolisticTwigJoin
+from repro.indexing.entries import collect_occurrences
+from repro.indexing.keys import element_key
+from repro.query.parser import parse_pattern
+from repro.xmldb.blocks import IDBlock
+from repro.xmldb.encoding import encode_ids
+
+pytestmark = pytest.mark.engine
+
+#: Structural-only patterns over the property alphabet (mirrors
+#: test_property_engine.PATTERN_TEXTS, plus deeper child chains).
+PATTERN_TEXTS = (
+    "//a", "//a/b", "//a//b", "//a[/b][/c]", "//a[/b][//c/d]",
+    "//item//name", "//a/b/c", "//a[//b][//c][//d]",
+)
+
+
+def _streams(document, pattern):
+    streams = {}
+    for node in pattern.iter_nodes():
+        group = collect_occurrences(document, include_words=False).get(
+            element_key(node.label))
+        streams[id(node)] = list(group.ids) if group else []
+    return streams
+
+
+def _halves(document):
+    ids = sorted((e.node_id for e in document.iter_elements()),
+                 key=lambda n: n.pre)
+    return ids[::2], ids[1::2]
+
+
+@given(documents(), st.sampled_from(PATTERN_TEXTS))
+@settings(max_examples=120)
+def test_block_twig_join_agrees_with_row_oracle(document, pattern_text):
+    """BlockTwigJoin ≡ HolisticTwigJoin on matches, matching roots and
+    rows_processed — for eager and for lazily decoded blocks."""
+    pattern = parse_pattern(pattern_text)
+    row_streams = _streams(document, pattern)
+    oracle = HolisticTwigJoin(pattern, row_streams)
+    eager = {key: IDBlock.from_ids(ids)
+             for key, ids in row_streams.items()}
+    lazy = {key: (IDBlock.from_encoded(encode_ids(ids)) if ids
+                  else IDBlock.from_ids([]))
+            for key, ids in row_streams.items()}
+    for blocks in (eager, lazy):
+        join = BlockTwigJoin(pattern, blocks)
+        assert join.matches() == oracle.matches()
+        assert join.matching_roots() == oracle.matching_roots()
+        assert join.rows_processed() == oracle.rows_processed()
+
+
+@given(documents(), st.sampled_from(PATTERN_TEXTS))
+@settings(max_examples=60)
+def test_dispatch_preserves_results(document, pattern_text):
+    """make_twig_join picks the engine by stream type; both answers
+    match."""
+    pattern = parse_pattern(pattern_text)
+    row_streams = _streams(document, pattern)
+    block_streams = {key: IDBlock.from_ids(ids)
+                     for key, ids in row_streams.items()}
+    row = make_twig_join(pattern, row_streams)
+    blk = make_twig_join(pattern, block_streams)
+    assert isinstance(row, HolisticTwigJoin)
+    assert isinstance(blk, BlockTwigJoin)
+    assert blk.matches() == row.matches()
+    assert blk.matching_roots() == row.matching_roots()
+
+
+@given(documents(), st.booleans())
+@settings(max_examples=80)
+def test_block_stack_tree_join_agrees(document, parent_child):
+    left, right = _halves(document)
+    expected = stack_tree_join(left, right, parent_child=parent_child)
+    got = block_stack_tree_join(IDBlock.from_ids(left),
+                                IDBlock.from_ids(right),
+                                parent_child=parent_child)
+    assert got == expected
+
+
+@given(documents(), st.booleans())
+@settings(max_examples=80)
+def test_block_semi_joins_agree(document, parent_child):
+    left, right = _halves(document)
+    assert (block_semi_join_descendants(
+        left, right, parent_child=parent_child).to_ids()
+        == semi_join_descendants(left, right, parent_child=parent_child))
+    assert (block_semi_join_ancestors(
+        left, right, parent_child=parent_child).to_ids()
+        == semi_join_ancestors(left, right, parent_child=parent_child))
+
+
+@given(documents(), st.sampled_from(PATTERN_TEXTS), st.integers(0, 2 ** 16))
+@settings(max_examples=60)
+def test_degraded_resort_path_agrees(document, pattern_text, seed):
+    """The degradation ladder's repair — a stable re-sort by pre only —
+    yields the same twig answers through either engine."""
+    pattern = parse_pattern(pattern_text)
+    row_streams = _streams(document, pattern)
+    rng = random.Random(seed)
+    shuffled = {}
+    for key, ids in row_streams.items():
+        ids = list(ids)
+        rng.shuffle(ids)
+        shuffled[key] = ids
+    repaired_rows = {key: sorted(ids, key=lambda nid: nid.pre)
+                     for key, ids in shuffled.items()}
+    repaired_blocks = {key: IDBlock.from_ids(ids).sorted_by_pre()
+                       for key, ids in shuffled.items()}
+    oracle = HolisticTwigJoin(pattern, repaired_rows)
+    join = BlockTwigJoin(pattern, repaired_blocks)
+    assert join.matches() == oracle.matches()
+    assert join.matching_roots() == oracle.matching_roots()
+
+
+@given(documents())
+@settings(max_examples=60)
+def test_lazy_round_trip_preserves_ids(document):
+    ids = sorted((e.node_id for e in document.iter_elements()),
+                 key=lambda n: n.pre)
+    block = IDBlock.from_encoded(encode_ids(ids))
+    assert len(block) == len(ids)  # count without decode
+    assert block.to_ids() == ids

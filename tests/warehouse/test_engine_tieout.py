@@ -1,0 +1,118 @@
+"""Row vs. columnar engine tie-out: end-to-end result and cost identity.
+
+The columnar data plane (``engine="columnar"``, the default) must be
+observationally identical to the row reference path everywhere the
+simulation can see: query answers, ``rows_processed`` accounting, the
+meter's request records, and the priced simulated dollars.  Only
+real-interpreter wall-clock time — which the simulation does not
+model — is allowed to differ; that difference is what
+``BENCH_wallclock.json`` measures.
+"""
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.costs.estimator import CostBreakdown, price_record
+from repro.costs.pricing import price_book
+from repro.faults.scenarios import _workload_answers
+from repro.query.workload import workload_query
+from repro.warehouse import Warehouse
+from repro.xmark import generate_corpus
+
+pytestmark = pytest.mark.engine
+
+DOCUMENTS = 12
+SEED = 7
+QUERIES = ("q1", "q2", "q3", "q6")
+
+
+def _run(engine):
+    warehouse = Warehouse(deployment={"engine": engine})
+    warehouse.upload_corpus(
+        generate_corpus(ScaleProfile(documents=DOCUMENTS, seed=SEED)))
+    primary, _ = warehouse.build_index_checkpointed(
+        "2LUPI", config={"loaders": 2, "batch_size": 4})
+    fallback, _ = warehouse.build_index_checkpointed(
+        "LU", config={"loaders": 2, "batch_size": 4})
+    queries = [workload_query(name) for name in QUERIES]
+    report = warehouse.run_workload(queries, primary,
+                                    config={"workers": 2})
+    return warehouse, primary, fallback, queries, report
+
+
+@pytest.fixture(scope="module")
+def arms():
+    return {engine: _run(engine) for engine in ("row", "columnar")}
+
+
+def _meter_facts(warehouse):
+    return [(r.service, r.operation, r.count, r.time, r.tag)
+            for r in warehouse.cloud.meter]
+
+
+def _dollars(warehouse):
+    book = price_book("aws")
+    total = CostBreakdown()
+    for record in warehouse.cloud.meter:
+        total = total.add(price_record(record, book))
+    return total
+
+
+def test_answers_identical(arms):
+    row_wh, _, _, _, row_report = arms["row"]
+    col_wh, _, _, _, col_report = arms["columnar"]
+    assert (_workload_answers(row_wh, row_report)
+            == _workload_answers(col_wh, col_report))
+
+
+def test_rows_processed_and_lookup_stats_identical(arms):
+    _, _, _, _, row_report = arms["row"]
+    _, _, _, _, col_report = arms["columnar"]
+    for row_e, col_e in zip(row_report.executions, col_report.executions):
+        assert row_e.name == col_e.name
+        assert row_e.rows_processed == col_e.rows_processed
+        assert row_e.docs_from_index == col_e.docs_from_index
+        assert row_e.per_pattern_docs == col_e.per_pattern_docs
+        assert row_e.index_gets == col_e.index_gets
+        assert row_e.documents_fetched == col_e.documents_fetched
+        assert row_e.result_rows == col_e.result_rows
+        assert row_e.processing_s == col_e.processing_s
+        assert row_e.response_s == col_e.response_s
+
+
+def test_meter_records_identical(arms):
+    row_wh = arms["row"][0]
+    col_wh = arms["columnar"][0]
+    assert _meter_facts(row_wh) == _meter_facts(col_wh)
+
+
+def test_simulated_dollars_identical(arms):
+    row_total = _dollars(arms["row"][0])
+    col_total = _dollars(arms["columnar"][0])
+    assert row_total == col_total
+    assert row_total.total > 0
+
+
+def test_degraded_ladder_identical(arms):
+    """Marking the primary suspect degrades both engines the same way:
+    same fallback, same answers, same accounting."""
+    reports = {}
+    for engine in ("row", "columnar"):
+        warehouse, primary, fallback, queries, _ = arms[engine]
+        for table in primary.physical_tables:
+            warehouse.health.mark(table, "suspect")
+        try:
+            reports[engine] = warehouse.run_degraded_workload(
+                queries, [primary, fallback])
+        finally:
+            for table in primary.physical_tables:
+                warehouse.health.mark(table, "healthy")
+    row_wh = arms["row"][0]
+    col_wh = arms["columnar"][0]
+    assert (_workload_answers(row_wh, reports["row"])
+            == _workload_answers(col_wh, reports["columnar"]))
+    for row_e, col_e in zip(reports["row"].executions,
+                            reports["columnar"].executions):
+        assert row_e.index_mode == col_e.index_mode
+        assert row_e.downgrade == col_e.downgrade
+        assert row_e.rows_processed == col_e.rows_processed
