@@ -1,0 +1,47 @@
+"""Regenerates the multi-tenant fairness bench (fair share vs. FIFO).
+
+Benchmark kernel: one weighted deficit-round-robin drain of the two
+tenants' merged arrival backlog.  Also emits ``BENCH_tenancy.json`` —
+the per-arm, per-tenant latency/dollar rows — next to the repository
+root.
+"""
+
+import json
+import os
+
+from conftest import report
+
+from repro.bench.experiments import tenancy as experiment
+from repro.tenancy import FairShareQueue
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_tenancy.json")
+
+
+def test_tenancy_fairness(ctx, benchmark):
+    result = experiment.run(ctx)
+    experiment.check(result, ctx)
+    report(result)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    backlog = [("steady", i) for i in range(experiment.STEADY.queries)] \
+        + [("storm", i) for i in range(experiment.STORM.queries)]
+
+    def drain():
+        queue = FairShareQueue({"steady": 4.0, "storm": 1.0})
+        for tenant, item in backlog:
+            queue.push(tenant, item)
+        return [queue.pop() for _ in range(len(backlog))]
+
+    served = benchmark(drain)
+    assert len(served) == len(backlog)

@@ -173,13 +173,26 @@ def _migration_section(design_path: str) -> str:
 
 
 def find_undocumented_deprecations(design_path: str = DESIGN) -> List[str]:
-    """Registered deprecations whose old spelling the migration table
-    in DESIGN.md section 12 does not show verbatim."""
+    """Registered deprecations the DESIGN.md section 12 migration table
+    does not document verbatim.
+
+    Both columns are checked: the *old* spelling (so every warning a
+    user can hit names its row) and the *replacement* spelling (so the
+    row actually tells them where to go — a registry entry whose
+    replacement drifted from the docs fails here too)."""
     from repro.deprecations import DEPRECATIONS
     section = _migration_section(design_path)
-    return ["{}: {!r} not in DESIGN.md section 12".format(key, old)
-            for key, (old, _new) in sorted(DEPRECATIONS.items())
-            if old not in section]
+    problems: List[str] = []
+    for key, (old, new) in sorted(DEPRECATIONS.items()):
+        if old not in section:
+            problems.append(
+                "{}: old spelling {!r} not in DESIGN.md section 12".format(
+                    key, old))
+        if new not in section:
+            problems.append(
+                "{}: replacement {!r} not in DESIGN.md section 12".format(
+                    key, new))
+    return problems
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -436,10 +436,14 @@ def cmd_serve(args) -> int:
     ``--spot-fraction`` serves part of the fleet on spot capacity
     (``--interruption-rate`` makes the market actually reclaim it) and
     ``--failover [AFTER:DURATION]`` stands up a replicated secondary
-    region, optionally blacking out the primary mid-run.  Prints the
+    region, optionally blacking out the primary mid-run.
+    ``--tenants alpha:4,beta:1:2`` serves named tenants over the one
+    deployment — weighted fair-share dispatch (``--scheduler``),
+    per-tenant quotas and per-tenant bills in the report.  Prints the
     serving report; ``--report-out`` also writes its deterministic JSON
     form.  Exit status 0 iff the span-attributed request dollars tie
-    out exactly against the cost estimator.
+    out exactly against the cost estimator (and, with ``--tenants``,
+    the per-tenant bills sum exactly back to the totals).
     """
     from repro.serving import AdmissionPolicy, AutoscalePolicy
 
@@ -452,6 +456,13 @@ def cmd_serve(args) -> int:
         deployment["admission"] = AdmissionPolicy(
             max_queue_depth=args.max_queue_depth,
             degrade_queue_depth=args.degrade_depth or None)
+    if args.tenants:
+        from repro.tenancy import TenancyConfig, parse_tenant_spec
+        deployment["tenancy"] = TenancyConfig(
+            tenants=tuple(parse_tenant_spec(part)
+                          for part in args.tenants.split(",")),
+            scheduler=args.scheduler,
+            p95_bound_s=args.p95_bound or None)
     _apply_resilience(args, deployment)
     warehouse = Warehouse.deploy(deployment)
     warehouse.upload_corpus(_corpus(args))
@@ -469,7 +480,7 @@ def cmd_serve(args) -> int:
             handle.write(json.dumps(report.to_dict(), indent=2,
                                     sort_keys=True) + "\n")
         out.line("report: {}".format(args.report_out))
-    return 0 if report.cost_tied_out else 1
+    return 0 if report.cost_tied_out and report.tenants_tied_out else 1
 
 
 def _increments(args) -> List["Corpus"]:  # noqa: F821
@@ -793,6 +804,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--degrade-depth", type=int, default=0,
                          help="admit degraded above this depth "
                               "(0 disables the degraded band)")
+    p_serve.add_argument("--tenants",
+                         help="comma-separated NAME[:WEIGHT[:QPS[:BUDGET]]] "
+                              "tenant specs; enables multi-tenant serving "
+                              "with per-tenant bills")
+    p_serve.add_argument("--scheduler", default="fair",
+                         choices=("fair", "fifo"),
+                         help="multi-tenant dispatch order (needs --tenants)")
+    p_serve.add_argument("--p95-bound", type=float, default=0.0,
+                         help="per-tenant p95 bound recorded in the "
+                              "tenancy config (0 leaves it unset)")
     p_serve.add_argument("--report-out",
                          help="write the JSON serving report here")
     p_serve.set_defaults(func=cmd_serve)

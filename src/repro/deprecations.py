@@ -56,6 +56,30 @@ DEPRECATIONS: Dict[str, Tuple[str, str]] = {
     "workload-instance-type": (
         "run_workload(instance_type=...)",
         "DeploymentConfig.worker_type (config={'worker_type': t})"),
+    "serve-instances": (
+        "serve(instances=...)",
+        "DeploymentConfig.workers (config={'workers': n})"),
+    "serve-instance-type": (
+        "serve(instance_type=...)",
+        "DeploymentConfig.worker_type (config={'worker_type': t})"),
+    "degraded-instances": (
+        "run_degraded_workload(instances=...)",
+        "DeploymentConfig.workers (config={'workers': n})"),
+    "degraded-instance-type": (
+        "run_degraded_workload(instance_type=...)",
+        "DeploymentConfig.worker_type (config={'worker_type': t})"),
+    "ingest-instances": (
+        "ingest_increment(instances=...)",
+        "DeploymentConfig.loaders (config={'loaders': n})"),
+    "ingest-instance-type": (
+        "ingest_increment(instance_type=...)",
+        "DeploymentConfig.loader_type (config={'loader_type': t})"),
+    "ingest-batch-size": (
+        "ingest_increment(batch_size=...)",
+        "DeploymentConfig.batch_size (config={'batch_size': n})"),
+    "frontend-submit-query": (
+        "Frontend.submit_query(text, name=..., degraded=...)",
+        "Frontend.submit(repro.tenancy.QueryRequest(...))"),
     "parse-tag": (
         "repro.telemetry.parse_tag(tag)",
         "Attribution.from_tag(tag)"),

@@ -47,6 +47,8 @@ class QueryOutcome:
     index_mode: str
     #: Request dollars of this query's span subtree (0.0 untraced).
     cost: float
+    #: Owning tenant ("default" in single-owner runs).
+    tenant: str = "default"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable view (nested in the serving report's)."""
@@ -58,6 +60,7 @@ class QueryOutcome:
             "degraded": self.degraded,
             "index_mode": self.index_mode,
             "cost": self.cost,
+            "tenant": self.tenant,
         }
 
 
@@ -143,6 +146,9 @@ class ServingReport:
     request_breakdown: Dict[str, float] = field(default_factory=dict)
 
     queries: List[QueryOutcome] = field(default_factory=list)
+    #: Per-tenant bills (empty on single-tenant runs); the bills'
+    #: request/ec2 columns sum exactly to the run's totals.
+    tenant_bills: List[Any] = field(default_factory=list)
     #: The run's tracer (None untraced) — not serialised.
     trace: Optional[Any] = None
     #: Serve-phase span id (0 untraced).
@@ -159,6 +165,22 @@ class ServingReport:
     def cost_tied_out(self) -> bool:
         """Whether span attribution and the estimator agree exactly."""
         return self.request_cost == self.estimator_request_cost
+
+    @property
+    def tenants_tied_out(self) -> bool:
+        """Whether the per-tenant bills sum exactly to the totals.
+
+        Vacuously true on single-tenant runs (no bills).  On
+        multi-tenant runs both billed columns must re-add to the run's
+        numbers bit-exactly: request dollars to the estimator total,
+        EC2 dollars to the fleet total.
+        """
+        if not self.tenant_bills:
+            return True
+        request_sum = sum(b.request_cost for b in self.tenant_bills)
+        ec2_sum = sum(b.ec2_cost for b in self.tenant_bills)
+        return (request_sum == self.estimator_request_cost
+                and ec2_sum == self.ec2_cost)
 
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic, JSON-serialisable view (golden-test shape)."""
@@ -224,6 +246,7 @@ class ServingReport:
                 "per_query": self.cost_per_query,
             },
             "queries": [q.to_dict() for q in self.queries],
+            "tenants": [b.to_dict() for b in self.tenant_bills],
         }
 
     def render(self) -> str:
@@ -273,4 +296,17 @@ class ServingReport:
                     self.region_outages, self.failovers, self.failbacks,
                     self.failover_refusals, self.stale_reads,
                     self.outage_retries, self.replication_ships))
+        if self.tenant_bills:
+            lines.append(
+                "  tenants ({}):".format(
+                    "tied out" if self.tenants_tied_out
+                    else "SUM MISMATCH"))
+            for bill in self.tenant_bills:
+                lines.append(
+                    "    {:<12} queries {:>4}  shed {:>4}  "
+                    "degraded {:>4}  p50 {:.3f}s  p95 {:.3f}s  "
+                    "requests ${:.6f}  ec2 ${:.6f}".format(
+                        bill.tenant, bill.queries, bill.shed,
+                        bill.degraded, bill.p50_s, bill.p95_s,
+                        bill.request_cost, bill.ec2_cost))
         return "\n".join(lines)

@@ -27,12 +27,12 @@ the report's request dollars are attributable to the last float bit.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Any, Dict, Generator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.costs.estimator import phase_cost
 from repro.errors import ProcessInterrupted
-from repro.query.parser import query_to_source
 from repro.query.pattern import Query
 from repro.query.workload import workload_query
 from repro.serving.admission import DEGRADE, SHED, AdmissionController
@@ -40,6 +40,10 @@ from repro.serving.autoscaler import MARKET_SPOT, Autoscaler, Fleet
 from repro.serving.policy import FailoverPolicy
 from repro.serving.report import QueryOutcome, ServingReport, percentile
 from repro.serving.traffic import TrafficGenerator, TrafficProfile
+from repro.tenancy import (DEFAULT_TENANT, SCHEDULER_FAIR, SHARED_TENANT,
+                           FairShareQueue, TenantBill)
+from repro.tenancy import QueryRequest as TenantQueryRequest
+from repro.tenancy.billing import reconcile, tenant_costs
 from repro.warehouse.messages import QUERY_QUEUE, StopWorker
 from repro.warehouse.query_processor import QueryWorker, QueryWorkStats
 from repro.warehouse.warehouse import DOCUMENT_BUCKET, RESULTS_BUCKET
@@ -49,6 +53,11 @@ __all__ = ["ServingRuntime"]
 #: How often the driver re-checks the completion condition (simulated
 #: seconds).  Purely a bookkeeping poll — no metered requests.
 COMPLETION_POLL_S = 0.25
+
+#: How often the fair-share dispatcher re-checks its window when the
+#: controller queue is empty or the query queue is full (simulated
+#: seconds).  Bookkeeping only — no metered requests.
+DISPATCH_POLL_S = 0.05
 
 _serve_serials = itertools.count(1)
 
@@ -74,9 +83,17 @@ class ServingRuntime:
         self.strategy_name = index.strategy.name if index else "none"
         self.tag = tag or "serve:{}:{}:{}".format(
             self.strategy_name, profile.arrival, next(_serve_serials))
-        self._queries: Dict[str, Query] = (
-            dict(queries) if queries is not None
-            else {name: workload_query(name) for name in profile.mix})
+        self.tenancy = getattr(deployment, "tenancy", None)
+        if queries is not None:
+            self._queries: Dict[str, Query] = dict(queries)
+        else:
+            mix_names = set(profile.mix)
+            if self.tenancy is not None:
+                for spec in self.tenancy.tenants:
+                    if spec.traffic is not None:
+                        mix_names |= set(spec.traffic.mix)
+            self._queries = {name: workload_query(name)
+                             for name in sorted(mix_names)}
 
     # -- pieces ------------------------------------------------------------
 
@@ -92,7 +109,12 @@ class ServingRuntime:
             index = self.index
         admission = self.deployment.admission
         degraded_factory = None
-        if admission is not None and admission.degradation_enabled:
+        degradation_wanted = (
+            admission is not None and admission.degradation_enabled) or (
+            self.tenancy is not None and any(
+                spec.over_quota == "degrade"
+                for spec in self.tenancy.tenants))
+        if degradation_wanted:
             if self.degraded_indexes:
                 from repro.consistency import DegradedIndexChain
                 chain = DegradedIndexChain(
@@ -186,9 +208,38 @@ class ServingRuntime:
         deployment = self.deployment
         profile = self.profile
 
-        generator = TrafficGenerator(profile)
-        schedule = generator.schedule()
-        admission = AdmissionController(cloud, deployment.admission)
+        tenancy = self.tenancy
+        if tenancy is None:
+            schedule = [(offset, name, DEFAULT_TENANT)
+                        for offset, name in
+                        TrafficGenerator(profile).schedule()]
+        else:
+            # One seeded arrival stream per tenant (its own profile, or
+            # the shared profile reseeded per tenant so streams differ),
+            # merged in time order.  The merge is scheduler-independent:
+            # the fair and FIFO arms replay *identical* arrivals.
+            schedule = []
+            for idx, spec in enumerate(tenancy.tenants):
+                tenant_profile = spec.traffic
+                if tenant_profile is None:
+                    tenant_profile = dataclasses.replace(
+                        profile, seed=profile.seed + idx)
+                for offset, name in \
+                        TrafficGenerator(tenant_profile).schedule():
+                    schedule.append((offset, name, spec.name))
+            schedule.sort(key=lambda item: (item[0], item[2], item[1]))
+        admission = AdmissionController(cloud, deployment.admission,
+                                        tenancy=tenancy,
+                                        strategy=self.strategy_name)
+        if tenancy is not None and any(
+                spec.dollar_budget is not None
+                for spec in tenancy.tenants):
+            from repro.tenancy.billing import SpendTracker
+            hub_now = getattr(cloud, "telemetry", None)
+            admission.spend_lookup = SpendTracker(
+                hub_now.tracer if hub_now is not None else None,
+                cloud.meter, cloud.price_book,
+                tag_prefix=self.tag).spent
         stats_sink: Dict[int, QueryWorkStats] = {}
 
         plan = cloud.faults.plan if cloud.faults is not None else None
@@ -241,6 +292,7 @@ class ServingRuntime:
         arrivals: Dict[int, float] = {}
         names: Dict[int, str] = {}
         fetched: Dict[int, float] = {}
+        tenants: Dict[int, str] = {}
         degraded_ids: Set[int] = set()
         redelivered_before = cloud.sqs.redelivered_count(QUERY_QUEUE)
         dead_before = cloud.sqs.dead_lettered_count(QUERY_QUEUE)
@@ -254,31 +306,68 @@ class ServingRuntime:
         start_holder = [env.now]
 
         def submit_one(name: str, degraded: bool, arrived_at: float,
+                       tenant: str = DEFAULT_TENANT,
                        ) -> Generator[Any, Any, None]:
             query = self._queries[name]
-            query_id = yield from warehouse.frontend.submit_query(
-                query_to_source(query), name=name, degraded=degraded)
+            query_id = yield from warehouse.frontend.submit(
+                TenantQueryRequest(query=query, tenant=tenant, name=name,
+                                   strategy=self.strategy_name,
+                                   degraded=degraded))
             arrivals[query_id] = arrived_at
             names[query_id] = name
+            tenants[query_id] = tenant
             if degraded:
                 degraded_ids.add(query_id)
 
         traffic_done = [False]
+        fair_queue: Optional[FairShareQueue] = None
+        if tenancy is not None and tenancy.scheduler == SCHEDULER_FAIR:
+            fair_queue = FairShareQueue(tenancy.weights)
 
         def traffic() -> Generator[Any, Any, None]:
-            for seq, (offset, name) in enumerate(schedule):
+            for seq, (offset, name, tenant) in enumerate(schedule):
                 delay = start_holder[0] + offset - env.now
                 if delay > 0:
                     yield env.timeout(delay)
-                decision = admission.decide()
+                decision = admission.decide(tenant)
                 if decision == SHED:
+                    continue
+                if fair_queue is not None:
+                    # Fair-share arm: the arrival is *admitted* now but
+                    # held at the front door; the dispatcher releases it
+                    # in weighted DRR order.  Latency still counts from
+                    # here — controller queueing is the user's wait.
+                    fair_queue.push(
+                        tenant, (name, decision == DEGRADE, env.now))
                     continue
                 # Submission runs in a child process so its SQS latency
                 # cannot delay (or reorder) later arrivals.
                 env.process(
-                    submit_one(name, decision == DEGRADE, env.now),
+                    submit_one(name, decision == DEGRADE, env.now,
+                               tenant),
                     name="serve-submit-{}".format(seq))
             traffic_done[0] = True
+
+        def dispatcher() -> Generator[Any, Any, None]:
+            # Releases held arrivals in DRR order, keeping just enough
+            # visible on the query queue to feed the fleet: backlog kept
+            # here stays reorderable, backlog on SQS is FIFO forever.
+            # Submission is *inline* so every send completes (and the
+            # approximate depth moves) before the next window check.
+            assert fair_queue is not None
+            while True:
+                if not len(fair_queue):
+                    if traffic_done[0]:
+                        return
+                    yield env.timeout(DISPATCH_POLL_S)
+                    continue
+                alive = sum(1 for m in fleet.members if m.proc.is_alive)
+                window = max(tenancy.dispatch_window, alive)
+                if cloud.sqs.approximate_depth(QUERY_QUEUE) >= window:
+                    yield env.timeout(DISPATCH_POLL_S)
+                    continue
+                tenant, (name, degraded, arrived_at) = fair_queue.pop()
+                yield from submit_one(name, degraded, arrived_at, tenant)
 
         def collector() -> Generator[Any, Any, None]:
             # Fetch responses as they appear; redelivered queries answer
@@ -324,11 +413,18 @@ class ServingRuntime:
                                      name="serve-autoscaler")
                          if autoscaler is not None else None)
             traffic_proc = env.process(traffic(), name="serve-traffic")
+            dispatch_proc = (env.process(dispatcher(),
+                                         name="serve-dispatcher")
+                             if fair_queue is not None else None)
             background_procs = [
                 env.process(factory() if callable(factory) else factory,
                             name="serve-background-{}".format(i))
                 for i, factory in enumerate(self.background)]
             yield traffic_proc
+            if dispatch_proc is not None:
+                # Every held arrival must reach the queue before the
+                # completion poll can mean anything.
+                yield dispatch_proc
             # Dead-lettered queries (chaotic deployments only) will never
             # answer; without the correction the poll would spin forever.
             def outstanding() -> int:
@@ -377,7 +473,7 @@ class ServingRuntime:
             redelivered_before, serve_span, initial,
             spot_market=spot_market, controller=controller,
             replicator=replicator, switch=switch,
-            outage_retries=int(retries))
+            outage_retries=int(retries), tenants=tenants)
 
     # -- report assembly ---------------------------------------------------
 
@@ -393,7 +489,9 @@ class ServingRuntime:
                       controller: Optional[Any] = None,
                       replicator: Optional[Any] = None,
                       switch: Optional[Any] = None,
-                      outage_retries: int = 0) -> ServingReport:
+                      outage_retries: int = 0,
+                      tenants: Optional[Dict[int, str]] = None,
+                      ) -> ServingReport:
         warehouse = self.warehouse
         cloud = warehouse.cloud
         book = cloud.price_book
@@ -440,7 +538,12 @@ class ServingRuntime:
                 response_s=fetched[query_id] - arrivals[query_id],
                 degraded=query_id in degraded_ids,
                 index_mode=work.index_mode if work is not None else "",
-                cost=cost))
+                cost=cost,
+                tenant=(tenants or {}).get(query_id, DEFAULT_TENANT)))
+
+        tenant_bills = self._tenant_bills(
+            admission, arrivals, fetched, tenants or {}, stats_sink,
+            estimator_breakdown, ec2_cost, trace)
 
         timeline = [(t - start_at, n) for t, n in fleet.timeline]
         return ServingReport(
@@ -508,5 +611,82 @@ class ServingRuntime:
                 "sqs": estimator_breakdown.sqs,
             },
             queries=queries,
+            tenant_bills=tenant_bills,
             trace=trace,
             span_id=serve_span_id)
+
+    def _tenant_bills(self, admission: AdmissionController,
+                      arrivals: Dict[int, float],
+                      fetched: Dict[int, float],
+                      tenants: Dict[int, str],
+                      stats_sink: Dict[int, QueryWorkStats],
+                      estimator_breakdown: Any, ec2_cost: float,
+                      trace: Optional[Any]) -> List[TenantBill]:
+        """Per-tenant bills whose columns sum exactly to the totals.
+
+        Request dollars come from span-attributed record partitioning
+        (:func:`~repro.tenancy.billing.tenant_costs`); EC2 dollars are
+        apportioned by each tenant's worker busy time.  Both columns
+        are reconciled so their Python sums over the returned list
+        equal ``estimator_breakdown.total`` and ``ec2_cost`` exactly —
+        the residue of float re-association (and unattributed work)
+        lands in the ``shared`` bill.
+        """
+        tenancy = self.tenancy
+        if tenancy is None:
+            return []
+        cloud = self.warehouse.cloud
+        costs = tenant_costs(trace, cloud.meter, cloud.price_book,
+                             tag_prefix=self.tag) if trace is not None \
+            else {}
+        tenant_names = sorted(
+            {spec.name for spec in tenancy.tenants}
+            | (set(costs) - {SHARED_TENANT}))
+
+        request_parts = [(name, costs[name].total if name in costs
+                          else 0.0) for name in tenant_names]
+        request_parts.append(
+            (SHARED_TENANT, costs[SHARED_TENANT].total
+             if SHARED_TENANT in costs else 0.0))
+        request_dollars = reconcile(request_parts,
+                                    estimator_breakdown.total)
+
+        # EC2 by worker busy time: stats carry the wire tenant ("" for
+        # the single-owner default); idle fleet time is shared.
+        busy: Dict[str, float] = {}
+        for work in stats_sink.values():
+            owner = work.tenant or DEFAULT_TENANT
+            busy[owner] = busy.get(owner, 0.0) + work.processing_s
+        total_busy = sum(busy.values())
+        ec2_parts = [(name,
+                      ec2_cost * busy.get(name, 0.0) / total_busy
+                      if total_busy else 0.0)
+                     for name in tenant_names]
+        ec2_parts.append((SHARED_TENANT, 0.0))
+        ec2_dollars = reconcile(ec2_parts, ec2_cost)
+
+        latencies: Dict[str, List[float]] = {}
+        completed: Dict[str, int] = {}
+        for query_id in fetched:
+            owner = tenants.get(query_id, DEFAULT_TENANT)
+            latencies.setdefault(owner, []).append(
+                fetched[query_id] - arrivals[query_id])
+            completed[owner] = completed.get(owner, 0) + 1
+
+        bills = []
+        for name in tenant_names + [SHARED_TENANT]:
+            breakdown = costs.get(name)
+            bills.append(TenantBill(
+                tenant=name,
+                queries=completed.get(name, 0),
+                shed=admission.shed_by.get(name, 0),
+                degraded=admission.degraded_by.get(name, 0),
+                p50_s=percentile(sorted(latencies.get(name, [])), 50.0),
+                p95_s=percentile(sorted(latencies.get(name, [])), 95.0),
+                request_cost=request_dollars[name],
+                ec2_cost=ec2_dollars[name],
+                breakdown={
+                    "s3": breakdown.s3, "dynamodb": breakdown.dynamodb,
+                    "simpledb": breakdown.simpledb, "sqs": breakdown.sqs,
+                } if breakdown is not None else {}))
+        return bills

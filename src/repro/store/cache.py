@@ -66,13 +66,18 @@ def payload_weight(payloads: Dict[str, Any]) -> int:
 
 
 class IndexCache:
-    """Bounded LRU over index-read results, keyed ``(table, key, epoch)``.
+    """Bounded LRU over index reads, keyed ``(tenant, table, key, epoch)``.
 
     ``max_bytes`` is the budget from configuration
     (:class:`~repro.store.config.StoreConfig`); entries larger than the
     whole budget are simply not cached.  Negative results (a key absent
     from the index: an empty payload map) are cached too — repeat
     look-ups of a missing key are billed requests like any other.
+
+    The tenant dimension (default ``""``, the single-owner namespace)
+    keeps invalidation exact under multi-tenancy: two tenants' entries
+    for the same logical table never collide, and a tenant tear-down
+    (:meth:`invalidate_tenant`) cannot touch anyone else's budget.
     """
 
     def __init__(self, max_bytes: int) -> None:
@@ -81,7 +86,7 @@ class IndexCache:
                 "IndexCache needs a positive byte budget, got {}".format(
                     max_bytes))
         self.max_bytes = max_bytes
-        self._entries: "OrderedDict[Tuple[str, str, int], " \
+        self._entries: "OrderedDict[Tuple[str, str, str, int], " \
                        "Tuple[Dict[str, Any], int]]" = OrderedDict()
         self.current_bytes = 0
         self.hits = 0
@@ -96,28 +101,28 @@ class IndexCache:
     # -- read path ---------------------------------------------------------
 
     def get(self, table: str, key: str, epoch: int,
-            ) -> Optional[Dict[str, Any]]:
+            tenant: str = "") -> Optional[Dict[str, Any]]:
         """The cached payload map, or None on a miss.
 
         A hit refreshes LRU recency.  Callers get the stored dict; the
         router hands callers a shallow copy so plan operators can never
         mutate the cached entry.
         """
-        entry = self._entries.get((table, key, epoch))
+        entry = self._entries.get((tenant, table, key, epoch))
         if entry is None:
             self.misses += 1
             return None
-        self._entries.move_to_end((table, key, epoch))
+        self._entries.move_to_end((tenant, table, key, epoch))
         self.hits += 1
         return entry[0]
 
     def put(self, table: str, key: str, epoch: int,
-            payloads: Dict[str, Any]) -> None:
+            payloads: Dict[str, Any], tenant: str = "") -> None:
         """Store one read result, evicting LRU entries past the budget."""
         weight = payload_weight(payloads)
         if weight > self.max_bytes:
             return  # larger than the whole budget: not cacheable
-        cache_key = (table, key, epoch)
+        cache_key = (tenant, table, key, epoch)
         previous = self._entries.pop(cache_key, None)
         if previous is not None:
             self.current_bytes -= previous[1]
@@ -131,22 +136,37 @@ class IndexCache:
 
     # -- coherence ---------------------------------------------------------
 
-    def discard(self, table: str, key: str, epoch: int) -> None:
+    def discard(self, table: str, key: str, epoch: int,
+                tenant: str = "") -> None:
         """Drop one entry (write-through invalidation on index writes)."""
-        entry = self._entries.pop((table, key, epoch), None)
+        entry = self._entries.pop((tenant, table, key, epoch), None)
         if entry is not None:
             self.current_bytes -= entry[1]
             self.invalidations += 1
 
     def invalidate_table(self, table: str) -> int:
-        """Drop every entry of one logical table (any epoch).
+        """Drop every entry of one logical table (any epoch, any tenant).
 
         Used when a table is quarantined (marked suspect) so a later
         repair is re-read rather than masked by pre-damage entries.
         Returns the number of entries dropped.
         """
         doomed = [cache_key for cache_key in self._entries
-                  if cache_key[0] == table]
+                  if cache_key[1] == table]
+        for cache_key in doomed:
+            _, weight = self._entries.pop(cache_key)
+            self.current_bytes -= weight
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_tenant(self, tenant: str) -> int:
+        """Drop every entry of one tenant namespace (tear-down hook).
+
+        Exact by construction: keys carry the tenant, so no other
+        tenant's entries can be touched.  Returns the number dropped.
+        """
+        doomed = [cache_key for cache_key in self._entries
+                  if cache_key[0] == tenant]
         for cache_key in doomed:
             _, weight = self._entries.pop(cache_key)
             self.current_bytes -= weight

@@ -59,13 +59,19 @@ class StoreRouter(IndexStore):
     epoch:
         The index epoch reads are keyed under in the cache (0 for
         legacy, non-epoch builds whose table names are build-scoped).
+    tenant:
+        Tenant namespace.  The default ``""`` (single-owner) router is
+        byte-identical to the seed; a tenant router prefixes every
+        logical table (``tnt-<tenant>--<table>``) and keys cache
+        entries under the tenant, so two tenants' tables, cache lines
+        and invalidations can never collide.
     """
 
     def __init__(self, base: IndexStore,
                  config: Optional[StoreConfig] = None,
                  cache: Optional[IndexCache] = None,
                  telemetry: Optional[Any] = None,
-                 epoch: int = 0) -> None:
+                 epoch: int = 0, tenant: str = "") -> None:
         self._base = base
         self.config = config or StoreConfig()
         if self.config.cache_enabled:
@@ -75,10 +81,28 @@ class StoreRouter(IndexStore):
             self.cache = None
         self._telemetry = telemetry
         self.epoch = epoch
+        self.tenant = tenant
         #: shard ordinal -> billable reads routed there (balance stat).
         self.shard_reads: Dict[int, int] = {}
         #: shard ordinal -> physical items written there (balance stat).
         self.shard_writes: Dict[int, int] = {}
+
+    def for_tenant(self, tenant: str) -> "StoreRouter":
+        """A router over the same backend scoped to one tenant.
+
+        Shares the backend, config, cache and telemetry — only the
+        namespace differs — so tenant routers cost nothing to mint per
+        request.
+        """
+        return StoreRouter(self._base, config=self.config,
+                           cache=self.cache, telemetry=self._telemetry,
+                           epoch=self.epoch, tenant=tenant)
+
+    def _physical(self, physical_name: str) -> str:
+        """Map a logical table into the router's tenant namespace."""
+        if not self.tenant:
+            return physical_name
+        return "tnt-{}--{}".format(self.tenant, physical_name)
 
     # -- delegated identity ------------------------------------------------
 
@@ -126,7 +150,8 @@ class StoreRouter(IndexStore):
 
     def shard_tables(self, physical: str) -> List[str]:
         """All physical shard tables behind one logical table."""
-        return shard_table_names(physical, self.config.shards)
+        return shard_table_names(self._physical(physical),
+                                 self.config.shards)
 
     def shard_table_for(self, physical: str, key: str) -> str:
         """The shard table one hash key routes to."""
@@ -186,7 +211,7 @@ class StoreRouter(IndexStore):
         """Persist entries, partitioned to their shards; merged stats."""
         if self.passthrough:
             stats = yield from self._base.write_entries(
-                physical_name, entries)
+                self._physical(physical_name), entries)
             return stats
         names = self.shard_tables(physical_name)
         by_shard: Dict[int, List[IndexEntry]] = {}
@@ -203,7 +228,8 @@ class StoreRouter(IndexStore):
             # Write-through coherence: an ingest or repair into a live
             # table must not leave stale payloads behind.
             for key in dict.fromkeys(entry.key for entry in entries):
-                self.cache.discard(physical_name, key, self.epoch)
+                self.cache.discard(physical_name, key, self.epoch,
+                                   self.tenant)
         return stats
 
     # -- reads -------------------------------------------------------------
@@ -213,10 +239,11 @@ class StoreRouter(IndexStore):
         """One key's payload map; cache hits bill zero gets."""
         if self.passthrough:
             result = yield from self._base.read_key(
-                physical_name, key, kind)
+                self._physical(physical_name), key, kind)
             return result
         if self.cache is not None:
-            cached = self.cache.get(physical_name, key, self.epoch)
+            cached = self.cache.get(physical_name, key, self.epoch,
+                                    self.tenant)
             if cached is not None:
                 self._note_cache(1, 0)
                 return dict(cached), 0
@@ -226,7 +253,8 @@ class StoreRouter(IndexStore):
         self._note_shard_read(shard, gets)
         if self.cache is not None:
             self._note_cache(0, 1)
-            self.cache.put(physical_name, key, self.epoch, dict(payloads))
+            self.cache.put(physical_name, key, self.epoch, dict(payloads),
+                           self.tenant)
         return payloads, gets
 
     def read_keys(self, physical_name: str, keys: Sequence[str], kind: str,
@@ -235,14 +263,15 @@ class StoreRouter(IndexStore):
         """Batched reads through cache, dedupe and per-shard coalescing."""
         if self.passthrough:
             result = yield from self._base.read_keys(
-                physical_name, keys, kind)
+                self._physical(physical_name), keys, kind)
             return result
         pipeline = BatchPipeline(shards=self.config.shards)
         result: Dict[str, Dict[str, Payload]] = {}
         hits = 0
         for key in dict.fromkeys(keys):
             if self.cache is not None:
-                cached = self.cache.get(physical_name, key, self.epoch)
+                cached = self.cache.get(physical_name, key, self.epoch,
+                                        self.tenant)
                 if cached is not None:
                     result[key] = dict(cached)
                     hits += 1
@@ -252,7 +281,7 @@ class StoreRouter(IndexStore):
         with maybe_span(self._tracer, "store.read", table=physical_name,
                         keys=len(keys)) as span:
             for shard, shard_table, chunk in pipeline.batches(
-                    physical_name):
+                    self._physical(physical_name)):
                 got, chunk_gets = yield from self._base.read_keys(
                     shard_table, chunk, kind)
                 gets += chunk_gets
@@ -262,7 +291,7 @@ class StoreRouter(IndexStore):
                     result[key] = payloads
                     if self.cache is not None:
                         self.cache.put(physical_name, key, self.epoch,
-                                       dict(payloads))
+                                       dict(payloads), self.tenant)
             if span is not None:
                 span.attributes["cache_hits"] = hits
                 span.attributes["billed_gets"] = gets

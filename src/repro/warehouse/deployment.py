@@ -97,6 +97,11 @@ class DeploymentConfig:
         up a secondary region with an asynchronously replicated
         manifest and flip serving onto it (bounded staleness) when the
         primary region blacks out; ``None`` serves single-region.
+    tenancy:
+        Optional :class:`~repro.tenancy.TenancyConfig`: serve many
+        tenants over the one deployment with weighted fair-share
+        admission, per-tenant quotas and per-tenant bills; ``None``
+        serves the single default tenant (seed behaviour).
     """
 
     loaders: int = 8
@@ -114,6 +119,7 @@ class DeploymentConfig:
     admission: Optional[AdmissionPolicy] = None
     spot: Optional[SpotPolicy] = None
     failover: Optional[FailoverPolicy] = None
+    tenancy: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.loaders < 1:
@@ -144,6 +150,15 @@ class DeploymentConfig:
                 "{}".format(self.visibility_timeout))
         # Delegate shard/cache validation to StoreConfig.
         StoreConfig(shards=self.shards, cache_bytes=self.cache_bytes)
+        if self.tenancy is not None:
+            # Lazy import: repro.tenancy sits above this module in the
+            # layering (it imports serving.traffic), so the type check
+            # must not create an import cycle at module load.
+            from repro.tenancy.tenant import TenancyConfig
+            if not isinstance(self.tenancy, TenancyConfig):
+                raise ConfigError(
+                    "DeploymentConfig.tenancy must be a TenancyConfig, "
+                    "got {!r}".format(type(self.tenancy).__name__))
 
     @property
     def store_config(self) -> StoreConfig:

@@ -61,20 +61,43 @@ class Frontend:
 
     # -- querying --------------------------------------------------------------
 
+    def submit(self, request: Any) -> Generator[Any, Any, int]:
+        """Steps 7-8: post a typed query envelope; returns its query id.
+
+        ``request`` is a :class:`repro.tenancy.envelope.QueryRequest`.
+        The envelope is flattened onto the wire message; the submission
+        span carries the tenant (when not the single-owner default) so
+        billing can attribute the SQS send, and the wire message
+        carries it so workers label their processing spans too.
+        """
+        from repro.tenancy.tenant import DEFAULT_TENANT
+        query_id = next(self._query_ids)
+        attributes = {"query": request.name, "query_id": query_id}
+        if request.tenant != DEFAULT_TENANT:
+            attributes["tenant"] = request.tenant
+        wire_tenant = "" if request.tenant == DEFAULT_TENANT \
+            else request.tenant
+        with self._span("submit_query", **attributes):
+            yield from self._cloud.resilient.sqs.send(
+                QUERY_QUEUE,
+                QueryRequest(query_id=query_id, text=request.source(),
+                             name=request.name, degraded=request.degraded,
+                             tenant=wire_tenant))
+        return query_id
+
     def submit_query(self, text: str, name: str = "",
                      degraded: bool = False) -> Generator[Any, Any, int]:
-        """Steps 7-8: post a query; returns its query id.
+        """Deprecated positional spelling of :meth:`submit`.
 
         ``degraded`` marks the request for the coarser access path —
         set by admission control when the queue is over its degrade
         bound.
         """
-        query_id = next(self._query_ids)
-        with self._span("submit_query", query=name, query_id=query_id):
-            yield from self._cloud.resilient.sqs.send(
-                QUERY_QUEUE,
-                QueryRequest(query_id=query_id, text=text, name=name,
-                             degraded=degraded))
+        from repro.deprecations import warn_deprecated
+        from repro.tenancy.envelope import QueryRequest as Envelope
+        warn_deprecated("frontend-submit-query")
+        query_id = yield from self.submit(
+            Envelope(query=text, name=name, degraded=degraded))
         return query_id
 
     def await_response(self) -> Generator[Any, Any, FetchedResult]:

@@ -49,6 +49,10 @@ class QueryRequest:
     #: Admission control marked this query for the degraded access path
     #: (the 2LUPI → LU → scan ladder) instead of the primary index.
     degraded: bool = False
+    #: Owning tenant ("" in single-owner runs); stamped by the frontend
+    #: from the public envelope so workers label their processing spans
+    #: and billing can attribute the work.
+    tenant: str = ""
 
 
 @dataclass(frozen=True)

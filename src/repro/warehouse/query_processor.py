@@ -78,6 +78,9 @@ class QueryWorkStats:
     #: Index reads served by the shared store cache during this query's
     #: look-up (0 when no cache is configured).
     store_cache_hits: int = 0
+    #: Owning tenant from the wire message ("" in single-owner runs);
+    #: per-tenant latency and billing roll-ups key off this.
+    tenant: str = ""
 
     @property
     def processing_s(self) -> float:
@@ -212,15 +215,20 @@ class QueryWorker:
         hub = getattr(env, "telemetry", None)
         tracer = hub.tracer if hub is not None else None
         stats = QueryWorkStats(query_id=request.query_id, name=request.name,
-                               received_at=env.now)
+                               received_at=env.now,
+                               tenant=getattr(request, "tenant", ""))
         query = parse_query(request.text, name=request.name)
         lookup = self._lookup
         if getattr(request, "degraded", False) \
                 and self._degraded_lookup is not None:
             lookup = self._degraded_lookup
 
-        with maybe_span(tracer, "query", query=request.name,
-                        query_id=request.query_id) as query_span:
+        # Tenant-labelled processing spans are what per-tenant billing
+        # attributes worker-side store traffic through.
+        span_attrs = {"query": request.name, "query_id": request.query_id}
+        if stats.tenant:
+            span_attrs["tenant"] = stats.tenant
+        with maybe_span(tracer, "query", **span_attrs) as query_span:
             if query_span is not None:
                 stats.span_id = query_span.span_id
 

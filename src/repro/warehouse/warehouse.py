@@ -33,7 +33,6 @@ from repro.indexing.base import IndexingStrategy
 from repro.indexing.mapper import (DynamoIndexStore, IndexStore,
                                    SimpleDBIndexStore)
 from repro.indexing.registry import strategy as strategy_by_name
-from repro.query.parser import query_to_source
 from repro.query.pattern import Query
 from repro.store import IndexCache, StoreConfig, StoreRouter, expand_physical
 from repro.telemetry.spans import maybe_span
@@ -71,6 +70,21 @@ _BUILD_KWARGS = {
 _QUERY_KWARGS = {
     "instances": ("workload-instances", "workers"),
     "instance_type": ("workload-instance-type", "worker_type"),
+}
+#: Per-method legacy maps so the deprecation table can point each old
+#: spelling at the exact config override that replaces it.
+_SERVE_KWARGS = {
+    "instances": ("serve-instances", "workers"),
+    "instance_type": ("serve-instance-type", "worker_type"),
+}
+_DEGRADED_KWARGS = {
+    "instances": ("degraded-instances", "workers"),
+    "instance_type": ("degraded-instance-type", "worker_type"),
+}
+_INGEST_KWARGS = {
+    "instances": ("ingest-instances", "loaders"),
+    "instance_type": ("ingest-instance-type", "loader_type"),
+    "batch_size": ("ingest-batch-size", "batch_size"),
 }
 _INIT_KWARGS = {
     "visibility_timeout": "warehouse-visibility-timeout",
@@ -557,7 +571,7 @@ class Warehouse:
         ``loader_type`` / ``batch_size``), defaulting to the
         deployment's.
         """
-        cfg = self._resolve_deployment(config, legacy, _BUILD_KWARGS,
+        cfg = self._resolve_deployment(config, legacy, _INGEST_KWARGS,
                                        "ingest_increment")
         instances = cfg.loaders
         instance_type = cfg.loader_type
@@ -1021,7 +1035,7 @@ class Warehouse:
         scan when nothing is usable; every downgrade is metered.
         """
         from repro.consistency import DegradedIndexChain
-        cfg = self._resolve_deployment(config, legacy, _QUERY_KWARGS,
+        cfg = self._resolve_deployment(config, legacy, _DEGRADED_KWARGS,
                                        "run_degraded_workload")
         chain = DegradedIndexChain(self.cloud, list(indexes),
                                    self._all_uris, health=self.health)
@@ -1076,8 +1090,9 @@ class Warehouse:
         names: Dict[int, str] = {}
 
         def submit_one(query: Query) -> Generator[Any, Any, None]:
-            query_id = yield from self.frontend.submit_query(
-                query_to_source(query), name=query.name)
+            from repro.tenancy.envelope import QueryRequest as Envelope
+            query_id = yield from self.frontend.submit(
+                Envelope(query=query))
             submitted[query_id] = self.cloud.env.now
             names[query_id] = query.name
 
@@ -1220,7 +1235,7 @@ class Warehouse:
         from repro.serving.traffic import TrafficProfile
         if self.corpus is None:
             raise WarehouseError("upload_corpus() must run before serve()")
-        cfg = self._resolve_deployment(config, legacy, _QUERY_KWARGS,
+        cfg = self._resolve_deployment(config, legacy, _SERVE_KWARGS,
                                        "serve")
         if isinstance(traffic, dict):
             traffic = TrafficProfile(**traffic)

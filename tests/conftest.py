@@ -20,7 +20,7 @@ from repro.xmldb.model import Document, Element, Text, assign_identifiers
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Print per-marker test counts so tier-1 runs show suite coverage."""
     counts = {"chaos": 0, "engine": 0, "ingest": 0, "scrub": 0,
-              "serving": 0, "store": 0, "telemetry": 0}
+              "serving": 0, "store": 0, "telemetry": 0, "tenancy": 0}
     for report in terminalreporter.getreports("passed"):
         keywords = getattr(report, "keywords", {})
         for marker in counts:

@@ -93,17 +93,18 @@ def test_flip_spares_unrelated_table_entries(corpus):
     warehouse.run_workload(_queries(), built_lup, config={"workers": 1},
                            tag="spare:lup-cold")
     lu_tables = set(built_lu.table_names.values())
-    lu_entries = sum(1 for (table, _, _) in cache._entries
+    lu_entries = sum(1 for (_, table, _, _) in cache._entries
                      if table in lu_tables)
     assert lu_entries > 0
 
     # Rebuild (flip) LUP only: its entries go, LU's all survive.
     warehouse.build_index_checkpointed(
         "LUP", config={"loaders": 2, "batch_size": 4})
-    survivors = sum(1 for (table, _, _) in cache._entries
+    survivors = sum(1 for (_, table, _, _) in cache._entries
                     if table in lu_tables)
     assert survivors == lu_entries
-    assert all(table in lu_tables for (table, _, _) in cache._entries)
+    assert all(table in lu_tables
+               for (_, table, _, _) in cache._entries)
 
     # And the surviving entries still serve hits: the warm LU run
     # costs fewer billed gets than its cold run did.

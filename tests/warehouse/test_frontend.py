@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.deprecations import ReproDeprecationWarning
+from repro.tenancy import QueryRequest as Envelope
 from repro.warehouse.frontend import Frontend
 from repro.warehouse.messages import (LOADER_QUEUE, QUERY_QUEUE,
                                       RESPONSE_QUEUE, LoadRequest,
@@ -32,10 +34,10 @@ def test_ingest_stores_and_enqueues(cloud, frontend):
     assert body == LoadRequest(uri="a.xml")
 
 
-def test_submit_query_assigns_increasing_ids(cloud, frontend):
+def test_submit_assigns_increasing_ids(cloud, frontend):
     def scenario():
-        first = yield from frontend.submit_query("//a", name="q1")
-        second = yield from frontend.submit_query("//b", name="q2")
+        first = yield from frontend.submit(Envelope(query="//a", name="q1"))
+        second = yield from frontend.submit(Envelope(query="//b", name="q2"))
         return first, second
     first, second = cloud.env.run_process(scenario())
     assert first < second
@@ -57,7 +59,8 @@ def test_await_response_fetches_results(cloud, frontend):
 
 def test_query_request_carries_text_and_name(cloud, frontend):
     def scenario():
-        yield from frontend.submit_query("//painting", name="fig2-q1")
+        yield from frontend.submit(
+            Envelope(query="//painting", name="fig2-q1"))
         body, handle = yield from cloud.sqs.receive(QUERY_QUEUE)
         yield from cloud.sqs.delete(QUERY_QUEUE, handle)
         return body
@@ -65,3 +68,27 @@ def test_query_request_carries_text_and_name(cloud, frontend):
     assert isinstance(body, QueryRequest)
     assert body.text == "//painting"
     assert body.name == "fig2-q1"
+    # The wire tenant stays "" for the default tenant so single-owner
+    # runs keep the seed's byte-identical message shape.
+    assert body.tenant == ""
+
+
+def test_tenant_rides_the_wire_request(cloud, frontend):
+    def scenario():
+        yield from frontend.submit(
+            Envelope(query="//painting", name="q", tenant="acme"))
+        body, handle = yield from cloud.sqs.receive(QUERY_QUEUE)
+        yield from cloud.sqs.delete(QUERY_QUEUE, handle)
+        return body
+    body = cloud.env.run_process(scenario())
+    assert body.tenant == "acme"
+
+
+def test_submit_query_shim_warns_and_delegates(cloud, frontend):
+    def scenario():
+        with pytest.warns(ReproDeprecationWarning):
+            query_id = yield from frontend.submit_query("//a", name="q1")
+        return query_id
+    query_id = cloud.env.run_process(scenario())
+    assert query_id >= 0
+    assert cloud.sqs.approximate_depth(QUERY_QUEUE) == 1
